@@ -1,0 +1,228 @@
+// Benchmarks regenerating every table and figure of the paper. Each
+// benchmark measures the host cost of one full experiment run; the
+// *simulated* results (the actual reproduction) are reported as custom
+// metrics where meaningful, and printed by cmd/pynamic-tables.
+//
+//	BenchmarkTableI_*     — Table I rows (driver phase times)
+//	BenchmarkTableII      — Table II (cache misses; same driver machinery)
+//	BenchmarkTableIII     — Table III (full-scale size accounting)
+//	BenchmarkTableIV_*    — Table IV (tool startup cold/warm)
+//	BenchmarkCostModel    — §II.B.3 closed form + event simulation
+//	BenchmarkSweep*       — S1/S2/S3 scaling studies
+//	BenchmarkAblation*    — A1/A2/A3 ablations
+//	BenchmarkMPITest      — the driver's pyMPI functionality test
+//
+// Driver benches default to a 1/20-scale workload so `go test -bench=.`
+// completes quickly; the full-scale numbers come from
+// `go run ./cmd/pynamic-tables`.
+package pynamic
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/driver"
+	"repro/internal/experiments"
+	"repro/internal/fsim"
+	"repro/internal/mpisim"
+	"repro/internal/pygen"
+	"repro/internal/pympi"
+	"repro/internal/toolsim"
+)
+
+const benchScaleDiv = 20
+
+func benchWorkload(b *testing.B) *Workload {
+	b.Helper()
+	w, err := Generate(LLNLModel().Scaled(benchScaleDiv))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchDriver(b *testing.B, mode BuildMode) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	var last *Metrics
+	for i := 0; i < b.N; i++ {
+		m, err := Run(RunConfig{Mode: mode, Workload: w, NTasks: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.ReportMetric(last.StartupSec, "sim-startup-s")
+	b.ReportMetric(last.ImportSec, "sim-import-s")
+	b.ReportMetric(last.VisitSec, "sim-visit-s")
+}
+
+func BenchmarkTableI_Vanilla(b *testing.B)  { benchDriver(b, Vanilla) }
+func BenchmarkTableI_Link(b *testing.B)     { benchDriver(b, Link) }
+func BenchmarkTableI_LinkBind(b *testing.B) { benchDriver(b, LinkBind) }
+
+// BenchmarkTableII measures the instrumented (PAPI-observed) run and
+// reports the Table II cells as custom metrics.
+func BenchmarkTableII(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	var last *Metrics
+	for i := 0; i < b.N; i++ {
+		m, err := Run(RunConfig{Mode: Link, Workload: w, NTasks: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.ReportMetric(last.Import.L1DMissM, "import-L1D-Mmiss")
+	b.ReportMetric(last.Visit.L1DMissM, "visit-L1D-Mmiss")
+	b.ReportMetric(last.Visit.L1IMissM, "visit-L1I-Mmiss")
+}
+
+// BenchmarkTableIII generates the paper's full 495-DSO workload and
+// aggregates section sizes (the complete Table III computation).
+func BenchmarkTableIII(b *testing.B) {
+	var totalMB float64
+	for i := 0; i < b.N; i++ {
+		r, err := TableIII(uint64(42 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalMB = r.PynamicMB.Total()
+	}
+	b.ReportMetric(totalMB, "sim-total-MB")
+}
+
+func benchToolStartup(b *testing.B, warm bool) {
+	w, err := Generate(LLNLModel().Scaled(benchScaleDiv))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last toolsim.Phases
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fs, err := fsim.New(fsim.Defaults(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := toolsim.Config{Workload: w, Tasks: 32, FS: fs}
+		if warm {
+			if _, err := toolsim.Attach(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		last, err = toolsim.Attach(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.Phase1, "sim-phase1-s")
+	b.ReportMetric(last.Phase2, "sim-phase2-s")
+}
+
+func BenchmarkTableIV_ColdStartup(b *testing.B) { benchToolStartup(b, false) }
+func BenchmarkTableIV_WarmStartup(b *testing.B) { benchToolStartup(b, true) }
+
+// BenchmarkCostModel evaluates the §II.B.3 example by event simulation
+// (the closed form is O(1) and tested elsewhere).
+func BenchmarkCostModel(b *testing.B) {
+	m := toolsim.PaperExample()
+	var secs float64
+	for i := 0; i < b.N; i++ {
+		secs = m.SimulateEvents()
+	}
+	b.ReportMetric(secs/60, "sim-minutes")
+}
+
+func BenchmarkSweepDLLCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepDLLCount([]int{8, 16, 32}, driver.Vanilla); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepDLLSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepDLLSize([]int{100, 200, 400}, driver.Vanilla); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepNFS(b *testing.B) {
+	var last *experiments.NFSSweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSweepNFS([]int{4, 32, 128}, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	p := last.Points[len(last.Points)-1]
+	b.ReportMetric(p.IndependentSecs/p.CollectiveSecs, "sim-speedup-x")
+}
+
+func BenchmarkAblationBinding(b *testing.B) {
+	var last *experiments.AblationBindingResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblationBinding(benchScaleDiv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.LazyVisitSec/last.EagerVisitSec, "sim-lazy-eager-x")
+}
+
+func BenchmarkAblationCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationCoverage([]float64{0.5, 1.0}, benchScaleDiv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationASLR(b *testing.B) {
+	var last *experiments.AblationASLRResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblationASLR(32, benchScaleDiv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.HeterogeneousPhase1/last.HomogeneousPhase1, "sim-slowdown-x")
+}
+
+// BenchmarkGenerate measures the generator itself at 1/10 scale.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := pygen.LLNLModel().Scaled(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pygen.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPITest runs the pyMPI functionality test at 32 ranks.
+func BenchmarkMPITest(b *testing.B) {
+	cl := cluster.Zeus()
+	for i := 0; i < b.N; i++ {
+		w, err := mpisim.NewWorld(32, mpisim.Config{
+			Latency: cl.LinkLatency, Bandwidth: cl.LinkBandwidth, ChanDepth: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(func(c *mpisim.Comm) error {
+			_, err := pympi.MPITest(c)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

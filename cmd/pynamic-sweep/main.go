@@ -1,0 +1,118 @@
+// Command pynamic-sweep runs the paper's §V future-work scaling
+// studies:
+//
+//	pynamic-sweep -dim dlls     # S1: scaling vs number of DLLs
+//	pynamic-sweep -dim size     # S2: scaling vs DLL size
+//	pynamic-sweep -dim nodes    # S3: NFS loading vs collective open
+//	pynamic-sweep -dim coverage # A2: the code-coverage extension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		dim    = flag.String("dim", "dlls", "sweep dimension: dlls, size, nodes, coverage")
+		mode   = flag.String("mode", "vanilla", "build mode for dlls/size sweeps")
+		points = flag.String("points", "", "comma-separated sweep points (defaults per dimension)")
+		scale  = flag.Int("scale", 20, "workload scale divisor for nodes/coverage sweeps")
+	)
+	flag.Parse()
+
+	var bm driver.BuildMode
+	switch *mode {
+	case "vanilla":
+		bm = driver.Vanilla
+	case "link":
+		bm = driver.Link
+	case "link-bind":
+		bm = driver.LinkBind
+	default:
+		fmt.Fprintf(os.Stderr, "pynamic-sweep: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	switch *dim {
+	case "dlls":
+		r, err := experiments.RunSweepDLLCount(parseInts(*points), bm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+	case "size":
+		r, err := experiments.RunSweepDLLSize(parseInts(*points), bm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+	case "nodes":
+		r, err := experiments.RunSweepNFS(parseInts(*points), *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		fmt.Print(report.RenderChecks(r.Checks()))
+	case "coverage":
+		pts, err := experiments.RunAblationCoverage(parseFloats(*points), *scale)
+		if err != nil {
+			fatal(err)
+		}
+		t := &report.Table{
+			Title:  "A2: code coverage extension (Link build visit phase)",
+			Header: []string{"coverage", "visit (s)", "functions visited"},
+		}
+		for _, p := range pts {
+			t.AddRow(fmt.Sprintf("%.0f%%", p.Coverage*100),
+				fmt.Sprintf("%.3f", p.VisitSec),
+				fmt.Sprintf("%d", p.FuncsVisited))
+		}
+		fmt.Print(t.Render())
+	default:
+		fmt.Fprintf(os.Stderr, "pynamic-sweep: unknown dimension %q\n", *dim)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad point %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad point %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command pynamic-tables regenerates every table in the paper's
+// evaluation (Tables I–IV) plus the §II.B.3 cost-model example,
+// printing measured values next to the paper's and running the shape
+// checks recorded in EXPERIMENTS.md.
+//
+//	pynamic-tables              # all tables at full paper scale
+//	pynamic-tables -table 1     # just Table I/II
+//	pynamic-tables -scale 10    # reduced scale (faster, weaker ratios)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table to reproduce (1..4, 5=cost model; 0=all)")
+		scale    = flag.Int("scale", 1, "divide DSO counts by this factor")
+		tasks    = flag.Int("tasks", 32, "MPI tasks")
+		seed     = flag.Uint64("seed", 0, "override generator seed")
+		detailed = flag.Bool("detailed", false, "line-accurate cache model (use with -scale >= 20)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		ScaleDiv: *scale,
+		Tasks:    *tasks,
+		Seed:     *seed,
+	}
+	if *detailed {
+		opts.Backend = driver.Detailed
+	}
+
+	failed := false
+	runChecks := func(checks []report.ShapeCheck) {
+		fmt.Print(report.RenderChecks(checks))
+		fmt.Println()
+		if !report.AllPass(checks) {
+			failed = true
+		}
+	}
+
+	if *table == 0 || *table == 1 || *table == 2 {
+		r, err := experiments.RunTableI(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.RenderTableI())
+		if *scale <= 1 {
+			runChecks(r.ChecksTableI())
+		} else {
+			runChecks(r.CoreChecks())
+		}
+		if *table == 0 || *table == 2 {
+			fmt.Println(r.RenderTableII())
+			if *scale <= 1 {
+				runChecks(r.ChecksTableII())
+			}
+		}
+	}
+
+	if *table == 0 || *table == 3 {
+		r, err := experiments.RunTableIII(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+		runChecks(r.Checks())
+	}
+
+	if *table == 0 || *table == 4 {
+		r, err := experiments.RunTableIV(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+		runChecks(r.Checks())
+	}
+
+	if *table == 0 || *table == 5 {
+		r := experiments.RunCostModel()
+		fmt.Println(r.Render())
+		runChecks(r.Checks())
+	}
+
+	if failed {
+		fmt.Println("RESULT: some shape checks FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: all shape checks passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-tables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command pynamic-tool runs the TotalView-style tool-startup
+// simulation (the Table IV scenario) for a chosen workload model, and
+// evaluates the §II.B.3 cost model for arbitrary parameters:
+//
+//	pynamic-tool -workload pynamic -tasks 32     # cold + warm attach
+//	pynamic-tool -cost -libs 500 -tasks 500 -t1 10ms -bp 10 -t2 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fsim"
+	"repro/internal/pygen"
+	"repro/internal/simtime"
+	"repro/internal/toolsim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "pynamic", "workload model: pynamic or realapp")
+		tasks    = flag.Int("tasks", 32, "MPI tasks to attach to")
+		scale    = flag.Int("scale", 1, "divide DSO counts by this factor")
+		hetero   = flag.Bool("heterogeneous", false, "address-randomized job (no parse sharing)")
+
+		cost = flag.Bool("cost", false, "evaluate the II.B.3 cost model instead")
+		libs = flag.Int("libs", 500, "cost model: libraries (M)")
+		t1   = flag.Duration("t1", 10*time.Millisecond, "cost model: per-event time (T1)")
+		bp   = flag.Int("bp", 10, "cost model: breakpoints (B)")
+		t2   = flag.Duration("t2", time.Millisecond, "cost model: reinsert time (T2)")
+	)
+	flag.Parse()
+
+	if *cost {
+		m := toolsim.CostModel{
+			Libraries:    *libs,
+			Tasks:        *tasks,
+			EventTime:    t1.Seconds(),
+			Breakpoints:  *bp,
+			ReinsertTime: t2.Seconds(),
+		}
+		fmt.Printf("cost model: M=%d libraries x N=%d tasks x (T1=%v + B=%d x T2=%v)\n",
+			m.Libraries, m.Tasks, *t1, m.Breakpoints, *t2)
+		fmt.Printf("  total:               %s (%.0f s)\n",
+			simtime.MinSec(m.TotalSeconds()), m.TotalSeconds())
+		fmt.Printf("  without reinsertion: %s (%.0f s)\n",
+			simtime.MinSec(m.WithoutReinsertion()), m.WithoutReinsertion())
+		return
+	}
+
+	var cfg pygen.Config
+	switch *workload {
+	case "pynamic":
+		cfg = pygen.LLNLModel()
+	case "realapp":
+		cfg = pygen.RealAppModel()
+	default:
+		fmt.Fprintf(os.Stderr, "pynamic-tool: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if *scale > 1 {
+		cfg = cfg.Scaled(*scale)
+	}
+	fmt.Printf("generating %s model (%d DSOs)...\n", *workload, cfg.NumModules+cfg.NumUtils)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	place, err := cluster.Place(cluster.Zeus(), *tasks)
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+	if err != nil {
+		fatal(err)
+	}
+	tc := toolsim.Config{
+		Workload: w, Tasks: *tasks, FS: fs,
+		HeterogeneousLinkMaps: *hetero,
+	}
+	cold, err := toolsim.Attach(tc)
+	if err != nil {
+		fatal(err)
+	}
+	warm, err := toolsim.Attach(tc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tool startup at %d tasks (%d nodes):\n", *tasks, place.NodesUsed())
+	fmt.Printf("  cold: 1st phase %s, 2nd phase %s, total %s\n",
+		simtime.MinSec(cold.Phase1), simtime.MinSec(cold.Phase2), simtime.MinSec(cold.Total()))
+	fmt.Printf("  warm: 1st phase %s, 2nd phase %s, total %s\n",
+		simtime.MinSec(warm.Phase1), simtime.MinSec(warm.Phase2), simtime.MinSec(warm.Total()))
+	fmt.Printf("  cold/warm: %.2fx\n", cold.Total()/warm.Total())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-tool:", err)
+	os.Exit(1)
+}

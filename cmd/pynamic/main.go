@@ -1,0 +1,133 @@
+// Command pynamic generates a benchmark workload and runs the Pynamic
+// driver, in the spirit of the original LLNL tool's command line:
+//
+//	pynamic -modules 280 -avg-funcs 1850 -utils 215 -avg-ufuncs 1850 \
+//	        -seed 42 -mode vanilla -tasks 32
+//
+// It prints the generated workload's footprint and the driver's
+// per-phase simulated times and cache counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/pygen"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		modules   = flag.Int("modules", 280, "number of Python modules to generate")
+		avgFuncs  = flag.Int("avg-funcs", 1850, "average functions per module")
+		utils     = flag.Int("utils", 215, "number of utility libraries")
+		avgUFuncs = flag.Int("avg-ufuncs", 1850, "average functions per utility library")
+		seed      = flag.Uint64("seed", 42, "generator seed (reproducible results)")
+		depth     = flag.Int("depth", 10, "maximum call-chain depth")
+		cross     = flag.Bool("cross-module", true, "enable cross-module dependencies")
+		coverage  = flag.Float64("coverage", 1.0, "fraction of entry chains visited")
+		mode      = flag.String("mode", "vanilla", "build mode: vanilla, link, link-bind")
+		tasks     = flag.Int("tasks", 32, "MPI tasks")
+		mpiTest   = flag.Bool("mpi-test", true, "run the pyMPI functionality test")
+		detailed  = flag.Bool("detailed", false, "use the line-accurate cache model (reduce scale!)")
+		aslr      = flag.Bool("aslr", false, "randomize load addresses (exec-shield)")
+		scale     = flag.Int("scale", 1, "divide DSO counts by this factor")
+		manifest  = flag.String("manifest", "", "write the workload manifest (JSON) to this file")
+	)
+	flag.Parse()
+
+	var bm driver.BuildMode
+	switch *mode {
+	case "vanilla":
+		bm = driver.Vanilla
+	case "link":
+		bm = driver.Link
+	case "link-bind", "linkbind", "link+bind":
+		bm = driver.LinkBind
+	default:
+		fmt.Fprintf(os.Stderr, "pynamic: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := pygen.LLNLModel()
+	cfg.NumModules = *modules
+	cfg.AvgFuncsPerModule = *avgFuncs
+	cfg.NumUtils = *utils
+	cfg.AvgFuncsPerUtil = *avgUFuncs
+	cfg.Seed = *seed
+	cfg.MaxCallDepth = *depth
+	cfg.CrossModuleCalls = *cross
+	if *scale > 1 {
+		cfg = cfg.Scaled(*scale)
+	}
+
+	fmt.Printf("generating %d modules + %d utility libraries (avg %d functions, seed %d)...\n",
+		cfg.NumModules, cfg.NumUtils, cfg.AvgFuncsPerModule, cfg.Seed)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	s := w.Sizes()
+	fmt.Printf("  %d DSOs, %d functions, %.0f MB total (text %.0f, debug %.0f, strtab %.0f)\n",
+		len(w.AllImages()), w.TotalFuncs(), mb(s.Total()), mb(s.Text), mb(s.Debug), mb(s.StrTab))
+	if *manifest != "" {
+		f, err := os.Create(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteManifest(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  manifest written to %s\n", *manifest)
+	}
+
+	backend := driver.Analytic
+	if *detailed {
+		backend = driver.Detailed
+	}
+	fmt.Printf("running driver: %s build, %d tasks...\n", bm, *tasks)
+	m, err := driver.Run(driver.Config{
+		Mode:       bm,
+		Backend:    backend,
+		Workload:   w,
+		NTasks:     *tasks,
+		RunMPITest: *mpiTest,
+		Coverage:   *coverage,
+		ASLR:       *aslr,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nPynamic driver results (simulated seconds):\n")
+	fmt.Printf("  startup  %10s\n", simtime.Seconds(m.StartupSec))
+	fmt.Printf("  import   %10s   (%d modules)\n", simtime.Seconds(m.ImportSec), m.ModulesImported)
+	fmt.Printf("  visit    %10s   (%d function calls)\n", simtime.Seconds(m.VisitSec), m.FuncsVisited)
+	if *mpiTest {
+		fmt.Printf("  mpi test %10.4f\n", m.MPISec)
+	}
+	fmt.Printf("  total    %10s\n", simtime.Seconds(m.TotalSec()))
+	fmt.Printf("\ncache activity (millions):\n")
+	fmt.Printf("  import: L1-D %.1f  L1-I %.2f  L2 %.1f\n",
+		m.Import.L1DMissM, m.Import.L1IMissM, m.Import.L2MissM)
+	fmt.Printf("  visit:  L1-D %.1f  L1-I %.2f  L2 %.1f\n",
+		m.Visit.L1DMissM, m.Visit.L1IMissM, m.Visit.L2MissM)
+	fmt.Printf("\nloader: %d dlopens (%d fresh, %d cached), %d lookups, %d lazy resolutions\n",
+		m.Loader.DlopenCalls, m.Loader.FreshLoads, m.Loader.CachedOpens,
+		m.Loader.Lookups, m.Loader.LazyResolutions)
+	fmt.Printf("fs: %d NFS reads (%.0f MB), %d cache hits\n",
+		m.FS.NFSReads, mb(m.FS.NFSBytes), m.FS.CacheHits)
+}
+
+func mb(b uint64) float64 { return float64(b) / 1e6 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic:", err)
+	os.Exit(1)
+}

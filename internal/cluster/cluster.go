@@ -1,0 +1,109 @@
+// Package cluster models the machine the paper's experiments ran on:
+// Zeus, a 288-node InfiniBand cluster at LLNL where each node has four
+// dual-core 2.4 GHz Opterons (§IV). The model is intentionally thin —
+// node/core counts, task placement, and link parameters — because the
+// substrates that need detail (memory hierarchy, filesystem, MPI) carry
+// their own models and only need to know *where* tasks run.
+package cluster
+
+import "fmt"
+
+// Config describes a cluster.
+type Config struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	CoreHz       float64
+
+	// InfiniBand-style interconnect parameters used by the MPI
+	// simulator and the collective-open extension.
+	LinkLatency   float64 // seconds per message
+	LinkBandwidth float64 // bytes per second per link
+}
+
+// Zeus returns the paper's machine: 288 nodes × 4 dual-core 2.4 GHz
+// Opterons on InfiniBand (SDR-era: ~5 µs latency, ~900 MB/s).
+func Zeus() Config {
+	return Config{
+		Name:          "zeus",
+		Nodes:         288,
+		CoresPerNode:  8,
+		CoreHz:        2.4e9,
+		LinkLatency:   5e-6,
+		LinkBandwidth: 900e6,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: nodes must be positive, got %d", c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: cores per node must be positive, got %d", c.CoresPerNode)
+	case c.CoreHz <= 0:
+		return fmt.Errorf("cluster: core frequency must be positive")
+	case c.LinkLatency < 0 || c.LinkBandwidth <= 0:
+		return fmt.Errorf("cluster: bad interconnect parameters")
+	}
+	return nil
+}
+
+// TotalCores returns the machine's core count.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// Placement maps MPI tasks to nodes.
+type Placement struct {
+	cfg      Config
+	taskNode []int
+	nodeUsed []int
+}
+
+// Place distributes nTasks across the cluster in block order (fill a
+// node before moving to the next), the default scheduler behaviour on
+// CHAOS-era SLURM. It returns an error if the job doesn't fit.
+func Place(cfg Config, nTasks int) (*Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nTasks <= 0 {
+		return nil, fmt.Errorf("cluster: task count must be positive, got %d", nTasks)
+	}
+	if nTasks > cfg.TotalCores() {
+		return nil, fmt.Errorf("cluster: %d tasks exceed %d cores", nTasks, cfg.TotalCores())
+	}
+	p := &Placement{cfg: cfg, taskNode: make([]int, nTasks)}
+	maxNode := 0
+	for t := 0; t < nTasks; t++ {
+		n := t / cfg.CoresPerNode
+		p.taskNode[t] = n
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	p.nodeUsed = make([]int, maxNode+1)
+	for _, n := range p.taskNode {
+		p.nodeUsed[n]++
+	}
+	return p, nil
+}
+
+// NTasks returns the job size.
+func (p *Placement) NTasks() int { return len(p.taskNode) }
+
+// NodeOf returns the node hosting task t.
+func (p *Placement) NodeOf(t int) int { return p.taskNode[t] }
+
+// NodesUsed returns how many distinct nodes the job occupies.
+func (p *Placement) NodesUsed() int { return len(p.nodeUsed) }
+
+// TasksOn returns the number of tasks placed on node n.
+func (p *Placement) TasksOn(n int) int {
+	if n < 0 || n >= len(p.nodeUsed) {
+		return 0
+	}
+	return p.nodeUsed[n]
+}
+
+// Config returns the cluster configuration this placement was made for.
+func (p *Placement) Config() Config { return p.cfg }

@@ -1,0 +1,94 @@
+package cluster
+
+import "testing"
+
+func TestZeusConfig(t *testing.T) {
+	z := Zeus()
+	if err := z.Validate(); err != nil {
+		t.Fatalf("Zeus invalid: %v", err)
+	}
+	if z.Nodes != 288 || z.CoresPerNode != 8 {
+		t.Fatalf("Zeus shape wrong: %+v", z)
+	}
+	if z.TotalCores() != 2304 {
+		t.Fatalf("TotalCores = %d", z.TotalCores())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Nodes: -1, CoresPerNode: 8, CoreHz: 1e9, LinkBandwidth: 1},
+		{Nodes: 4, CoresPerNode: 0, CoreHz: 1e9, LinkBandwidth: 1},
+		{Nodes: 4, CoresPerNode: 8, CoreHz: 0, LinkBandwidth: 1},
+		{Nodes: 4, CoresPerNode: 8, CoreHz: 1e9, LinkBandwidth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPlaceBlockDistribution(t *testing.T) {
+	// Table IV's test ran 32 MPI tasks: 8 cores/node → 4 nodes.
+	p, err := Place(Zeus(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NTasks() != 32 {
+		t.Fatalf("NTasks = %d", p.NTasks())
+	}
+	if p.NodesUsed() != 4 {
+		t.Fatalf("NodesUsed = %d, want 4", p.NodesUsed())
+	}
+	for task := 0; task < 32; task++ {
+		if want := task / 8; p.NodeOf(task) != want {
+			t.Fatalf("task %d on node %d, want %d", task, p.NodeOf(task), want)
+		}
+	}
+	for n := 0; n < 4; n++ {
+		if p.TasksOn(n) != 8 {
+			t.Fatalf("node %d hosts %d tasks", n, p.TasksOn(n))
+		}
+	}
+	if p.TasksOn(99) != 0 || p.TasksOn(-1) != 0 {
+		t.Fatal("out-of-range TasksOn not zero")
+	}
+}
+
+func TestPlacePartialNode(t *testing.T) {
+	p, err := Place(Zeus(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodesUsed() != 2 || p.TasksOn(0) != 8 || p.TasksOn(1) != 2 {
+		t.Fatalf("partial placement wrong: used=%d on0=%d on1=%d",
+			p.NodesUsed(), p.TasksOn(0), p.TasksOn(1))
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(Zeus(), 0); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := Place(Zeus(), -3); err == nil {
+		t.Error("negative tasks accepted")
+	}
+	if _, err := Place(Zeus(), Zeus().TotalCores()+1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := Place(Config{}, 4); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestPlacementConfigEcho(t *testing.T) {
+	p, err := Place(Zeus(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().Name != "zeus" {
+		t.Fatal("config not echoed")
+	}
+}

@@ -1,0 +1,92 @@
+// Package core composes the Pynamic benchmark end to end: generate the
+// shared objects, "build" the chosen pyMPI configuration, run the
+// driver, and collect the report. It corresponds to what the original
+// LLNL distribution's top-level pynamic script did — one command that
+// takes the generator parameters and a build mode and produces the
+// benchmark numbers.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/pygen"
+)
+
+// BenchmarkSpec is the one-call configuration: generator parameters
+// plus run parameters.
+type BenchmarkSpec struct {
+	Generator pygen.Config
+	Mode      driver.BuildMode
+	Backend   driver.MemBackend
+	NTasks    int
+	Coverage  float64
+	ASLR      bool
+	MPITest   bool
+}
+
+// DefaultSpec returns the paper's flagship benchmark: the LLNL-model
+// workload under the Vanilla build at 32 tasks with the MPI test.
+func DefaultSpec() BenchmarkSpec {
+	return BenchmarkSpec{
+		Generator: pygen.LLNLModel(),
+		Mode:      driver.Vanilla,
+		NTasks:    32,
+		MPITest:   true,
+	}
+}
+
+// Result bundles the generated workload with the driver's metrics.
+type Result struct {
+	Workload *pygen.Workload
+	Metrics  *driver.Metrics
+}
+
+// Run generates the workload and executes the driver once.
+func Run(spec BenchmarkSpec) (*Result, error) {
+	w, err := pygen.Generate(spec.Generator)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate: %w", err)
+	}
+	m, err := driver.Run(driver.Config{
+		Mode:       spec.Mode,
+		Backend:    spec.Backend,
+		Workload:   w,
+		NTasks:     spec.NTasks,
+		RunMPITest: spec.MPITest,
+		Coverage:   spec.Coverage,
+		ASLR:       spec.ASLR,
+		Seed:       spec.Generator.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+	return &Result{Workload: w, Metrics: m}, nil
+}
+
+// RunAllModes executes the driver in all three build configurations
+// over a single generated workload — the §IV.A experiment in one call.
+func RunAllModes(spec BenchmarkSpec) ([]*Result, error) {
+	w, err := pygen.Generate(spec.Generator)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate: %w", err)
+	}
+	var out []*Result
+	for _, mode := range []driver.BuildMode{driver.Vanilla, driver.Link, driver.LinkBind} {
+		m, err := driver.Run(driver.Config{
+			Mode:       mode,
+			Backend:    spec.Backend,
+			Workload:   w,
+			NTasks:     spec.NTasks,
+			RunMPITest: spec.MPITest,
+			Coverage:   spec.Coverage,
+			ASLR:       spec.ASLR,
+			Seed:       spec.Generator.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: run %s: %w", mode, err)
+		}
+		out = append(out, &Result{Workload: w, Metrics: m})
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/pygen"
+)
+
+func smallSpec() BenchmarkSpec {
+	spec := DefaultSpec()
+	spec.Generator = pygen.LLNLModel().Scaled(40).ScaledFuncs(10)
+	spec.NTasks = 8
+	return spec
+}
+
+func TestDefaultSpecMatchesPaper(t *testing.T) {
+	spec := DefaultSpec()
+	if spec.Generator.NumModules != 280 || spec.Generator.NumUtils != 215 {
+		t.Fatal("default spec is not the LLNL model")
+	}
+	if spec.NTasks != 32 || spec.Mode != driver.Vanilla || !spec.MPITest {
+		t.Fatalf("default spec run parameters: %+v", spec)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload == nil || res.Metrics == nil {
+		t.Fatal("incomplete result")
+	}
+	if res.Metrics.ModulesImported != res.Workload.Config.NumModules {
+		t.Fatal("not all modules imported")
+	}
+	if res.Metrics.MPISec <= 0 {
+		t.Fatal("MPI test missing")
+	}
+}
+
+func TestRunAllModes(t *testing.T) {
+	spec := smallSpec()
+	spec.MPITest = false
+	results, err := RunAllModes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// All three share the same workload (generated once).
+	if results[0].Workload != results[1].Workload {
+		t.Fatal("workload regenerated between modes")
+	}
+	modes := []driver.BuildMode{driver.Vanilla, driver.Link, driver.LinkBind}
+	for i, r := range results {
+		if r.Metrics.Mode != modes[i] {
+			t.Fatalf("result %d has mode %s", i, r.Metrics.Mode)
+		}
+	}
+	// The central mechanism shows even here: lazy visit slower.
+	if results[1].Metrics.VisitSec <= results[0].Metrics.VisitSec {
+		t.Fatal("Link visit not slower than Vanilla visit")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	spec := smallSpec()
+	spec.Generator.NumModules = 0
+	if _, err := Run(spec); err == nil {
+		t.Fatal("bad generator config accepted")
+	}
+	if _, err := RunAllModes(spec); err == nil {
+		t.Fatal("bad generator config accepted by RunAllModes")
+	}
+}

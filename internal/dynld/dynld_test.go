@@ -1,0 +1,520 @@
+package dynld
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/elfimg"
+	"repro/internal/fsim"
+	"repro/internal/memsim"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// world is a loader plus a small installed library set:
+//
+//	libutil.so:  u0 u1 u2 (functions), d0 (data symbol)
+//	libmod.so:   m0 m1 (functions), PLT relocs to u0,u1; GOT reloc to d0;
+//	             DT_NEEDED libutil.so
+//	libbad.so:   PLT reloc against a symbol nobody defines
+type world struct {
+	ld    *Loader
+	mem   memsim.Memory
+	clock *simtime.Clock
+	fs    *fsim.FS
+	util  *elfimg.Image
+	mod   *elfimg.Image
+	bad   *elfimg.Image
+}
+
+func newWorld(t *testing.T, opts Options) *world {
+	t.Helper()
+	fs, err := fsim.New(fsim.Defaults(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(1))
+	clock := simtime.NewClock(0)
+	ld := New(mem, fs, clock, opts)
+
+	ub := elfimg.NewBuilder("libutil.so")
+	ub.AddFunc(elfimg.SymID(1000), 24, 700, 140, 64, false) // u0
+	ub.AddFunc(elfimg.SymID(1001), 24, 700, 140, 64, false) // u1
+	ub.AddFunc(elfimg.SymID(1002), 24, 700, 140, 64, false) // u2
+	ub.AddSymbol(elfimg.SymID(1003), 20, 8, false)          // d0
+	util, err := ub.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb := elfimg.NewBuilder("libmod.so").SetPythonModule(true)
+	mb.AddDep("libutil.so")
+	f0 := mb.AddFunc(elfimg.SymID(2000), 24, 700, 140, 64, false)
+	f1 := mb.AddFunc(elfimg.SymID(2001), 24, 700, 140, 64, false)
+	mb.MarkEntry(f0)
+	mb.AddGOTReloc(elfimg.SymID(1003))
+	p0 := mb.AddPLTReloc(elfimg.SymID(1000))
+	p1 := mb.AddPLTReloc(elfimg.SymID(1001))
+	mb.AddCall(f0, elfimg.Call{Kind: elfimg.CallIntra, Target: f1})
+	mb.AddCall(f1, elfimg.Call{Kind: elfimg.CallPLT, Target: p0})
+	mb.AddCall(f1, elfimg.Call{Kind: elfimg.CallPLT, Target: p1})
+	mod, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bb := elfimg.NewBuilder("libbad.so")
+	bb.AddFunc(elfimg.SymID(3000), 24, 700, 140, 64, false)
+	bb.AddPLTReloc(elfimg.SymID(99999)) // undefined everywhere
+	bad, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ld.Install(util)
+	ld.Install(mod)
+	ld.Install(bad)
+	return &world{ld: ld, mem: mem, clock: clock, fs: fs, util: util, mod: mod, bad: bad}
+}
+
+func TestDlopenFreshLoadsDeps(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, err := w.ld.Dlopen("libmod.so", RTLDNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.Image != w.mod {
+		t.Fatal("wrong image returned")
+	}
+	// libmod + libutil both in the link map, libmod first (load order).
+	lm := w.ld.LinkMap()
+	if len(lm) != 2 {
+		t.Fatalf("link map has %d entries, want 2", len(lm))
+	}
+	if lm[0].Image.Name != "libmod.so" || lm[1].Image.Name != "libutil.so" {
+		t.Fatalf("link map order: %s, %s", lm[0].Image.Name, lm[1].Image.Name)
+	}
+	for i, e := range lm {
+		if e.ScopePos != i {
+			t.Errorf("entry %d has ScopePos %d", i, e.ScopePos)
+		}
+	}
+	s := w.ld.Stats()
+	if s.FreshLoads != 2 || s.DlopenCalls != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// I/O time was charged for both file reads.
+	if w.clock.Seconds() <= 0 || s.IOSeconds <= 0 {
+		t.Fatal("no I/O time accounted")
+	}
+}
+
+func TestRTLDNowBindsAllPLT(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, err := w.ld.Dlopen("libmod.so", RTLDNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := le.BoundPLTCount(); got != 2 {
+		t.Fatalf("BoundPLTCount = %d, want 2", got)
+	}
+	// Calls through bound slots are cheap: no lazy resolutions.
+	if _, err := w.ld.ResolvePLT(le, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.ld.Stats().LazyResolutions != 0 {
+		t.Fatal("bound slot went through resolver")
+	}
+}
+
+func TestLazyBindingResolvesOnFirstCall(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, err := w.ld.Dlopen("libmod.so", RTLDLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := le.BoundPLTCount(); got != 0 {
+		t.Fatalf("lazy open bound %d slots", got)
+	}
+	def, err := w.ld.ResolvePLT(le, 1) // PLT reloc to u0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Entry.Image != w.util {
+		t.Fatal("resolved to wrong image")
+	}
+	if def.Entry.Image.FuncBySym(def.SymIndex) != 0 {
+		t.Fatal("resolved to wrong function")
+	}
+	if w.ld.Stats().LazyResolutions != 1 {
+		t.Fatalf("LazyResolutions = %d", w.ld.Stats().LazyResolutions)
+	}
+	// Second call: fast path, no new resolution.
+	if _, err := w.ld.ResolvePLT(le, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.ld.Stats().LazyResolutions != 1 {
+		t.Fatal("second call re-resolved")
+	}
+	if le.BoundPLTCount() != 1 {
+		t.Fatalf("BoundPLTCount = %d, want 1", le.BoundPLTCount())
+	}
+}
+
+func TestLazyFirstCallCostsMoreThanSecond(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, _ := w.ld.Dlopen("libmod.so", RTLDLazy)
+	before := w.mem.Cycles()
+	w.ld.ResolvePLT(le, 1)
+	first := w.mem.Cycles() - before
+	before = w.mem.Cycles()
+	w.ld.ResolvePLT(le, 1)
+	second := w.mem.Cycles() - before
+	if first <= second {
+		t.Fatalf("resolver not slower: first=%d second=%d", first, second)
+	}
+}
+
+func TestDlopenCachedIncrementsRefcount(t *testing.T) {
+	w := newWorld(t, Options{})
+	le1, err := w.ld.Dlopen("libmod.so", RTLDNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le2, err := w.ld.Dlopen("libmod.so", RTLDNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le1 != le2 {
+		t.Fatal("cached dlopen returned different entry")
+	}
+	if le1.Refcount != 2 {
+		t.Fatalf("Refcount = %d, want 2", le1.Refcount)
+	}
+	s := w.ld.Stats()
+	if s.CachedOpens != 1 || s.FreshLoads != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCachedDlopenCheaperThanFreshButNotFree(t *testing.T) {
+	// The §IV.A observation: dlopen of an already-linked object is only
+	// ~3x cheaper, not free, because of closure re-verification.
+	w := newWorld(t, Options{})
+	start := w.mem.Cycles()
+	w.ld.Dlopen("libmod.so", RTLDNow)
+	fresh := w.mem.Cycles() - start
+
+	start = w.mem.Cycles()
+	w.ld.Dlopen("libmod.so", RTLDNow)
+	cached := w.mem.Cycles() - start
+
+	if cached == 0 {
+		t.Fatal("cached dlopen was free; the paper's inefficiency is not modelled")
+	}
+	if cached >= fresh {
+		t.Fatalf("cached (%d cycles) not cheaper than fresh (%d)", cached, fresh)
+	}
+}
+
+func TestCachedDlopenDoesNotBindPLT(t *testing.T) {
+	// "dlopen does not respect the RTLD_NOW flag for the modules that
+	// have already been linked with lazy binding" (§IV.A).
+	w := newWorld(t, Options{})
+	if err := w.ld.StartupPrelinked([]string{"libmod.so"}); err != nil {
+		t.Fatal(err)
+	}
+	le := w.ld.Lookup("libmod.so")
+	if le.BoundPLTCount() != 0 {
+		t.Fatal("prelinked startup bound PLT without BindNow")
+	}
+	w.ld.Dlopen("libmod.so", RTLDNow) // import under pyMPI
+	if le.BoundPLTCount() != 0 {
+		t.Fatal("cached dlopen with RTLD_NOW bound the PLT; paper says it must not")
+	}
+}
+
+func TestBindNowResolvesAtStartup(t *testing.T) {
+	w := newWorld(t, Options{BindNow: true})
+	if err := w.ld.StartupPrelinked([]string{"libmod.so"}); err != nil {
+		t.Fatal(err)
+	}
+	le := w.ld.Lookup("libmod.so")
+	if le.BoundPLTCount() != 2 {
+		t.Fatalf("LD_BIND_NOW bound %d slots, want 2", le.BoundPLTCount())
+	}
+}
+
+func TestPrelinkedDataRelocsSkipLookup(t *testing.T) {
+	// Pre-linked objects carry RELATIVE data relocations: no symbol
+	// search at startup. Only the executable path differs.
+	w1 := newWorld(t, Options{})
+	w1.ld.StartupPrelinked([]string{"libmod.so"})
+	prelinkedLookups := w1.ld.Stats().Lookups
+
+	w2 := newWorld(t, Options{})
+	w2.ld.Dlopen("libmod.so", RTLDNow)
+	vanillaLookups := w2.ld.Stats().Lookups
+
+	if prelinkedLookups != 0 {
+		t.Fatalf("prelinked startup did %d lookups, want 0", prelinkedLookups)
+	}
+	if vanillaLookups != 3 { // 1 GOT + 2 PLT
+		t.Fatalf("vanilla dlopen did %d lookups, want 3", vanillaLookups)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	w := newWorld(t, Options{})
+	_, err := w.ld.Dlopen("libmissing.so", RTLDNow)
+	var nf *NotFoundError
+	if !errors.As(err, &nf) || nf.Soname != "libmissing.so" {
+		t.Fatalf("want NotFoundError, got %v", err)
+	}
+}
+
+func TestMissingDependencyFails(t *testing.T) {
+	w := newWorld(t, Options{})
+	ob := elfimg.NewBuilder("liborphan.so")
+	ob.AddDep("libnowhere.so")
+	ob.AddFunc(elfimg.SymID(4000), 24, 700, 140, 64, false)
+	orphan, err := ob.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ld.Install(orphan)
+	_, err = w.ld.Dlopen("liborphan.so", RTLDNow)
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("want NotFoundError for dep, got %v", err)
+	}
+}
+
+func TestUndefinedSymbolEager(t *testing.T) {
+	w := newWorld(t, Options{})
+	_, err := w.ld.Dlopen("libbad.so", RTLDNow)
+	var us *UndefinedSymbolError
+	if !errors.As(err, &us) {
+		t.Fatalf("want UndefinedSymbolError, got %v", err)
+	}
+	if us.From != "libbad.so" {
+		t.Fatalf("error From = %s", us.From)
+	}
+}
+
+func TestUndefinedSymbolLazyDeferred(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, err := w.ld.Dlopen("libbad.so", RTLDLazy)
+	if err != nil {
+		t.Fatalf("lazy open should defer the failure, got %v", err)
+	}
+	_, err = w.ld.ResolvePLT(le, 0)
+	var us *UndefinedSymbolError
+	if !errors.As(err, &us) {
+		t.Fatalf("want UndefinedSymbolError at call time, got %v", err)
+	}
+}
+
+func TestDlcloseRefcounting(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, _ := w.ld.Dlopen("libmod.so", RTLDNow)
+	w.ld.Dlopen("libmod.so", RTLDNow)
+	if err := w.ld.Dlclose(le); err != nil {
+		t.Fatal(err)
+	}
+	if le.Refcount != 1 {
+		t.Fatalf("Refcount = %d", le.Refcount)
+	}
+	if err := w.ld.Dlclose(le); err != nil {
+		t.Fatal(err)
+	}
+	var be *BusyError
+	if err := w.ld.Dlclose(le); !errors.As(err, &be) {
+		t.Fatalf("over-close: want BusyError, got %v", err)
+	}
+}
+
+func TestResolveData(t *testing.T) {
+	w := newWorld(t, Options{})
+	le, _ := w.ld.Dlopen("libmod.so", RTLDNow)
+	def, err := w.ld.ResolveData(le, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Entry.Image != w.util || def.Entry.Image.Syms[def.SymIndex].ID != elfimg.SymID(1003) {
+		t.Fatal("data resolved to wrong symbol")
+	}
+	// Wrong reloc type rejected.
+	if _, err := w.ld.ResolveData(le, 1); err == nil {
+		t.Fatal("ResolveData accepted a jump slot")
+	}
+	if _, err := w.ld.ResolvePLT(le, 0); err == nil {
+		t.Fatal("ResolvePLT accepted a data slot")
+	}
+}
+
+func TestASLRPlacement(t *testing.T) {
+	w1 := newWorld(t, Options{ASLR: true, Seed: 7})
+	w1.ld.Dlopen("libmod.so", RTLDNow)
+	b1 := w1.ld.Lookup("libmod.so").Base
+	b1u := w1.ld.Lookup("libutil.so").Base
+
+	// Same seed: same placement.
+	w2 := newWorld(t, Options{ASLR: true, Seed: 7})
+	w2.ld.Dlopen("libmod.so", RTLDNow)
+	if w2.ld.Lookup("libmod.so").Base != b1 {
+		t.Fatal("ASLR not deterministic per seed")
+	}
+	// Different seed: different placement.
+	w3 := newWorld(t, Options{ASLR: true, Seed: 8})
+	w3.ld.Dlopen("libmod.so", RTLDNow)
+	if w3.ld.Lookup("libmod.so").Base == b1 && w3.ld.Lookup("libutil.so").Base == b1u {
+		t.Fatal("different ASLR seeds gave identical placement")
+	}
+	// Non-ASLR: sequential deterministic placement.
+	w4 := newWorld(t, Options{})
+	w4.ld.Dlopen("libmod.so", RTLDNow)
+	if w4.ld.Lookup("libmod.so").Base != loadBase {
+		t.Fatalf("first object at %#x, want %#x", w4.ld.Lookup("libmod.so").Base, loadBase)
+	}
+	if w4.ld.Lookup("libutil.so").Base <= w4.ld.Lookup("libmod.so").Base {
+		t.Fatal("sequential placement not ascending")
+	}
+}
+
+func TestWarmFileReadCheaper(t *testing.T) {
+	// Two loaders sharing one filesystem node: the second process to
+	// start finds the DSOs in the node's buffer cache.
+	fs, _ := fsim.New(fsim.Defaults(), 1)
+	mem1 := memsim.NewAnalytic(memsim.ZeusConfig())
+	clock1 := simtime.NewClock(0)
+	ld1 := New(mem1, fs, clock1, Options{})
+	ub := elfimg.NewBuilder("libu.so")
+	ub.AddFunc(elfimg.SymID(1), 24, 70000, 140, 64, false)
+	ub.SetDebug(10 << 20)
+	img, _ := ub.Build()
+	ld1.Install(img)
+	ld1.Dlopen("libu.so", RTLDNow)
+	cold := ld1.Stats().IOSeconds
+
+	mem2 := memsim.NewAnalytic(memsim.ZeusConfig())
+	clock2 := simtime.NewClock(0)
+	ld2 := New(mem2, fs, clock2, Options{})
+	ld2.Install(img)
+	ld2.Dlopen("libu.so", RTLDNow)
+	warm := ld2.Stats().IOSeconds
+
+	if warm >= cold {
+		t.Fatalf("warm load (%v) not cheaper than cold (%v)", warm, cold)
+	}
+}
+
+func TestScopeGrowthIncreasesLookupCost(t *testing.T) {
+	// Lookup cost grows with the number of objects ahead of the definer
+	// in the search scope — the reason import cost compounds with
+	// hundreds of DSOs.
+	fs, _ := fsim.New(fsim.Defaults(), 1)
+	mem := memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(5))
+	ld := New(mem, fs, simtime.NewClock(0), Options{})
+
+	// 30 filler libraries to occupy the scope, then a provider and a
+	// client whose lookup must walk past all of them.
+	for i := 0; i < 30; i++ {
+		b := elfimg.NewBuilder(soname("libfill", i))
+		for j := 0; j < 50; j++ {
+			b.AddFunc(elfimg.SymID(10000+i*100+j), 24, 700, 140, 64, false)
+		}
+		img, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld.Install(img)
+	}
+	pb := elfimg.NewBuilder("libprov.so")
+	pb.AddFunc(elfimg.SymID(777), 24, 700, 140, 64, false)
+	prov, _ := pb.Build()
+	ld.Install(prov)
+
+	cb := elfimg.NewBuilder("libclient.so")
+	cb.AddFunc(elfimg.SymID(888), 24, 700, 140, 64, false)
+	cb.AddPLTReloc(elfimg.SymID(777))
+	client, _ := cb.Build()
+	ld.Install(client)
+
+	// Early-scope lookup: provider loaded first.
+	ld.Dlopen("libprov.so", RTLDLazy)
+	probesBefore := ld.Stats().ScopeProbes
+	cle, err := ld.Dlopen("libclient.so", RTLDNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cle
+	earlyProbes := ld.Stats().ScopeProbes - probesBefore
+
+	// Fresh loader: fill the scope first, then provider, then client.
+	mem2 := memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(5))
+	ld2 := New(mem2, fs, simtime.NewClock(0), Options{})
+	for i := 0; i < 30; i++ {
+		ld2.Install(ld.Registry(soname("libfill", i)))
+	}
+	ld2.Install(prov)
+	ld2.Install(client)
+	for i := 0; i < 30; i++ {
+		if _, err := ld2.Dlopen(soname("libfill", i), RTLDLazy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ld2.Dlopen("libprov.so", RTLDLazy)
+	probesBefore = ld2.Stats().ScopeProbes
+	if _, err := ld2.Dlopen("libclient.so", RTLDNow); err != nil {
+		t.Fatal(err)
+	}
+	lateProbes := ld2.Stats().ScopeProbes - probesBefore
+
+	if lateProbes <= earlyProbes {
+		t.Fatalf("deep-scope lookup (%d probes) not costlier than shallow (%d)",
+			lateProbes, earlyProbes)
+	}
+}
+
+func soname(prefix string, i int) string {
+	return prefix + string(rune('a'+i/26)) + string(rune('a'+i%26)) + ".so"
+}
+
+func TestLinkMapInvariantsUnderRandomOps(t *testing.T) {
+	// Property: after any sequence of dlopen/dlclose, scope positions
+	// equal link-map indices, refcounts are non-negative, and entries
+	// are unique per soname.
+	w := newWorld(t, Options{})
+	r := xrand.New(99)
+	names := []string{"libmod.so", "libutil.so"}
+	var handles []*LinkEntry
+	for i := 0; i < 200; i++ {
+		if r.Bool(0.6) || len(handles) == 0 {
+			le, err := w.ld.Dlopen(names[r.Intn(len(names))], Flags(r.Intn(2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, le)
+		} else {
+			idx := r.Intn(len(handles))
+			if err := w.ld.Dlclose(handles[idx]); err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles[:idx], handles[idx+1:]...)
+		}
+		seen := map[string]bool{}
+		for j, e := range w.ld.LinkMap() {
+			if e.ScopePos != j {
+				t.Fatalf("iter %d: ScopePos %d at index %d", i, e.ScopePos, j)
+			}
+			if e.Refcount < 0 {
+				t.Fatalf("iter %d: negative refcount", i)
+			}
+			if seen[e.Image.Name] {
+				t.Fatalf("iter %d: duplicate link map entry %s", i, e.Image.Name)
+			}
+			seen[e.Image.Name] = true
+		}
+	}
+}

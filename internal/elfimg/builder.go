@@ -1,0 +1,214 @@
+package elfimg
+
+import "fmt"
+
+// Builder assembles an Image. Usage: create with NewBuilder, add
+// symbols, functions and relocations, then call Build exactly once.
+type Builder struct {
+	img       Image
+	dataSize  uint64
+	roSize    uint64
+	debugSize uint64
+	textOff   uint64
+	built     bool
+	dupCheck  map[SymID]bool
+}
+
+// NewBuilder starts an image named name (its soname and, by default,
+// its filesystem basename).
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		img: Image{
+			Name:      name,
+			Path:      "/lib/" + name,
+			EntryFunc: -1,
+		},
+		dupCheck: make(map[SymID]bool),
+	}
+}
+
+// SetPath overrides the simulated filesystem path.
+func (b *Builder) SetPath(path string) *Builder { b.img.Path = path; return b }
+
+// SetPythonModule marks the image as a Python extension module.
+func (b *Builder) SetPythonModule(v bool) *Builder { b.img.IsPythonModule = v; return b }
+
+// AddDep appends a DT_NEEDED dependency by soname.
+func (b *Builder) AddDep(soname string) *Builder {
+	b.img.Deps = append(b.img.Deps, soname)
+	return b
+}
+
+// SetData sets the .data section size (module state, module dictionary
+// storage and the like).
+func (b *Builder) SetData(size uint64) *Builder { b.dataSize = size; return b }
+
+// SetRoData sets the .rodata size (string constants and docstrings).
+func (b *Builder) SetRoData(size uint64) *Builder { b.roSize = size; return b }
+
+// SetDebug sets the total .debug_* size. The paper's model application
+// carries 1.1 GB of debug info across its DSOs; it is never mapped but
+// is read by debuggers (Table IV phase 1) and transferred over NFS.
+func (b *Builder) SetDebug(size uint64) *Builder { b.debugSize = size; return b }
+
+// AddSymbol appends a non-function symbol (module data, init markers).
+// Returns its symbol index.
+func (b *Builder) AddSymbol(id SymID, nameLen uint32, size uint32, local bool) int {
+	b.checkDup(id, local)
+	b.img.Syms = append(b.img.Syms, Sym{
+		ID: id, NameLen: nameLen, Size: size, Local: local,
+	})
+	return len(b.img.Syms) - 1
+}
+
+// AddFunc appends a function: its defining symbol plus body metadata.
+// textSize is the body's .text footprint in bytes; nInstr the retired
+// instructions per execution; dataRefs the bytes of stack/local data it
+// touches. Calls may be appended later via AddCall using the returned
+// function index.
+func (b *Builder) AddFunc(id SymID, nameLen uint32, textSize, nInstr, dataRefs uint32, local bool) int {
+	b.checkDup(id, local)
+	sym := len(b.img.Syms)
+	b.img.Syms = append(b.img.Syms, Sym{
+		ID: id, NameLen: nameLen, Value: b.textOff, Size: textSize, Local: local,
+	})
+	b.img.Funcs = append(b.img.Funcs, Func{
+		Sym:      sym,
+		TextOff:  b.textOff,
+		TextSize: textSize,
+		NInstr:   nInstr,
+		DataRefs: dataRefs,
+	})
+	b.textOff += uint64(textSize)
+	// Functions are 16-byte aligned like real compilers emit them.
+	b.textOff = (b.textOff + 15) &^ 15
+	return len(b.img.Funcs) - 1
+}
+
+func (b *Builder) checkDup(id SymID, local bool) {
+	if local {
+		return
+	}
+	if b.dupCheck[id] {
+		panic(fmt.Sprintf("elfimg: duplicate global symbol %#x in %s", uint64(id), b.img.Name))
+	}
+	b.dupCheck[id] = true
+}
+
+// MarkEntry records function index fi as the module's Python-callable
+// entry function.
+func (b *Builder) MarkEntry(fi int) *Builder { b.img.EntryFunc = fi; return b }
+
+// SetArgs records function fi's arity (0-5 C-scalar arguments, §III).
+func (b *Builder) SetArgs(fi int, args uint8) { b.img.Funcs[fi].Args = args }
+
+// FuncSymID returns the symbol ID defining function index fi.
+func (b *Builder) FuncSymID(fi int) SymID {
+	return b.img.Syms[b.img.Funcs[fi].Sym].ID
+}
+
+// AddGOTReloc appends an eagerly-bound data relocation against sym and
+// returns its relocation index.
+func (b *Builder) AddGOTReloc(sym SymID) int {
+	b.img.Relocs = append(b.img.Relocs, Reloc{Sym: sym, Type: RelocGOTData})
+	return len(b.img.Relocs) - 1
+}
+
+// AddPLTReloc appends a lazily-bindable function relocation against sym
+// and returns its relocation index.
+func (b *Builder) AddPLTReloc(sym SymID) int {
+	b.img.Relocs = append(b.img.Relocs, Reloc{Sym: sym, Type: RelocJumpSlot})
+	return len(b.img.Relocs) - 1
+}
+
+// AddCall appends a call site to function fi.
+func (b *Builder) AddCall(fi int, c Call) {
+	b.img.Funcs[fi].Calls = append(b.img.Funcs[fi].Calls, c)
+}
+
+// Build lays out the image and computes its hash table. The builder
+// must not be reused afterwards.
+func (b *Builder) Build() (*Image, error) {
+	if b.built {
+		return nil, fmt.Errorf("elfimg: builder for %s reused", b.img.Name)
+	}
+	b.built = true
+	im := &b.img
+
+	dataRel, pltRel := im.CountRelocs()
+
+	var off uint64
+	place := func(size, align uint64) Extent {
+		off = (off + align - 1) &^ (align - 1)
+		e := Extent{Off: off, Size: size}
+		off += size
+		return e
+	}
+	l := &im.Layout
+	l.Text = place(b.textOff, pageSize)
+	l.RoData = place(b.roSize, 64)
+	l.Data = place(b.dataSize, pageSize)
+	l.GOT = place(gotReservedHdr+uint64(dataRel+pltRel)*gotEntrySize, 64)
+	l.PLT = place(pltHeaderSize+uint64(pltRel)*pltEntrySize, 64)
+
+	// SysV hash: nbuckets chosen like classic linkers, roughly one
+	// bucket per 2 symbols, power of two for cheap modulo.
+	nb := 1
+	for nb < (len(im.Syms)+1)/2 {
+		nb *= 2
+	}
+	im.NBuckets = nb
+	l.Hash = place(uint64(2+nb+len(im.Syms))*hashEntrySize, 64)
+	l.SymTab = place(uint64(len(im.Syms))*symEntrySize, 64)
+
+	var strBytes uint64
+	for _, s := range im.Syms {
+		strBytes += uint64(s.NameLen) + 1
+	}
+	l.StrTab = place(strBytes, 64)
+	l.Rel = place(uint64(len(im.Relocs))*relEntrySize, 64)
+	// Debug lives past the mapped extent in file-offset space.
+	l.Debug = Extent{Off: im.MappedSize(), Size: b.debugSize}
+
+	b.buildHash()
+
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// buildHash assigns every symbol its SysV hash chain position.
+func (b *Builder) buildHash() {
+	im := &b.img
+	im.chainPos = make([]uint32, len(im.Syms))
+	im.bucketLen = make([]uint32, im.NBuckets)
+	im.symIndex = make(map[SymID]int, len(im.Syms))
+	for i, s := range im.Syms {
+		bkt := int(uint64(s.ID) % uint64(im.NBuckets))
+		im.chainPos[i] = im.bucketLen[bkt]
+		im.bucketLen[bkt]++
+		if !s.Local {
+			im.symIndex[s.ID] = i
+		}
+	}
+	im.funcOfSym = make(map[int]int, len(im.Funcs))
+	for fi, f := range im.Funcs {
+		im.funcOfSym[f.Sym] = fi
+	}
+}
+
+// ELFHash is the classic SysV ELF hash function, provided (and tested)
+// so the statistical bucket model can be traced back to the real
+// algorithm symbol names would hash through.
+func ELFHash(name string) uint32 {
+	var h uint32
+	for i := 0; i < len(name); i++ {
+		h = (h << 4) + uint32(name[i])
+		if g := h & 0xf0000000; g != 0 {
+			h ^= g >> 24
+			h &= ^g
+		}
+	}
+	return h
+}

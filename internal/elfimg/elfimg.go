@@ -1,0 +1,369 @@
+// Package elfimg models synthetic ELF shared objects: the sections,
+// symbols, relocations and hash tables of the DSOs that Pynamic's
+// generator emits, without emitting actual machine code.
+//
+// The model carries exactly the state the rest of the system needs:
+//
+//   - Section sizes (.text, .data, .debug, .symtab, .strtab, …) drive
+//     Table III of the paper and the file I/O volume seen by the
+//     filesystem and tool simulators.
+//   - Per-symbol metadata and SysV-hash chain positions drive the
+//     dynamic linker's lookup cost model (how many symbol-table and
+//     string-table lines a resolution touches).
+//   - Relocation lists (eager GOT data relocations and lazy PLT jump
+//     slots) drive when that lookup cost is paid — at dlopen, at
+//     LD_BIND_NOW startup, or at first call (the paper's central
+//     Table I/II mechanism).
+//   - Function records (.text contents) drive the VM's visit phase.
+//
+// Addresses are simulated virtual addresses; no host memory is
+// involved. Symbol names are represented by a stable 64-bit ID plus a
+// length; the full string is derived deterministically on demand (the
+// original generator deliberately emits very long names to inflate
+// string tables — storing a million ~230-byte names would dominate host
+// memory for no modelling benefit).
+package elfimg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// SymID is a stable 64-bit identity for a symbol name. Two symbols with
+// the same ID are "the same name" for resolution purposes.
+type SymID uint64
+
+// Sym is one entry of a DSO's dynamic symbol table.
+type Sym struct {
+	ID      SymID
+	NameLen uint32 // bytes the name occupies in .strtab (sans NUL)
+	Value   uint64 // offset of the definition within its section
+	Size    uint32
+	Local   bool // local symbols pad the table but don't resolve
+}
+
+// RelocType distinguishes eagerly-bound data relocations from lazily-
+// bound function relocations.
+type RelocType uint8
+
+const (
+	// RelocGOTData is a data reference through the Global Offset Table
+	// (R_X86_64_GLOB_DAT). The dynamic linker resolves these when the
+	// object is loaded, regardless of binding mode.
+	RelocGOTData RelocType = iota
+	// RelocJumpSlot is a function call through the Procedure Linkage
+	// Table (R_X86_64_JUMP_SLOT). Resolved at load only under
+	// RTLD_NOW / LD_BIND_NOW; otherwise on first call.
+	RelocJumpSlot
+)
+
+// String implements fmt.Stringer.
+func (t RelocType) String() string {
+	if t == RelocGOTData {
+		return "GLOB_DAT"
+	}
+	return "JUMP_SLOT"
+}
+
+// Reloc is one dynamic relocation: "slot i must hold the address of
+// symbol Sym".
+type Reloc struct {
+	Sym  SymID
+	Type RelocType
+}
+
+// CallKind classifies a call site inside a generated function body.
+type CallKind uint8
+
+const (
+	// CallIntra targets a function in the same DSO (direct call, no
+	// PLT): the intra-module depth-10 chains of the generator.
+	CallIntra CallKind = iota
+	// CallPLT targets an imported symbol through the PLT: utility
+	// library calls and cross-module calls.
+	CallPLT
+)
+
+// Call is one call site in a function body.
+type Call struct {
+	Kind CallKind
+	// Target is the local function index for CallIntra, or the index
+	// into the image's PLT relocations for CallPLT.
+	Target int
+}
+
+// Func is one generated C function: a span of .text plus its call
+// sites. NInstr is the retired-instruction count of the body excluding
+// calls (the bodies do no "insightful computation", per the paper §III;
+// they exist to exercise linking and loading).
+type Func struct {
+	Sym      int // index into Syms of this function's symbol
+	TextOff  uint64
+	TextSize uint32
+	NInstr   uint32
+	DataRefs uint32 // stack/local data bytes touched per execution
+	Args     uint8  // arity: "zero to five arguments of standard C types" (§III)
+	Calls    []Call
+}
+
+// Image is a built shared object.
+type Image struct {
+	Name string // e.g. "libmodule042.so"
+	Path string // path within the simulated filesystem
+
+	// IsPythonModule marks Python-callable modules (vs pure utility
+	// libraries); 57% of the modelled application's DSOs are Python
+	// modules (paper §IV).
+	IsPythonModule bool
+
+	// EntryFunc is the index in Funcs of the Python-callable entry
+	// function for modules; -1 for utility libraries.
+	EntryFunc int
+
+	Syms   []Sym
+	Relocs []Reloc
+	Funcs  []Func
+	Deps   []string // DT_NEEDED sonames, load order
+
+	Layout Layout
+
+	// SysV hash table shape for lookup cost modelling.
+	NBuckets int
+	// chainPos[i] is symbol i's position (0-based) along its hash
+	// chain; resolving symbol i touches chainPos[i]+1 chain entries.
+	chainPos []uint32
+	// bucketLen[b] is the chain length of bucket b; probing a *missing*
+	// name walks an entire chain.
+	bucketLen []uint32
+
+	symIndex  map[SymID]int
+	funcOfSym map[int]int
+}
+
+// FuncBySym returns the function index whose defining symbol is symbol
+// index si, or -1 if si is not a function symbol.
+func (im *Image) FuncBySym(si int) int {
+	fi, ok := im.funcOfSym[si]
+	if !ok {
+		return -1
+	}
+	return fi
+}
+
+// Layout holds the section sizes and their offsets within the image.
+// Offsets are from the image base; the loader assigns the base address
+// at load time. Debug is file-only (never mapped), matching real
+// .debug_* sections.
+type Layout struct {
+	Text   Extent
+	RoData Extent
+	Data   Extent
+	GOT    Extent
+	PLT    Extent
+	Hash   Extent
+	SymTab Extent
+	StrTab Extent
+	Rel    Extent
+	Debug  Extent // file offset space only
+}
+
+// Extent is an offset/size pair.
+type Extent struct {
+	Off  uint64
+	Size uint64
+}
+
+// End returns Off+Size.
+func (e Extent) End() uint64 { return e.Off + e.Size }
+
+const (
+	symEntrySize   = 24 // Elf64_Sym
+	relEntrySize   = 24 // Elf64_Rela
+	gotEntrySize   = 8
+	pltEntrySize   = 16
+	hashEntrySize  = 4
+	gotReservedHdr = 3 * gotEntrySize // _GLOBAL_OFFSET_TABLE_[0..2]
+	pltHeaderSize  = 16               // PLT0 resolver trampoline
+	pageSize       = 4096
+)
+
+// MappedSize returns the bytes of the image that are mapped into the
+// process (everything except .debug), page-rounded.
+func (im *Image) MappedSize() uint64 {
+	end := im.Layout.Rel.End()
+	if im.Layout.StrTab.End() > end {
+		end = im.Layout.StrTab.End()
+	}
+	return (end + pageSize - 1) &^ (pageSize - 1)
+}
+
+// FileSize returns the on-disk size including debug sections, the
+// quantity that matters for NFS transfer and tool symbol ingest.
+func (im *Image) FileSize() uint64 {
+	return im.MappedSize() + im.Layout.Debug.Size
+}
+
+// LookupDef returns the index of the defining (non-local) symbol for
+// id, or -1 if this image does not define it.
+func (im *Image) LookupDef(id SymID) int {
+	i, ok := im.symIndex[id]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// ChainLen returns how many chain entries a successful lookup of symbol
+// index i inspects (its chain position + 1).
+func (im *Image) ChainLen(i int) int { return int(im.chainPos[i]) + 1 }
+
+// AvgChainLen returns the mean chain length across buckets, which is
+// the expected cost of an unsuccessful probe of this image.
+func (im *Image) AvgChainLen() float64 {
+	if im.NBuckets == 0 {
+		return 0
+	}
+	return float64(len(im.Syms)) / float64(im.NBuckets)
+}
+
+// PLTRelocs returns the indices of JUMP_SLOT relocations, in table
+// order (the lazy-binding work list).
+func (im *Image) PLTRelocs() []int {
+	var out []int
+	for i, r := range im.Relocs {
+		if r.Type == RelocJumpSlot {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountRelocs returns (data, plt) relocation counts.
+func (im *Image) CountRelocs() (data, plt int) {
+	for _, r := range im.Relocs {
+		if r.Type == RelocGOTData {
+			data++
+		} else {
+			plt++
+		}
+	}
+	return data, plt
+}
+
+// SectionSizes is the Table III aggregate: bytes per section class.
+type SectionSizes struct {
+	Text   uint64
+	Data   uint64
+	Debug  uint64
+	SymTab uint64
+	StrTab uint64
+}
+
+// Total returns the sum over all tracked sections.
+func (s SectionSizes) Total() uint64 {
+	return s.Text + s.Data + s.Debug + s.SymTab + s.StrTab
+}
+
+// Add accumulates other into s.
+func (s SectionSizes) Add(other SectionSizes) SectionSizes {
+	return SectionSizes{
+		Text:   s.Text + other.Text,
+		Data:   s.Data + other.Data,
+		Debug:  s.Debug + other.Debug,
+		SymTab: s.SymTab + other.SymTab,
+		StrTab: s.StrTab + other.StrTab,
+	}
+}
+
+// Sizes returns this image's contribution to the Table III totals.
+// Allocated read-only sections (rodata, PLT, hash, relocation tables)
+// count toward the Text class and the GOT toward Data, matching how
+// `size` buckets ELF sections; SymTab is .symtab proper.
+func (im *Image) Sizes() SectionSizes {
+	l := im.Layout
+	return SectionSizes{
+		Text:   l.Text.Size + l.RoData.Size + l.PLT.Size + l.Hash.Size + l.Rel.Size,
+		Data:   l.Data.Size + l.GOT.Size,
+		Debug:  l.Debug.Size,
+		SymTab: l.SymTab.Size,
+		StrTab: l.StrTab.Size,
+	}
+}
+
+// TotalSizes sums section sizes over a set of images.
+func TotalSizes(images []*Image) SectionSizes {
+	var t SectionSizes
+	for _, im := range images {
+		t = t.Add(im.Sizes())
+	}
+	return t
+}
+
+// NameOf derives the deterministic display name for symbol index i.
+// Names are reproducible from (image name, symbol ID, length) alone.
+func (im *Image) NameOf(i int) string {
+	s := im.Syms[i]
+	prefix := fmt.Sprintf("%s_fn%06d_", sanitize(im.Name), i)
+	if uint32(len(prefix)) >= s.NameLen {
+		return prefix[:s.NameLen]
+	}
+	r := xrand.New(uint64(s.ID))
+	return prefix + r.Letters(int(s.NameLen)-len(prefix))
+}
+
+func sanitize(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+			(c >= 'A' && c <= 'Z')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Validate checks structural invariants; it is used by tests and by the
+// generator's self-checks.
+func (im *Image) Validate() error {
+	if len(im.chainPos) != len(im.Syms) {
+		return fmt.Errorf("elfimg %s: chainPos/syms length mismatch", im.Name)
+	}
+	for i, f := range im.Funcs {
+		if f.Sym < 0 || f.Sym >= len(im.Syms) {
+			return fmt.Errorf("elfimg %s: func %d has bad symbol index %d", im.Name, i, f.Sym)
+		}
+		if f.TextOff+uint64(f.TextSize) > im.Layout.Text.Size {
+			return fmt.Errorf("elfimg %s: func %d overflows .text", im.Name, i)
+		}
+		for _, c := range f.Calls {
+			switch c.Kind {
+			case CallIntra:
+				if c.Target < 0 || c.Target >= len(im.Funcs) {
+					return fmt.Errorf("elfimg %s: func %d intra call to %d out of range", im.Name, i, c.Target)
+				}
+			case CallPLT:
+				if c.Target < 0 || c.Target >= len(im.Relocs) ||
+					im.Relocs[c.Target].Type != RelocJumpSlot {
+					return fmt.Errorf("elfimg %s: func %d PLT call to bad reloc %d", im.Name, i, c.Target)
+				}
+			}
+		}
+	}
+	if im.EntryFunc >= len(im.Funcs) {
+		return fmt.Errorf("elfimg %s: entry func %d out of range", im.Name, im.EntryFunc)
+	}
+	// Layout sections must not overlap and must appear in order.
+	l := im.Layout
+	ext := []Extent{l.Text, l.RoData, l.Data, l.GOT, l.PLT, l.Hash, l.SymTab, l.StrTab, l.Rel}
+	sorted := append([]Extent(nil), ext...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Off < sorted[b].Off })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].End() > sorted[i].Off {
+			return fmt.Errorf("elfimg %s: overlapping sections at %#x", im.Name, sorted[i].Off)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package elfimg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// buildSample assembles a small module image: 3 functions (one the
+// entry), one data symbol, a utility import and a data import.
+func buildSample(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder("libmod000.so").SetPythonModule(true)
+	b.SetData(4096).SetRoData(512).SetDebug(10000)
+	b.AddDep("libutil000.so")
+	f0 := b.AddFunc(SymID(100), 30, 700, 140, 64, false)
+	f1 := b.AddFunc(SymID(101), 30, 650, 130, 64, false)
+	f2 := b.AddFunc(SymID(102), 30, 720, 150, 64, false)
+	b.MarkEntry(f0)
+	b.AddSymbol(SymID(103), 20, 8, false)
+	pd := b.AddGOTReloc(SymID(500))
+	pp := b.AddPLTReloc(SymID(501))
+	_ = pd
+	b.AddCall(f0, Call{Kind: CallIntra, Target: f1})
+	b.AddCall(f1, Call{Kind: CallIntra, Target: f2})
+	b.AddCall(f2, Call{Kind: CallPLT, Target: pp})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return img
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	img := buildSample(t)
+	if err := img.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if img.EntryFunc != 0 {
+		t.Errorf("EntryFunc = %d", img.EntryFunc)
+	}
+	if !img.IsPythonModule {
+		t.Error("IsPythonModule lost")
+	}
+	if len(img.Deps) != 1 || img.Deps[0] != "libutil000.so" {
+		t.Errorf("Deps = %v", img.Deps)
+	}
+}
+
+func TestLayoutOrderingAndSizes(t *testing.T) {
+	img := buildSample(t)
+	l := img.Layout
+	if l.Text.Size == 0 {
+		t.Fatal("empty .text")
+	}
+	// Text starts at offset 0; sections ascend.
+	if l.Text.Off != 0 {
+		t.Errorf(".text off = %d", l.Text.Off)
+	}
+	order := []Extent{l.Text, l.RoData, l.Data, l.GOT, l.PLT, l.Hash, l.SymTab, l.StrTab, l.Rel}
+	for i := 1; i < len(order); i++ {
+		if order[i].Off < order[i-1].End() {
+			t.Errorf("section %d overlaps previous", i)
+		}
+	}
+	// Symtab: 4 symbols x 24 bytes.
+	if l.SymTab.Size != 4*24 {
+		t.Errorf(".symtab size = %d, want 96", l.SymTab.Size)
+	}
+	// Strtab: 3*30 + 20 names + 4 NULs.
+	if l.StrTab.Size != 3*30+20+4 {
+		t.Errorf(".strtab size = %d", l.StrTab.Size)
+	}
+	// Rel: 2 relocs x 24.
+	if l.Rel.Size != 48 {
+		t.Errorf(".rel size = %d", l.Rel.Size)
+	}
+	// GOT: 3 reserved + 2 slots.
+	if l.GOT.Size != 3*8+2*8 {
+		t.Errorf(".got size = %d", l.GOT.Size)
+	}
+	// PLT: header + 1 slot.
+	if l.PLT.Size != 16+16 {
+		t.Errorf(".plt size = %d", l.PLT.Size)
+	}
+	// Debug sits past the mapped image.
+	if l.Debug.Off != img.MappedSize() || l.Debug.Size != 10000 {
+		t.Errorf("debug extent = %+v", l.Debug)
+	}
+	if img.FileSize() != img.MappedSize()+10000 {
+		t.Errorf("FileSize = %d", img.FileSize())
+	}
+	if img.MappedSize()%4096 != 0 {
+		t.Errorf("MappedSize %d not page aligned", img.MappedSize())
+	}
+}
+
+func TestFuncAlignment(t *testing.T) {
+	img := buildSample(t)
+	for i, f := range img.Funcs {
+		if f.TextOff%16 != 0 {
+			t.Errorf("func %d text offset %d not 16-aligned", i, f.TextOff)
+		}
+	}
+}
+
+func TestLookupDef(t *testing.T) {
+	img := buildSample(t)
+	if i := img.LookupDef(SymID(101)); i != 1 {
+		t.Errorf("LookupDef(101) = %d, want 1", i)
+	}
+	if i := img.LookupDef(SymID(9999)); i != -1 {
+		t.Errorf("LookupDef(missing) = %d, want -1", i)
+	}
+}
+
+func TestLocalSymbolsDontResolve(t *testing.T) {
+	b := NewBuilder("liblocal.so")
+	b.AddFunc(SymID(1), 10, 100, 10, 0, true) // local
+	b.AddFunc(SymID(2), 10, 100, 10, 0, false)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.LookupDef(SymID(1)) != -1 {
+		t.Error("local symbol resolvable")
+	}
+	if img.LookupDef(SymID(2)) == -1 {
+		t.Error("global symbol not resolvable")
+	}
+}
+
+func TestDuplicateGlobalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate global symbol accepted")
+		}
+	}()
+	b := NewBuilder("libdup.so")
+	b.AddFunc(SymID(7), 10, 100, 10, 0, false)
+	b.AddFunc(SymID(7), 10, 100, 10, 0, false)
+}
+
+func TestBuilderReuseFails(t *testing.T) {
+	b := NewBuilder("libx.so")
+	b.AddFunc(SymID(1), 10, 100, 10, 0, false)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("builder reuse accepted")
+	}
+}
+
+func TestChainPositions(t *testing.T) {
+	b := NewBuilder("libchain.so")
+	// With a known bucket count we can force collisions: IDs congruent
+	// mod nbuckets land in the same chain. 6 symbols → nbuckets 4.
+	for i := 0; i < 6; i++ {
+		b.AddSymbol(SymID(4*i), 10, 8, false) // all in bucket 0
+	}
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NBuckets != 4 {
+		t.Fatalf("NBuckets = %d, want 4", img.NBuckets)
+	}
+	for i := 0; i < 6; i++ {
+		if got := img.ChainLen(i); got != i+1 {
+			t.Errorf("ChainLen(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := img.AvgChainLen(); got != 1.5 {
+		t.Errorf("AvgChainLen = %v, want 1.5", got)
+	}
+}
+
+func TestChainPosConsistency(t *testing.T) {
+	// Property: for every symbol, chainPos equals the number of earlier
+	// symbols in the same bucket — i.e. the linked-chain walk length a
+	// real SysV lookup would perform.
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		r := xrand.New(seed)
+		b := NewBuilder("libq.so")
+		ids := make([]SymID, 0, int(n)+1)
+		seen := map[SymID]bool{}
+		for len(ids) < int(n)+1 {
+			id := SymID(r.Uint64())
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			ids = append(ids, id)
+			b.AddSymbol(id, 10, 8, false)
+		}
+		img, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for i, s := range img.Syms {
+			want := 0
+			for j := 0; j < i; j++ {
+				if uint64(img.Syms[j].ID)%uint64(img.NBuckets) ==
+					uint64(s.ID)%uint64(img.NBuckets) {
+					want++
+				}
+			}
+			if img.ChainLen(i) != want+1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestELFHashKnownValues(t *testing.T) {
+	// Known reference values for the SysV ABI hash function.
+	cases := map[string]uint32{
+		"":       0,
+		"a":      0x61,
+		"printf": 0x077905a6,
+	}
+	for name, want := range cases {
+		if got := ELFHash(name); got != want {
+			t.Errorf("ELFHash(%q) = %#x, want %#x", name, got, want)
+		}
+	}
+	// Cross-check against an independently written transcription of the
+	// ABI pseudo-code for arbitrary names.
+	ref := func(s string) uint32 {
+		var h, g uint32
+		for _, c := range []byte(s) {
+			h = (h << 4) + uint32(c)
+			g = h & 0xf0000000
+			if g != 0 {
+				h ^= g >> 24
+			}
+			h &= ^g
+		}
+		return h
+	}
+	for _, name := range []string{"_GLOBAL_OFFSET_TABLE_", "function_000001_libmod", "x", "aVeryLongGeneratedPynamicSymbolNameIndeed_0123456789"} {
+		if got, want := ELFHash(name), ref(name); got != want {
+			t.Errorf("ELFHash(%q) = %#x, ref %#x", name, got, want)
+		}
+	}
+	// Distinct realistic names should rarely collide.
+	h1 := ELFHash("function_000001_libmod")
+	h2 := ELFHash("function_000002_libmod")
+	if h1 == h2 {
+		t.Error("trivial hash collision")
+	}
+}
+
+func TestNameOfDeterministicAndSized(t *testing.T) {
+	img := buildSample(t)
+	n1 := img.NameOf(0)
+	n2 := img.NameOf(0)
+	if n1 != n2 {
+		t.Fatal("NameOf not deterministic")
+	}
+	if uint32(len(n1)) != img.Syms[0].NameLen {
+		t.Fatalf("NameOf length %d, want %d", len(n1), img.Syms[0].NameLen)
+	}
+	if !strings.Contains(n1, "libmod000_so") {
+		t.Errorf("name %q lacks sanitized image prefix", n1)
+	}
+}
+
+func TestSizesAggregation(t *testing.T) {
+	img := buildSample(t)
+	s := img.Sizes()
+	l := img.Layout
+	if s.Text != l.Text.Size+l.RoData.Size+l.PLT.Size+l.Hash.Size+l.Rel.Size {
+		t.Errorf("Text class = %d", s.Text)
+	}
+	if s.Data != l.Data.Size+l.GOT.Size {
+		t.Errorf("Data class = %d", s.Data)
+	}
+	if s.Debug != 10000 {
+		t.Errorf("Debug = %d", s.Debug)
+	}
+	tot := TotalSizes([]*Image{img, img})
+	if tot.Text != 2*s.Text || tot.Total() != 2*s.Total() {
+		t.Error("TotalSizes wrong")
+	}
+}
+
+func TestCountRelocsAndPLTList(t *testing.T) {
+	img := buildSample(t)
+	d, p := img.CountRelocs()
+	if d != 1 || p != 1 {
+		t.Fatalf("CountRelocs = %d,%d", d, p)
+	}
+	plt := img.PLTRelocs()
+	if len(plt) != 1 || img.Relocs[plt[0]].Type != RelocJumpSlot {
+		t.Fatalf("PLTRelocs = %v", plt)
+	}
+}
+
+func TestValidateCatchesBadCall(t *testing.T) {
+	img := buildSample(t)
+	img.Funcs[0].Calls = append(img.Funcs[0].Calls, Call{Kind: CallIntra, Target: 99})
+	if err := img.Validate(); err == nil {
+		t.Fatal("bad intra call accepted")
+	}
+	img2 := buildSample(t)
+	img2.Funcs[0].Calls = append(img2.Funcs[0].Calls, Call{Kind: CallPLT, Target: 0}) // reloc 0 is GOT data
+	if err := img2.Validate(); err == nil {
+		t.Fatal("PLT call to data reloc accepted")
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	img, err := NewBuilder("libempty.so").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.AvgChainLen() != 0 {
+		t.Error("empty image chain len")
+	}
+	if img.FileSize() != img.MappedSize() {
+		t.Error("empty image debug size")
+	}
+}

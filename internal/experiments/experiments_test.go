@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/report"
+)
+
+func TestTableIReducedScale(t *testing.T) {
+	r, err := RunTableI(Options{ScaleDiv: 40, Tasks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Mode != driver.Vanilla || r.Rows[2].Mode != driver.LinkBind {
+		t.Fatal("row order wrong")
+	}
+	out := r.RenderTableI()
+	for _, want := range []string{"Vanilla", "Link+Bind", "152.8", "startup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I render missing %q:\n%s", want, out)
+		}
+	}
+	out2 := r.RenderTableII()
+	if !strings.Contains(out2, "6269.8") || !strings.Contains(out2, "visit L1-D") {
+		t.Errorf("Table II render missing paper refs:\n%s", out2)
+	}
+	// Core checks must hold even at 1/40 scale.
+	for _, c := range r.CoreChecks() {
+		if !c.Pass {
+			t.Errorf("core check failed at 1/40 scale: %s (%s)", c.Name, c.Got)
+		}
+	}
+}
+
+func TestTableIIIScaledDownGenerationIsCheap(t *testing.T) {
+	// RunTableIII always runs full scale; validate structure against
+	// the paper references without asserting the ±20% band here (the
+	// root test does that).
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	r, err := RunTableIII(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FuncCount < 800_000 {
+		t.Fatalf("only %d functions generated", r.FuncCount)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "String Table") || !strings.Contains(out, "1100") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestTableIVReducedScale(t *testing.T) {
+	r, err := RunTableIV(Options{ScaleDiv: 20, Tasks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold slower than warm for both models at any scale.
+	if r.RealCold.Total() <= r.RealWarm.Total() {
+		t.Fatal("real app: cold not slower than warm")
+	}
+	if r.PynamicCold.Total() <= r.PynamicWarm.Total() {
+		t.Fatal("pynamic: cold not slower than warm")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Cold Startup 1st phase") ||
+		!strings.Contains(out, "6:39") {
+		t.Errorf("Table IV render malformed:\n%s", out)
+	}
+}
+
+func TestCostModelResult(t *testing.T) {
+	r := RunCostModel()
+	if !report.AllPass(r.Checks()) {
+		t.Fatalf("cost model checks failed: %+v", r.Checks())
+	}
+	if !strings.Contains(r.Render(), "83:20") {
+		t.Errorf("render missing 83:20:\n%s", r.Render())
+	}
+}
+
+func TestSweepRenders(t *testing.T) {
+	r, err := RunSweepDLLCount([]int{4, 8}, driver.Vanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 || r.Points[0].X != 4 {
+		t.Fatalf("points: %+v", r.Points)
+	}
+	if !strings.Contains(r.Render(), "DSOs") {
+		t.Error("sweep render missing axis label")
+	}
+
+	r2, err := RunSweepDLLSize([]int{50, 100}, driver.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Points) != 2 {
+		t.Fatalf("size sweep points: %+v", r2.Points)
+	}
+
+	r3, err := RunSweepNFS([]int{2, 8}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r3.Render(), "collective open") {
+		t.Error("NFS sweep render malformed")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	r, err := RunSweepNFS(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("default NFS sweep has %d points", len(r.Points))
+	}
+}
+
+func TestAblationsReducedScale(t *testing.T) {
+	b, err := RunAblationBinding(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LazyVisitSec <= b.EagerVisitSec {
+		t.Fatal("binding ablation inverted")
+	}
+	cov, err := RunAblationCoverage(nil, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov) != 4 {
+		t.Fatalf("default coverage points: %d", len(cov))
+	}
+	for i := 1; i < len(cov); i++ {
+		if cov[i].FuncsVisited < cov[i-1].FuncsVisited {
+			t.Fatal("coverage not monotone in functions visited")
+		}
+	}
+	a, err := RunAblationASLR(16, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HeterogeneousPhase1 <= a.HomogeneousPhase1 {
+		t.Fatal("ASLR ablation inverted")
+	}
+}

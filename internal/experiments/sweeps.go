@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/fsim"
+	"repro/internal/pygen"
+	"repro/internal/report"
+	"repro/internal/toolsim"
+)
+
+// SweepPoint is one measurement in a scaling study.
+type SweepPoint struct {
+	X          float64 // swept parameter value
+	StartupSec float64
+	ImportSec  float64
+	VisitSec   float64
+	TotalSec   float64
+}
+
+// SweepResult is one scaling study (S1/S2).
+type SweepResult struct {
+	Name   string
+	XLabel string
+	Mode   driver.BuildMode
+	Points []SweepPoint
+}
+
+// Render formats the sweep as a table (one row per point).
+func (r *SweepResult) Render() string {
+	t := &report.Table{
+		Title:  r.Name,
+		Header: []string{r.XLabel, "startup", "import", "visit", "total"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f", p.X),
+			fmt.Sprintf("%.2f", p.StartupSec),
+			fmt.Sprintf("%.2f", p.ImportSec),
+			fmt.Sprintf("%.2f", p.VisitSec),
+			fmt.Sprintf("%.2f", p.TotalSec))
+	}
+	return t.Render()
+}
+
+// RunSweepDLLCount is S1 (§V future work): "the scaling characteristics
+// of Pynamic with respect to the number of DLLs". The DSO count grows
+// at fixed per-DSO size; import cost should grow superlinearly because
+// each added DSO both adds lookups and deepens every search scope.
+func RunSweepDLLCount(counts []int, mode driver.BuildMode) (*SweepResult, error) {
+	if len(counts) == 0 {
+		counts = []int{8, 16, 32, 64, 128}
+	}
+	res := &SweepResult{
+		Name:   "S1: scaling vs number of DLLs (" + mode.String() + " build)",
+		XLabel: "DSOs",
+		Mode:   mode,
+	}
+	for _, n := range counts {
+		cfg := pygen.LLNLModel()
+		cfg.NumModules = (n*57 + 50) / 100 // keep the 57% module fraction
+		if cfg.NumModules < 1 {
+			cfg.NumModules = 1
+		}
+		cfg.NumUtils = n - cfg.NumModules
+		cfg.AvgFuncsPerModule = 200
+		cfg.AvgFuncsPerUtil = 200
+		w, err := pygen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			X: float64(n), StartupSec: m.StartupSec, ImportSec: m.ImportSec,
+			VisitSec: m.VisitSec, TotalSec: m.TotalSec(),
+		})
+	}
+	return res, nil
+}
+
+// RunSweepDLLSize is S2 (§V future work): scaling "with respect to ...
+// the size of the DLLs": fixed DSO count, growing functions per DSO.
+func RunSweepDLLSize(funcCounts []int, mode driver.BuildMode) (*SweepResult, error) {
+	if len(funcCounts) == 0 {
+		funcCounts = []int{100, 200, 400, 800, 1600}
+	}
+	res := &SweepResult{
+		Name:   "S2: scaling vs DLL size (" + mode.String() + " build)",
+		XLabel: "functions per DSO",
+		Mode:   mode,
+	}
+	for _, nf := range funcCounts {
+		cfg := pygen.LLNLModel()
+		cfg.NumModules = 16
+		cfg.NumUtils = 12
+		cfg.AvgFuncsPerModule = nf
+		cfg.AvgFuncsPerUtil = nf
+		w, err := pygen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			X: float64(nf), StartupSec: m.StartupSec, ImportSec: m.ImportSec,
+			VisitSec: m.VisitSec, TotalSec: m.TotalSec(),
+		})
+	}
+	return res, nil
+}
+
+// NFSPoint is one node count in the S3 study.
+type NFSPoint struct {
+	Nodes           int
+	IndependentSecs float64 // every node reads every DSO from NFS
+	CollectiveSecs  float64 // one fetch + interconnect broadcast (§V)
+}
+
+// NFSSweepResult is the S3 study.
+type NFSSweepResult struct {
+	Points []NFSPoint
+}
+
+// RunSweepNFS is S3 (§V conclusion): "new and even existing extreme
+// scale systems ... will present new challenges to the common practice
+// of loading DLLs from an NFS file system". It compares per-node
+// independent loading of the generated DSO set against the proposed
+// collective-open extension as the node count grows.
+func RunSweepNFS(nodeCounts []int, scaleDiv int) (*NFSSweepResult, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{4, 16, 64, 256}
+	}
+	if scaleDiv < 1 {
+		scaleDiv = 20
+	}
+	cfg := pygen.LLNLModel().Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &NFSSweepResult{}
+	for _, nodes := range nodeCounts {
+		// Independent: all nodes fault in every DSO concurrently.
+		fsI, err := fsim.New(fsim.Defaults(), nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, img := range w.AllImages() {
+			fsI.Create(img.Path, img.FileSize())
+		}
+		var worst float64
+		for n := 0; n < nodes; n++ {
+			var nodeTime float64
+			for _, img := range w.AllImages() {
+				secs, _, err := fsI.ReadBytes(n, img.Path, img.MappedSize(), nodes)
+				if err != nil {
+					return nil, err
+				}
+				nodeTime += secs
+			}
+			if nodeTime > worst {
+				worst = nodeTime
+			}
+		}
+
+		// Collective: root fetch + broadcast per DSO.
+		fsC, err := fsim.New(fsim.Defaults(), nodes)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int, nodes)
+		for i := range ids {
+			ids[i] = i
+		}
+		var coll float64
+		for _, img := range w.AllImages() {
+			fsC.Create(img.Path, img.FileSize())
+			secs, err := fsC.CollectiveRead(ids, img.Path)
+			if err != nil {
+				return nil, err
+			}
+			coll += secs
+		}
+		res.Points = append(res.Points, NFSPoint{
+			Nodes: nodes, IndependentSecs: worst, CollectiveSecs: coll,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the NFS sweep.
+func (r *NFSSweepResult) Render() string {
+	t := &report.Table{
+		Title:  "S3: NFS DLL loading vs collective open (seconds to stage all DSOs)",
+		Header: []string{"nodes", "independent NFS", "collective open", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.2f", p.IndependentSecs),
+			fmt.Sprintf("%.2f", p.CollectiveSecs),
+			fmt.Sprintf("%.1fx", report.Ratio(p.IndependentSecs, p.CollectiveSecs)))
+	}
+	t.AddNote("the paper's §V motivation: NFS cannot serve extreme-scale DLL storms" +
+		" without collective-open extensions")
+	return t.Render()
+}
+
+// Checks verifies the S3 shape: collective wins and its advantage grows
+// with node count.
+func (r *NFSSweepResult) Checks() []report.ShapeCheck {
+	if len(r.Points) < 2 {
+		return nil
+	}
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	firstSpeed := report.Ratio(first.IndependentSecs, first.CollectiveSecs)
+	lastSpeed := report.Ratio(last.IndependentSecs, last.CollectiveSecs)
+	return []report.ShapeCheck{
+		{
+			Name: "collective open wins at scale",
+			Pass: lastSpeed > 1,
+			Got:  fmt.Sprintf("%.1fx at %d nodes", lastSpeed, last.Nodes),
+		},
+		{
+			Name: "collective advantage grows with node count",
+			Pass: lastSpeed > firstSpeed,
+			Got: fmt.Sprintf("%.1fx at %d nodes -> %.1fx at %d nodes",
+				firstSpeed, first.Nodes, lastSpeed, last.Nodes),
+		},
+	}
+}
+
+// ---------- Ablations ----------
+
+// AblationBindingResult is A1: lazy vs eager binding isolated.
+type AblationBindingResult struct {
+	LazyVisitSec    float64
+	EagerVisitSec   float64
+	LazyResolutions uint64
+}
+
+// RunAblationBinding measures the same workload's visit phase under
+// lazy and eager binding — the isolated Table I mechanism.
+func RunAblationBinding(scaleDiv int) (*AblationBindingResult, error) {
+	if scaleDiv < 1 {
+		scaleDiv = 10
+	}
+	cfg := pygen.LLNLModel().Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lazy, err := driver.Run(driver.Config{Mode: driver.Link, Workload: w, NTasks: 32})
+	if err != nil {
+		return nil, err
+	}
+	eager, err := driver.Run(driver.Config{Mode: driver.LinkBind, Workload: w, NTasks: 32})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationBindingResult{
+		LazyVisitSec:    lazy.VisitSec,
+		EagerVisitSec:   eager.VisitSec,
+		LazyResolutions: lazy.Loader.LazyResolutions,
+	}, nil
+}
+
+// CoveragePoint is one A2 measurement.
+type CoveragePoint struct {
+	Coverage     float64
+	VisitSec     float64
+	FuncsVisited uint64
+}
+
+// RunAblationCoverage is A2 (§V future work): "Allowing Pynamic to be
+// configured with a specified code coverage".
+func RunAblationCoverage(fractions []float64, scaleDiv int) ([]CoveragePoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	if scaleDiv < 1 {
+		scaleDiv = 10
+	}
+	cfg := pygen.LLNLModel().Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []CoveragePoint
+	for _, frac := range fractions {
+		m, err := driver.Run(driver.Config{
+			Mode: driver.Link, Workload: w, NTasks: 32, Coverage: frac,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CoveragePoint{
+			Coverage: frac, VisitSec: m.VisitSec, FuncsVisited: m.FuncsVisited,
+		})
+	}
+	return out, nil
+}
+
+// AblationASLRResult is A3: homogeneous vs heterogeneous link maps.
+type AblationASLRResult struct {
+	HomogeneousPhase1   float64
+	HeterogeneousPhase1 float64
+}
+
+// RunAblationASLR is A3 (§II.B.2): address randomization breaks the
+// tool's ability to share parsed state across tasks.
+func RunAblationASLR(tasks, scaleDiv int) (*AblationASLRResult, error) {
+	if tasks <= 0 {
+		tasks = 32
+	}
+	if scaleDiv < 1 {
+		scaleDiv = 10
+	}
+	cfg := pygen.LLNLModel().Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(hetero bool) (float64, error) {
+		fs, err := fsim.New(fsim.Defaults(), 4)
+		if err != nil {
+			return 0, err
+		}
+		ph, err := toolsim.Attach(toolsim.Config{
+			Workload: w, Tasks: tasks, FS: fs, HeterogeneousLinkMaps: hetero,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return ph.Phase1, nil
+	}
+	var res AblationASLRResult
+	if res.HomogeneousPhase1, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.HeterogeneousPhase1, err = run(true); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

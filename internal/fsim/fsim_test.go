@@ -1,0 +1,321 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newFS(t *testing.T, nodes int) *FS {
+	t.Helper()
+	fs, err := New(Defaults(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("Defaults invalid: %v", err)
+	}
+	bad := Defaults()
+	bad.NFSBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad2 := Defaults()
+	bad2.NFSConcurrency = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+	bad3 := Defaults()
+	bad3.NFSLatency = -1
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := New(Defaults(), 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestColdReadThenWarmRead(t *testing.T) {
+	fs := newFS(t, 2)
+	fs.Create("/lib/libm.so", 10<<20)
+	cold, hit, err := fs.Read(0, "/lib/libm.so", 1)
+	if err != nil || hit {
+		t.Fatalf("cold read: hit=%v err=%v", hit, err)
+	}
+	warm, hit, err := fs.Read(0, "/lib/libm.so", 1)
+	if err != nil || !hit {
+		t.Fatalf("warm read: hit=%v err=%v", hit, err)
+	}
+	if warm >= cold {
+		t.Fatalf("warm (%v) not faster than cold (%v)", warm, cold)
+	}
+	// The paper's Table IV shows roughly 2x or better end-to-end; the
+	// raw I/O ratio should be much larger.
+	if cold/warm < 2 {
+		t.Fatalf("cold/warm ratio %v too small", cold/warm)
+	}
+	// Caches are per node: node 1 is still cold.
+	_, hit, _ = fs.Read(1, "/lib/libm.so", 1)
+	if hit {
+		t.Fatal("node 1 unexpectedly warm")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	fs := newFS(t, 1)
+	_, _, err := fs.Read(0, "/nope", 1)
+	var pe *PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PathError, got %v", err)
+	}
+	if pe.Path != "/nope" || pe.Op != "read" {
+		t.Fatalf("PathError fields: %+v", pe)
+	}
+	if _, err := fs.Stat("/nope"); err == nil {
+		t.Fatal("Stat on missing file succeeded")
+	}
+}
+
+func TestStatAndPaths(t *testing.T) {
+	fs := newFS(t, 1)
+	fs.Create("/b", 2)
+	fs.Create("/a", 1)
+	size, err := fs.Stat("/a")
+	if err != nil || size != 1 {
+		t.Fatalf("Stat: %d, %v", size, err)
+	}
+	if got := fs.Paths(); len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("Paths = %v", got)
+	}
+	if fs.NumFiles() != 2 {
+		t.Fatalf("NumFiles = %d", fs.NumFiles())
+	}
+}
+
+func TestContentionSlowsReads(t *testing.T) {
+	fs := newFS(t, 1)
+	fs.Create("/big", 100<<20)
+	alone, _, _ := fs.Read(0, "/big", 1)
+	fs.DropCaches()
+	crowded, _, _ := fs.Read(0, "/big", 512)
+	if crowded <= alone {
+		t.Fatalf("512-client read (%v) not slower than solo (%v)", crowded, alone)
+	}
+	// Bandwidth share model: 512 clients ≈ 512x the transfer time.
+	if crowded < alone*100 {
+		t.Fatalf("contention too weak: %v vs %v", crowded, alone)
+	}
+}
+
+func TestReadBytesPartial(t *testing.T) {
+	fs := newFS(t, 1)
+	fs.Create("/f", 1000)
+	secs, hit, err := fs.ReadBytes(0, "/f", 100, 1)
+	if err != nil || hit {
+		t.Fatalf("partial read: %v %v", hit, err)
+	}
+	if secs <= 0 {
+		t.Fatal("zero elapsed time")
+	}
+	// Partial read cached only 100 bytes; asking for more misses again.
+	_, hit, _ = fs.ReadBytes(0, "/f", 100, 1)
+	if !hit {
+		t.Fatal("re-read of cached prefix missed")
+	}
+	_, hit, _ = fs.Read(0, "/f", 1)
+	if hit {
+		t.Fatal("full read served from partial cache")
+	}
+	// After the full read, a full re-read hits.
+	_, hit, _ = fs.Read(0, "/f", 1)
+	if !hit {
+		t.Fatal("full re-read missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := Defaults()
+	cfg.NodeCacheBytes = 100
+	fs, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Create("/a", 60)
+	fs.Create("/b", 60)
+	fs.Read(0, "/a", 1)
+	fs.Read(0, "/b", 1) // evicts /a
+	if _, hit, _ := fs.Read(0, "/b", 1); !hit {
+		t.Fatal("/b should be cached")
+	}
+	if _, hit, _ := fs.Read(0, "/a", 1); hit {
+		t.Fatal("/a should have been evicted")
+	}
+	if fs.CachedBytes(0) > 100 {
+		t.Fatalf("cache over capacity: %d", fs.CachedBytes(0))
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	cfg := Defaults()
+	cfg.NodeCacheBytes = 150
+	fs, _ := New(cfg, 1)
+	fs.Create("/a", 50)
+	fs.Create("/b", 50)
+	fs.Create("/c", 50)
+	fs.Read(0, "/a", 1)
+	fs.Read(0, "/b", 1)
+	fs.Read(0, "/a", 1) // refresh /a
+	fs.Read(0, "/c", 1) // fits: a, b, c all cached (150)
+	fs.Create("/d", 50)
+	fs.Read(0, "/d", 1) // evicts /b (LRU), not /a
+	if _, hit, _ := fs.Read(0, "/a", 1); !hit {
+		t.Fatal("/a evicted despite recency")
+	}
+	if _, hit, _ := fs.Read(0, "/b", 1); hit {
+		t.Fatal("/b not evicted")
+	}
+}
+
+func TestFileLargerThanCache(t *testing.T) {
+	cfg := Defaults()
+	cfg.NodeCacheBytes = 100
+	fs, _ := New(cfg, 1)
+	fs.Create("/huge", 1000)
+	fs.Read(0, "/huge", 1)
+	if _, hit, _ := fs.Read(0, "/huge", 1); hit {
+		t.Fatal("file larger than cache reported warm")
+	}
+	if fs.CachedBytes(0) != 0 {
+		t.Fatalf("oversized file left %d bytes cached", fs.CachedBytes(0))
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	fs := newFS(t, 2)
+	fs.Create("/x", 1000)
+	fs.Read(0, "/x", 1)
+	fs.Read(1, "/x", 1)
+	fs.DropCaches()
+	if _, hit, _ := fs.Read(0, "/x", 1); hit {
+		t.Fatal("cache survived drop")
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := newFS(t, 1)
+	fs.Create("/x", 500)
+	fs.Read(0, "/x", 1)
+	fs.Read(0, "/x", 1)
+	s := fs.Stats()
+	if s.NFSReads != 1 || s.NFSBytes != 500 {
+		t.Fatalf("NFS stats: %+v", s)
+	}
+	if s.CacheHits != 1 || s.HitBytes != 500 {
+		t.Fatalf("hit stats: %+v", s)
+	}
+}
+
+func TestCollectiveReadWarmsAllNodes(t *testing.T) {
+	fs := newFS(t, 8)
+	fs.Create("/lib/libmod.so", 5<<20)
+	secs, err := fs.CollectiveRead([]int{0, 1, 2, 3, 4, 5, 6, 7}, "/lib/libmod.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatal("zero collective time")
+	}
+	for n := 0; n < 8; n++ {
+		if _, hit, _ := fs.Read(n, "/lib/libmod.so", 1); !hit {
+			t.Fatalf("node %d not warmed by collective read", n)
+		}
+	}
+	// Only one NFS read happened.
+	if fs.Stats().NFSReads != 1 {
+		t.Fatalf("collective did %d NFS reads", fs.Stats().NFSReads)
+	}
+}
+
+func TestCollectiveBeatsIndependentAtScale(t *testing.T) {
+	// The §V motivation: at high node counts, one NFS fetch + broadcast
+	// beats N independent NFS reads.
+	const nodes = 256
+	fileSize := uint64(4 << 20)
+
+	indep, _ := New(Defaults(), nodes)
+	indep.Create("/lib/m.so", fileSize)
+	var worst float64
+	for n := 0; n < nodes; n++ {
+		s, _, err := indep.Read(n, "/lib/m.so", nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+
+	coll, _ := New(Defaults(), nodes)
+	coll.Create("/lib/m.so", fileSize)
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	collSecs, err := coll.CollectiveRead(ids, "/lib/m.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collSecs >= worst {
+		t.Fatalf("collective (%v) not faster than independent (%v) at %d nodes",
+			collSecs, worst, nodes)
+	}
+}
+
+func TestCollectiveReadErrors(t *testing.T) {
+	fs := newFS(t, 2)
+	if _, err := fs.CollectiveRead(nil, "/x"); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := fs.CollectiveRead([]int{0}, "/missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNodeOutOfRange(t *testing.T) {
+	fs := newFS(t, 1)
+	fs.Create("/x", 10)
+	if _, _, err := fs.Read(5, "/x", 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if fs.CachedBytes(5) != 0 {
+		t.Error("out-of-range CachedBytes nonzero")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	cfg := Defaults()
+	cfg.NodeCacheBytes = 10_000
+	if err := quick.Check(func(ops []uint16) bool {
+		fs, err := New(cfg, 1)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			fs.Create(fmt.Sprintf("/f%d", i), uint64(i)*400)
+		}
+		for _, op := range ops {
+			fs.Read(0, fmt.Sprintf("/f%d", int(op)%40), 1)
+			if fs.CachedBytes(0) > cfg.NodeCacheBytes {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package memsim
+
+import "repro/internal/xrand"
+
+// cache is one level of set-associative cache with true-LRU
+// replacement, indexed by line number (byte address / line size). Line
+// numbers are stored per set in recency order: index 0 is the most
+// recently used way, so a lookup is a short linear scan and an insert
+// is a rotate.
+type cache struct {
+	sets    [][]uint64 // sets[i] holds up to assoc line numbers, MRU first
+	setMask uint64
+	assoc   int
+}
+
+func newCache(size, lineSize uint64, assoc int) *cache {
+	nSets := size / (lineSize * uint64(assoc))
+	c := &cache{
+		sets:    make([][]uint64, nSets),
+		setMask: nSets - 1,
+		assoc:   assoc,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, assoc)
+	}
+	return c
+}
+
+// access looks up line number lineNo, updating LRU state, and reports
+// whether it hit. On miss the line is installed.
+func (c *cache) access(lineNo uint64) (hit bool) {
+	set := c.sets[lineNo&c.setMask]
+	for i, t := range set {
+		if t == lineNo {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = lineNo
+			return true
+		}
+	}
+	// Miss: install at MRU, evicting LRU if full.
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = lineNo
+	c.sets[lineNo&c.setMask] = set
+	return false
+}
+
+// flush empties the cache.
+func (c *cache) flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// Detailed is the line-accurate memory model. It is not safe for
+// concurrent use; each simulated core owns its own instance.
+type Detailed struct {
+	cfg  Config
+	l1i  *cache
+	l1d  *cache
+	l2   *cache
+	ctr  Counters
+	rng  *xrand.RNG
+	mask uint64 // line mask
+}
+
+// NewDetailed builds a detailed model. The RNG drives Probe address
+// selection; pass a seeded generator for reproducibility. cfg must be
+// valid (see Config.Validate); invalid configs panic since they are
+// programmer error.
+func NewDetailed(cfg Config, rng *xrand.RNG) *Detailed {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	return &Detailed{
+		cfg:  cfg,
+		l1i:  newCache(cfg.L1ISize, cfg.LineSize, cfg.L1IAssoc),
+		l1d:  newCache(cfg.L1DSize, cfg.LineSize, cfg.L1DAssoc),
+		l2:   newCache(cfg.L2Size, cfg.LineSize, cfg.L2Assoc),
+		rng:  rng,
+		mask: ^(cfg.LineSize - 1),
+	}
+}
+
+var _ Memory = (*Detailed)(nil)
+
+func (d *Detailed) accessLine(kind Kind, byteAddr uint64) {
+	lineNo := byteAddr / d.cfg.LineSize
+	d.ctr.Lines[kind]++
+	var l1 *cache
+	if kind == IFetch {
+		l1 = d.l1i
+	} else {
+		l1 = d.l1d
+	}
+	if l1.access(lineNo) {
+		return
+	}
+	if kind == IFetch {
+		d.ctr.L1IMiss++
+	} else {
+		d.ctr.L1DMiss++
+	}
+	if !d.l2.access(lineNo) {
+		d.ctr.L2Miss++
+	}
+}
+
+// Touch implements Memory.
+func (d *Detailed) Touch(kind Kind, addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr & d.mask
+	last := (addr + size - 1) & d.mask
+	for line := first; ; line += d.cfg.LineSize {
+		d.accessLine(kind, line)
+		if line == last {
+			break
+		}
+	}
+}
+
+// Stream implements Memory; for the detailed model it is Touch.
+func (d *Detailed) Stream(kind Kind, base, size uint64) { d.Touch(kind, base, size) }
+
+// Probe implements Memory.
+func (d *Detailed) Probe(kind Kind, base, size uint64, n uint64) {
+	if size == 0 || n == 0 {
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		off := d.rng.Uint64n(size)
+		d.accessLine(kind, (base+off)&d.mask)
+	}
+}
+
+// Instructions implements Memory.
+func (d *Detailed) Instructions(n uint64) { d.ctr.Instructions += n }
+
+// Counters implements Memory.
+func (d *Detailed) Counters() Counters { return d.ctr }
+
+// Cycles implements Memory.
+func (d *Detailed) Cycles() uint64 { return CyclesFor(d.cfg, d.ctr) }
+
+// Reset implements Memory.
+func (d *Detailed) Reset() {
+	d.ctr = Counters{}
+	d.l1i.flush()
+	d.l1d.flush()
+	d.l2.flush()
+}
+
+// Config returns the hierarchy configuration.
+func (d *Detailed) Config() Config { return d.cfg }

@@ -1,0 +1,372 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// tinyConfig is a small hierarchy so eviction behaviour is exercised
+// with few accesses: 1 KiB 2-way L1s, 4 KiB 4-way L2, 64 B lines.
+func tinyConfig() Config {
+	return Config{
+		LineSize: 64,
+		L1ISize:  1 << 10, L1IAssoc: 2,
+		L1DSize: 1 << 10, L1DAssoc: 2,
+		L2Size: 4 << 10, L2Assoc: 4,
+		CPI:   1.0,
+		L2Lat: 12, MemLat: 200,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := ZeusConfig().Validate(); err != nil {
+		t.Fatalf("ZeusConfig invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		func() Config { c := ZeusConfig(); c.LineSize = 63; return c }(),
+		func() Config { c := ZeusConfig(); c.L1IAssoc = 0; return c }(),
+		func() Config { c := ZeusConfig(); c.CPI = 0; return c }(),
+		func() Config { c := ZeusConfig(); c.L2Size = 100; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if IFetch.String() != "ifetch" || Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() != "invalid" {
+		t.Fatal("invalid kind not reported")
+	}
+}
+
+func TestDetailedColdMissThenHit(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(1))
+	d.Touch(Read, 0x1000, 64)
+	c := d.Counters()
+	if c.L1DMiss != 1 || c.L2Miss != 1 {
+		t.Fatalf("cold touch: L1D=%d L2=%d, want 1,1", c.L1DMiss, c.L2Miss)
+	}
+	d.Touch(Read, 0x1000, 64)
+	c = d.Counters()
+	if c.L1DMiss != 1 {
+		t.Fatalf("warm touch missed: L1D=%d", c.L1DMiss)
+	}
+	if c.Lines[Read] != 2 {
+		t.Fatalf("Lines[Read]=%d, want 2", c.Lines[Read])
+	}
+}
+
+func TestDetailedTouchSpansLines(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(1))
+	// 100 bytes starting at offset 60 spans lines 0,1,2 (60..159).
+	d.Touch(Read, 60, 100)
+	if got := d.Counters().Lines[Read]; got != 3 {
+		t.Fatalf("Lines=%d, want 3", got)
+	}
+	// Zero size is a no-op.
+	d.Touch(Read, 0, 0)
+	if got := d.Counters().Lines[Read]; got != 3 {
+		t.Fatalf("zero-size touch counted")
+	}
+}
+
+func TestDetailedIFetchSeparateFromData(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(1))
+	d.Touch(IFetch, 0x2000, 64)
+	d.Touch(Read, 0x2000, 64)
+	c := d.Counters()
+	if c.L1IMiss != 1 || c.L1DMiss != 1 {
+		t.Fatalf("split L1s not independent: I=%d D=%d", c.L1IMiss, c.L1DMiss)
+	}
+	// Second data read: L1D hit (line installed in both L1D and L2).
+	d.Touch(Read, 0x2000, 64)
+	if got := d.Counters().L1DMiss; got != 1 {
+		t.Fatalf("expected L1D hit, misses=%d", got)
+	}
+	// L2 is unified: the IFetch warmed it, so the first data read only
+	// missed L1.
+	if got := c.L2Miss; got != 1 {
+		t.Fatalf("L2Miss=%d, want 1 (unified)", got)
+	}
+}
+
+func TestDetailedLRUEviction(t *testing.T) {
+	cfg := tinyConfig()
+	d := NewDetailed(cfg, xrand.New(1))
+	// L1D: 1 KiB / 64 B / 2-way = 8 sets. Three lines mapping to set 0:
+	// line numbers 0, 8, 16 → addresses 0, 8*64, 16*64.
+	a0, a1, a2 := uint64(0), uint64(8*64), uint64(16*64)
+	d.Touch(Read, a0, 1) // miss
+	d.Touch(Read, a1, 1) // miss
+	d.Touch(Read, a0, 1) // hit, a0 now MRU
+	d.Touch(Read, a2, 1) // miss, evicts a1 (LRU)
+	d.Touch(Read, a0, 1) // hit
+	d.Touch(Read, a1, 1) // miss (was evicted)
+	if got := d.Counters().L1DMiss; got != 4 {
+		t.Fatalf("L1DMiss=%d, want 4", got)
+	}
+}
+
+func TestDetailedStreamLargerThanCache(t *testing.T) {
+	cfg := tinyConfig()
+	d := NewDetailed(cfg, xrand.New(1))
+	// Stream 64 KiB (1024 lines) through a 1 KiB L1D and 4 KiB L2:
+	// every line misses everywhere.
+	d.Stream(Read, 0, 64<<10)
+	c := d.Counters()
+	if c.L1DMiss != 1024 || c.L2Miss != 1024 {
+		t.Fatalf("stream misses L1D=%d L2=%d, want 1024,1024", c.L1DMiss, c.L2Miss)
+	}
+	// Streaming again: self-evicting, still all misses.
+	d.Stream(Read, 0, 64<<10)
+	c = d.Counters()
+	if c.L1DMiss != 2048 {
+		t.Fatalf("re-stream L1D=%d, want 2048", c.L1DMiss)
+	}
+}
+
+func TestDetailedSmallRegionStaysResident(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(1))
+	// 512 B region fits in the 1 KiB L1D.
+	d.Stream(Read, 0x8000, 512)
+	first := d.Counters().L1DMiss
+	d.Stream(Read, 0x8000, 512)
+	if got := d.Counters().L1DMiss; got != first {
+		t.Fatalf("resident region missed again: %d -> %d", first, got)
+	}
+}
+
+func TestDetailedProbeCounts(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(7))
+	d.Probe(Read, 0, 1<<20, 500)
+	c := d.Counters()
+	if c.Lines[Read] != 500 {
+		t.Fatalf("probe accesses=%d, want 500", c.Lines[Read])
+	}
+	// 1 MiB footprint vs 1 KiB L1: essentially all probes miss L1.
+	if c.L1DMiss < 450 {
+		t.Fatalf("probe L1D misses=%d, expected near 500", c.L1DMiss)
+	}
+}
+
+func TestDetailedCycles(t *testing.T) {
+	cfg := tinyConfig()
+	d := NewDetailed(cfg, xrand.New(1))
+	d.Instructions(1000)
+	d.Touch(Read, 0, 64) // 1 L1D miss + 1 L2 miss
+	want := uint64(1000) + cfg.L2Lat + cfg.MemLat
+	if got := d.Cycles(); got != want {
+		t.Fatalf("Cycles=%d, want %d", got, want)
+	}
+}
+
+func TestDetailedReset(t *testing.T) {
+	d := NewDetailed(tinyConfig(), xrand.New(1))
+	d.Touch(Read, 0, 4096)
+	d.Reset()
+	if d.Counters() != (Counters{}) {
+		t.Fatal("counters not reset")
+	}
+	d.Touch(Read, 0, 64)
+	if d.Counters().L1DMiss != 1 {
+		t.Fatal("cache contents survived reset")
+	}
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := Counters{L1DMiss: 10, L2Miss: 4, Instructions: 100}
+	a.Lines[Read] = 50
+	b := Counters{L1DMiss: 3, L2Miss: 1, Instructions: 40}
+	b.Lines[Read] = 20
+	d := a.Sub(b)
+	if d.L1DMiss != 7 || d.L2Miss != 3 || d.Instructions != 60 || d.Lines[Read] != 30 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	s := d.Add(b)
+	if s != a {
+		t.Fatalf("Add(Sub) != original: %+v vs %+v", s, a)
+	}
+}
+
+func TestAnalyticColdThenWarm(t *testing.T) {
+	a := NewAnalytic(tinyConfig())
+	a.Stream(Read, 0x4000, 512) // 8 lines, cold
+	c := a.Counters()
+	if c.L1DMiss != 8 {
+		t.Fatalf("cold analytic misses=%d, want 8", c.L1DMiss)
+	}
+	a.Stream(Read, 0x4000, 512) // resident
+	if got := a.Counters().L1DMiss; got != 8 {
+		t.Fatalf("warm analytic misses=%d, want 8", got)
+	}
+}
+
+func TestAnalyticLargeStreamAllMiss(t *testing.T) {
+	a := NewAnalytic(tinyConfig())
+	a.Stream(Read, 0, 64<<10)
+	a.Stream(Read, 0, 64<<10)
+	if got := a.Counters().L1DMiss; got != 2048 {
+		t.Fatalf("analytic large stream misses=%d, want 2048", got)
+	}
+}
+
+func TestAnalyticEvictionByInterveningTraffic(t *testing.T) {
+	a := NewAnalytic(tinyConfig())
+	a.Stream(Read, 0x10000, 512) // 8 lines resident
+	// Blow the L1D (16 lines capacity) with 64 KiB of other traffic.
+	a.Stream(Read, 0x100000, 64<<10)
+	before := a.Counters().L1DMiss
+	a.Stream(Read, 0x10000, 512) // should be evicted → 8 more misses
+	if got := a.Counters().L1DMiss - before; got != 8 {
+		t.Fatalf("post-eviction misses=%d, want 8", got)
+	}
+}
+
+func TestAnalyticProbeBigFootprint(t *testing.T) {
+	a := NewAnalytic(tinyConfig())
+	a.Probe(Read, 0, 1<<20, 1000)
+	c := a.Counters()
+	if c.Lines[Read] != 1000 {
+		t.Fatalf("probe accesses=%d", c.Lines[Read])
+	}
+	if c.L1DMiss < 950 {
+		t.Fatalf("probe misses=%d, want near 1000 for 1 MiB footprint", c.L1DMiss)
+	}
+	if c.L2Miss > c.L1DMiss {
+		t.Fatalf("L2 misses %d exceed L1 misses %d", c.L2Miss, c.L1DMiss)
+	}
+}
+
+func TestAnalyticProbeSmallFootprintWarm(t *testing.T) {
+	a := NewAnalytic(tinyConfig())
+	// 512 B region (8 lines) fits in L1D; probe it twice.
+	a.Probe(Read, 0x7000, 512, 100)
+	cold := a.Counters().L1DMiss
+	if cold > 16 {
+		t.Fatalf("cold probes missed too much: %d", cold)
+	}
+	a.Probe(Read, 0x7000, 512, 100)
+	if got := a.Counters().L1DMiss; got != cold {
+		t.Fatalf("warm probes missed: %d -> %d", cold, got)
+	}
+}
+
+func TestAnalyticInvariants(t *testing.T) {
+	a := NewAnalytic(ZeusConfig())
+	r := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		base := r.Uint64n(1 << 32)
+		size := r.Uint64n(1<<16) + 1
+		switch r.Intn(3) {
+		case 0:
+			a.Stream(Read, base, size)
+		case 1:
+			a.Touch(Write, base, size)
+		case 2:
+			a.Probe(IFetch, base, size, r.Uint64n(100)+1)
+		}
+		c := a.Counters()
+		total := c.Lines[IFetch] + c.Lines[Read] + c.Lines[Write]
+		if c.L1IMiss+c.L1DMiss > total {
+			t.Fatalf("iter %d: more L1 misses than accesses: %+v", i, c)
+		}
+		if c.L2Miss > c.L1IMiss+c.L1DMiss {
+			t.Fatalf("iter %d: more L2 misses than L1 misses: %+v", i, c)
+		}
+	}
+}
+
+// TestAnalyticMatchesDetailed is the A4 validation experiment: both
+// backends replay the same synthetic workload and must agree on miss
+// counts within a factor bound. The workload mixes the three traffic
+// shapes the loader generates: large-table streaming, small hot-region
+// reuse, and random probing into a big footprint.
+func TestAnalyticMatchesDetailed(t *testing.T) {
+	cfg := ZeusConfig()
+	det := NewDetailed(cfg, xrand.New(11))
+	ana := NewAnalytic(cfg)
+	type mem interface{ Memory }
+	replay := func(m mem) {
+		// Symbol-table streaming: 8 MiB table, streamed 4 times.
+		for i := 0; i < 4; i++ {
+			m.Stream(Read, 1<<30, 8<<20)
+		}
+		// Hot loop: 16 KiB region touched 50 times.
+		for i := 0; i < 50; i++ {
+			m.Stream(IFetch, 2<<30, 16<<10)
+		}
+		// Hash probing: 100k probes into a 64 MiB footprint.
+		m.Probe(Read, 3<<30, 64<<20, 100_000)
+		// Small writes (GOT updates): 4 KiB region, repeated.
+		for i := 0; i < 20; i++ {
+			m.Touch(Write, 4<<30, 4<<10)
+		}
+	}
+	replay(det)
+	replay(ana)
+	dc, ac := det.Counters(), ana.Counters()
+	check := func(name string, d, a uint64) {
+		if d == 0 && a == 0 {
+			return
+		}
+		lo, hi := float64(d)*0.5, float64(d)*2.0
+		if float64(a) < lo || float64(a) > hi {
+			t.Errorf("%s: detailed=%d analytic=%d (outside 2x band)", name, d, a)
+		}
+	}
+	check("L1DMiss", dc.L1DMiss, ac.L1DMiss)
+	check("L1IMiss", dc.L1IMiss, ac.L1IMiss)
+	check("L2Miss", dc.L2Miss, ac.L2Miss)
+	if dc.Lines != ac.Lines {
+		t.Errorf("access counts differ: %v vs %v", dc.Lines, ac.Lines)
+	}
+}
+
+func TestCyclesForModel(t *testing.T) {
+	cfg := ZeusConfig()
+	c := Counters{Instructions: 1000, L1DMiss: 10, L1IMiss: 5, L2Miss: 3}
+	want := uint64(1000) + 15*cfg.L2Lat + 3*cfg.MemLat
+	if got := CyclesFor(cfg, c); got != want {
+		t.Fatalf("CyclesFor=%d, want %d", got, want)
+	}
+}
+
+func BenchmarkDetailedStream(b *testing.B) {
+	d := NewDetailed(ZeusConfig(), xrand.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Stream(Read, 0, 1<<20)
+	}
+}
+
+func BenchmarkAnalyticStream(b *testing.B) {
+	a := NewAnalytic(ZeusConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Stream(Read, 0, 1<<20)
+	}
+}
+
+func BenchmarkMemModels(b *testing.B) {
+	// A4 ablation companion: relative cost of the two backends on the
+	// same probing workload.
+	b.Run("detailed", func(b *testing.B) {
+		d := NewDetailed(ZeusConfig(), xrand.New(1))
+		for i := 0; i < b.N; i++ {
+			d.Probe(Read, 0, 64<<20, 1000)
+		}
+	})
+	b.Run("analytic", func(b *testing.B) {
+		a := NewAnalytic(ZeusConfig())
+		for i := 0; i < b.N; i++ {
+			a.Probe(Read, 0, 64<<20, 1000)
+		}
+	})
+}

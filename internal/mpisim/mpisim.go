@@ -1,0 +1,369 @@
+// Package mpisim simulates the MPI layer that pyMPI is built on: a
+// fixed-size world of ranks exchanging messages, with point-to-point
+// send/receive and the collectives the Pynamic driver and the paper's
+// examples need (barrier, broadcast, reduce, allreduce, gather).
+//
+// Semantics are real — ranks run as goroutines and payload bytes
+// actually move through channels, so ordering bugs, deadlocks and
+// mismatched collectives fail loudly in tests. Timing is simulated: a
+// message of b bytes costs latency + b/bandwidth on both endpoints'
+// simulated clocks (a LogP-style model with InfiniBand-era constants
+// from the cluster package), and collectives are built from real
+// point-to-point trees so their cost emerges from the message pattern.
+//
+// A rank returning an error aborts the world: all pending and future
+// operations on other ranks fail with ErrAborted instead of
+// deadlocking, which is what the failure-injection tests rely on.
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Config is the interconnect timing model.
+type Config struct {
+	Latency   float64 // seconds per message
+	Bandwidth float64 // bytes per second
+	// ChanDepth is the eager-send buffer per (src,dst) pair.
+	ChanDepth int
+}
+
+// Defaults returns InfiniBand-SDR-era constants matching cluster.Zeus.
+func Defaults() Config {
+	return Config{Latency: 5e-6, Bandwidth: 900e6, ChanDepth: 64}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Latency < 0 || c.Bandwidth <= 0 || c.ChanDepth < 1 {
+		return fmt.Errorf("mpisim: invalid config %+v", c)
+	}
+	return nil
+}
+
+// ErrAborted is returned by operations after any rank has failed.
+var ErrAborted = errors.New("mpisim: world aborted by rank failure")
+
+type message struct {
+	tag  int
+	data []byte
+}
+
+// World is one MPI_COMM_WORLD instance.
+type World struct {
+	size  int
+	cfg   Config
+	chans [][]chan message // chans[src][dst]
+
+	done     chan struct{}
+	abortErr error
+	abortMu  sync.Mutex
+	aborted  bool
+
+	clocks []*simtime.Clock
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int, cfg Config) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpisim: world size must be positive, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		size:   n,
+		cfg:    cfg,
+		chans:  make([][]chan message, n),
+		done:   make(chan struct{}),
+		clocks: make([]*simtime.Clock, n),
+	}
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, cfg.ChanDepth)
+		}
+		w.clocks[i] = simtime.NewClock(0)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Clock returns rank r's simulated clock (inspect after Run).
+func (w *World) Clock(r int) *simtime.Clock { return w.clocks[r] }
+
+// MaxSeconds returns the largest simulated elapsed time across ranks —
+// the job's wall-clock analogue.
+func (w *World) MaxSeconds() float64 {
+	var max float64
+	for _, c := range w.clocks {
+		if s := c.Seconds(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+func (w *World) abort(err error) {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	if !w.aborted {
+		w.aborted = true
+		w.abortErr = err
+		close(w.done)
+	}
+}
+
+// Run executes body once per rank concurrently and waits for all ranks.
+// It returns the first error any rank produced. A World can only be
+// Run once.
+func (w *World) Run(body func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					err := fmt.Errorf("mpisim: rank %d panicked: %v", rank, p)
+					errs[rank] = err
+					w.abort(err)
+				}
+			}()
+			c := &Comm{world: w, rank: rank, clock: w.clocks[rank]}
+			if err := body(c); err != nil {
+				errs[rank] = err
+				w.abort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// Comm is one rank's endpoint. All methods must be called from that
+// rank's goroutine.
+type Comm struct {
+	world *World
+	rank  int
+	clock *simtime.Clock
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock returns this rank's simulated clock.
+func (c *Comm) Clock() *simtime.Clock { return c.clock }
+
+// transferCost charges a message's time to this rank's clock.
+func (c *Comm) transferCost(bytes int) {
+	w := c.world
+	c.clock.AddSeconds(w.cfg.Latency + float64(bytes)/w.cfg.Bandwidth)
+}
+
+func (c *Comm) checkPeer(op string, peer int) error {
+	if peer < 0 || peer >= c.world.size {
+		return fmt.Errorf("mpisim: %s: rank %d out of range [0,%d)", op, peer, c.world.size)
+	}
+	if peer == c.rank {
+		return fmt.Errorf("mpisim: %s: self-messaging not supported", op)
+	}
+	return nil
+}
+
+// SendTag sends data to rank dst with a message tag.
+func (c *Comm) SendTag(dst, tag int, data []byte) error {
+	if err := c.checkPeer("send", dst); err != nil {
+		return err
+	}
+	// Copy so the sender may reuse its buffer, like MPI_Send semantics.
+	msg := message{tag: tag, data: append([]byte(nil), data...)}
+	select {
+	case c.world.chans[c.rank][dst] <- msg:
+		c.transferCost(len(data))
+		return nil
+	case <-c.world.done:
+		return ErrAborted
+	}
+}
+
+// Send sends data to rank dst with tag 0.
+func (c *Comm) Send(dst int, data []byte) error { return c.SendTag(dst, 0, data) }
+
+// RecvTag receives the next message from rank src, which must carry the
+// expected tag (mismatches are protocol errors, not reordering).
+func (c *Comm) RecvTag(src, tag int) ([]byte, error) {
+	if err := c.checkPeer("recv", src); err != nil {
+		return nil, err
+	}
+	select {
+	case msg := <-c.world.chans[src][c.rank]:
+		if msg.tag != tag {
+			return nil, fmt.Errorf("mpisim: recv tag mismatch: got %d, want %d", msg.tag, tag)
+		}
+		c.transferCost(len(msg.data))
+		return msg.data, nil
+	case <-c.world.done:
+		return nil, ErrAborted
+	}
+}
+
+// Recv receives the next tag-0 message from rank src.
+func (c *Comm) Recv(src int) ([]byte, error) { return c.RecvTag(src, 0) }
+
+// Barrier synchronizes all ranks via dissemination: ceil(log2 n)
+// rounds of pairwise messages.
+func (c *Comm) Barrier() error {
+	n := c.world.size
+	if n == 1 {
+		return nil
+	}
+	const tag = -2
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (c.rank + dist) % n
+		src := (c.rank - dist + n) % n
+		if err := c.SendTag(dst, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.RecvTag(src, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank over a binomial tree and
+// returns the received copy.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	n := c.world.size
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpisim: bcast: bad root %d", root)
+	}
+	if n == 1 {
+		return append([]byte(nil), data...), nil
+	}
+	const tag = -3
+	// Rotate so the root is virtual rank 0. In the binomial tree, a
+	// node's parent is itself with the highest set bit cleared, and its
+	// children are itself plus each power of two above that bit.
+	vrank := (c.rank - root + n) % n
+	buf := data
+	if vrank != 0 {
+		parent := ((vrank - highBit(vrank)) + root) % n
+		got, err := c.RecvTag(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		buf = got
+	}
+	for dist := nextPow2(vrank + 1); dist < n; dist *= 2 {
+		child := vrank + dist
+		if child >= n {
+			break
+		}
+		if err := c.SendTag((child+root)%n, tag, buf); err != nil {
+			return nil, err
+		}
+	}
+	if vrank == 0 {
+		buf = append([]byte(nil), data...)
+	}
+	return buf, nil
+}
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p *= 2
+	}
+	return p
+}
+
+// highBit returns the highest power of two not exceeding v (v > 0).
+func highBit(v int) int {
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// Gather collects every rank's data at root; root receives a slice
+// indexed by rank, others receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	n := c.world.size
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpisim: gather: bad root %d", root)
+	}
+	const tag = -4
+	if c.rank != root {
+		return nil, c.SendTag(root, tag, data)
+	}
+	out := make([][]byte, n)
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.RecvTag(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// ReduceBytes folds all ranks' payloads to root along a binomial tree
+// using combine (which must be associative and commutative). Root gets
+// the folded value; others get nil.
+func (c *Comm) ReduceBytes(root int, data []byte, combine func(a, b []byte) []byte) ([]byte, error) {
+	n := c.world.size
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpisim: reduce: bad root %d", root)
+	}
+	const tag = -5
+	vrank := (c.rank - root + n) % n
+	acc := append([]byte(nil), data...)
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank&dist != 0 {
+			parent := ((vrank - dist) + root) % n
+			return nil, c.SendTag(parent, tag, acc)
+		}
+		peer := vrank + dist
+		if peer < n {
+			got, err := c.RecvTag((peer+root)%n, tag)
+			if err != nil {
+				return nil, err
+			}
+			acc = combine(acc, got)
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceBytes is ReduceBytes to rank 0 followed by Bcast.
+func (c *Comm) AllreduceBytes(data []byte, combine func(a, b []byte) []byte) ([]byte, error) {
+	folded, err := c.ReduceBytes(0, data, combine)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, folded)
+}

@@ -1,0 +1,351 @@
+package mpisim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// run executes body on a fresh n-rank world with a test timeout so a
+// deadlocked collective fails instead of hanging the suite.
+func run(t *testing.T, n int, body func(c *Comm) error) error {
+	t.Helper()
+	w, err := NewWorld(n, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(body) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("world deadlocked")
+		return nil
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, Defaults()); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewWorld(4, Config{Bandwidth: -1, ChanDepth: 1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, []byte("hello"))
+		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "hello" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	err := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("aaaa")
+			if err := c.Send(1, buf); err != nil {
+				return err
+			}
+			copy(buf, "bbbb") // must not affect the in-flight message
+			return nil
+		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "aaaa" {
+			return fmt.Errorf("message mutated after send: %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfAndOutOfRangePeers(t *testing.T) {
+	err := run(t, 2, func(c *Comm) error {
+		if err := c.Send(c.Rank(), nil); err == nil {
+			return errors.New("self send accepted")
+		}
+		if err := c.Send(99, nil); err == nil {
+			return errors.New("out-of-range send accepted")
+		}
+		if _, err := c.Recv(-1); err == nil {
+			return errors.New("out-of-range recv accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	err := run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendTag(1, 5, []byte("x"))
+		}
+		_, err := c.RecvTag(0, 6)
+		if err == nil {
+			return errors.New("tag mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			if err := run(t, n, func(c *Comm) error { return c.Barrier() }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	payload := []byte("broadcast-payload")
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31} {
+		for _, root := range []int{0, n - 1, n / 2} {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				err := run(t, n, func(c *Comm) error {
+					var in []byte
+					if c.Rank() == root {
+						in = payload
+					}
+					got, err := c.Bcast(root, in)
+					if err != nil {
+						return err
+					}
+					if string(got) != string(payload) {
+						return fmt.Errorf("rank %d got %q", c.Rank(), got)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	err := run(t, 2, func(c *Comm) error {
+		_, err := c.Bcast(7, nil)
+		if err == nil {
+			return errors.New("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := run(t, n, func(c *Comm) error {
+				mine := []byte{byte(c.Rank())}
+				got, err := c.Gather(0, mine)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != 0 {
+					if got != nil {
+						return errors.New("non-root received data")
+					}
+					return nil
+				}
+				for r := 0; r < n; r++ {
+					if len(got[r]) != 1 || got[r][0] != byte(r) {
+						return fmt.Errorf("slot %d = %v", r, got[r])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func encodeU64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func decodeU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func sumCombine(a, b []byte) []byte {
+	return encodeU64(decodeU64(a) + decodeU64(b))
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 8, 17} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			want := uint64(n * (n - 1) / 2)
+			err := run(t, n, func(c *Comm) error {
+				got, err := c.ReduceBytes(0, encodeU64(uint64(c.Rank())), sumCombine)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					if decodeU64(got) != want {
+						return fmt.Errorf("sum = %d, want %d", decodeU64(got), want)
+					}
+				} else if got != nil {
+					return errors.New("non-root got reduce result")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllreduceMatchesSequentialFold(t *testing.T) {
+	// Property from DESIGN.md: allreduce ≡ sequential fold, and every
+	// rank sees the same value. This is the paper's
+	// mpi.allreduce(dt, mpi.MIN) use case.
+	minCombine := func(a, b []byte) []byte {
+		if decodeU64(b) < decodeU64(a) {
+			return b
+		}
+		return a
+	}
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			// Sequential reference: min over (rank*7+3)%13.
+			vals := make([]uint64, n)
+			want := uint64(1 << 62)
+			for r := range vals {
+				vals[r] = uint64((r*7 + 3) % 13)
+				if vals[r] < want {
+					want = vals[r]
+				}
+			}
+			err := run(t, n, func(c *Comm) error {
+				got, err := c.AllreduceBytes(encodeU64(vals[c.Rank()]), minCombine)
+				if err != nil {
+					return err
+				}
+				if decodeU64(got) != want {
+					return fmt.Errorf("rank %d: allreduce = %d, want %d",
+						c.Rank(), decodeU64(got), want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRankFailureAbortsWorld(t *testing.T) {
+	boom := errors.New("injected failure")
+	err := run(t, 4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom // dies without participating in the barrier
+		}
+		err := c.Barrier()
+		if err == nil {
+			return errors.New("barrier succeeded despite dead rank")
+		}
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("want ErrAborted, got %v", err)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want injected failure", err)
+	}
+}
+
+func TestPanicIsCapturedAsAbort(t *testing.T) {
+	err := run(t, 3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank exploded")
+		}
+		err := c.Barrier()
+		if err == nil {
+			return errors.New("barrier survived panic")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run returned nil after rank panic")
+	}
+}
+
+func TestSimulatedTimeAccrues(t *testing.T) {
+	w, err := NewWorld(8, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) error {
+		if _, err := c.Bcast(0, make([]byte, 1<<20)); err != nil {
+			return err
+		}
+		return c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxSeconds() <= 0 {
+		t.Fatal("no simulated time accounted")
+	}
+	// 1 MiB over a ~900 MB/s link through a depth-3 tree: roughly
+	// milliseconds, certainly under a second.
+	if w.MaxSeconds() > 1 {
+		t.Fatalf("implausible simulated time %v s", w.MaxSeconds())
+	}
+}
+
+func TestBiggerMessagesTakeLonger(t *testing.T) {
+	elapsed := func(bytes int) float64 {
+		w, _ := NewWorld(2, Defaults())
+		w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, make([]byte, bytes))
+			}
+			_, err := c.Recv(0)
+			return err
+		})
+		return w.MaxSeconds()
+	}
+	small, big := elapsed(1024), elapsed(10<<20)
+	if big <= small {
+		t.Fatalf("10 MiB (%v) not slower than 1 KiB (%v)", big, small)
+	}
+}

@@ -1,0 +1,118 @@
+// Package papisim is a PAPI-style hardware-counter facade over the
+// memory simulator. The paper instrumented the Pynamic driver "with the
+// Performance Application Programming Interface (PAPI) ... implemented
+// our PAPI function calls within a python callable module" to collect
+// Table II's L1 cache miss counts; this package plays that role, with
+// PAPI's EventSet start/stop/read lifecycle.
+package papisim
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Event is a PAPI preset event code.
+type Event int
+
+// Supported preset events (names match PAPI's).
+const (
+	L1DCM  Event = iota // PAPI_L1_DCM: L1 data cache misses
+	L1ICM               // PAPI_L1_ICM: L1 instruction cache misses
+	L2TCM               // PAPI_L2_TCM: L2 total cache misses
+	TOTINS              // PAPI_TOT_INS: total instructions retired
+)
+
+// String returns the PAPI preset name.
+func (e Event) String() string {
+	switch e {
+	case L1DCM:
+		return "PAPI_L1_DCM"
+	case L1ICM:
+		return "PAPI_L1_ICM"
+	case L2TCM:
+		return "PAPI_L2_TCM"
+	case TOTINS:
+		return "PAPI_TOT_INS"
+	}
+	return "PAPI_INVALID"
+}
+
+// StateError reports a lifecycle misuse (mirrors PAPI_ENOTRUN etc.).
+type StateError struct{ Msg string }
+
+func (e *StateError) Error() string { return "papisim: " + e.Msg }
+
+// EventSet observes a set of counters over a memory model.
+type EventSet struct {
+	mem     memsim.Memory
+	events  []Event
+	running bool
+	base    memsim.Counters
+}
+
+// NewEventSet creates an event set observing mem.
+func NewEventSet(mem memsim.Memory, events ...Event) (*EventSet, error) {
+	if len(events) == 0 {
+		return nil, &StateError{Msg: "empty event set"}
+	}
+	seen := map[Event]bool{}
+	for _, e := range events {
+		if e < L1DCM || e > TOTINS {
+			return nil, &StateError{Msg: fmt.Sprintf("unknown event %d", e)}
+		}
+		if seen[e] {
+			return nil, &StateError{Msg: "duplicate event " + e.String()}
+		}
+		seen[e] = true
+	}
+	return &EventSet{mem: mem, events: append([]Event(nil), events...)}, nil
+}
+
+// Events returns the monitored events in order.
+func (es *EventSet) Events() []Event { return append([]Event(nil), es.events...) }
+
+// Start begins counting (PAPI_start).
+func (es *EventSet) Start() error {
+	if es.running {
+		return &StateError{Msg: "event set already running"}
+	}
+	es.running = true
+	es.base = es.mem.Counters()
+	return nil
+}
+
+func (es *EventSet) values() []uint64 {
+	d := es.mem.Counters().Sub(es.base)
+	out := make([]uint64, len(es.events))
+	for i, e := range es.events {
+		switch e {
+		case L1DCM:
+			out[i] = d.L1DMiss
+		case L1ICM:
+			out[i] = d.L1IMiss
+		case L2TCM:
+			out[i] = d.L2Miss
+		case TOTINS:
+			out[i] = d.Instructions
+		}
+	}
+	return out
+}
+
+// Read returns counts since Start without stopping (PAPI_read).
+func (es *EventSet) Read() ([]uint64, error) {
+	if !es.running {
+		return nil, &StateError{Msg: "event set not running"}
+	}
+	return es.values(), nil
+}
+
+// Stop ends counting and returns the final counts (PAPI_stop).
+func (es *EventSet) Stop() ([]uint64, error) {
+	if !es.running {
+		return nil, &StateError{Msg: "event set not running"}
+	}
+	es.running = false
+	return es.values(), nil
+}

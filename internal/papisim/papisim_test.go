@@ -1,0 +1,120 @@
+package papisim
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/xrand"
+)
+
+func newMem() memsim.Memory {
+	return memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(1))
+}
+
+func TestEventNames(t *testing.T) {
+	names := map[Event]string{
+		L1DCM: "PAPI_L1_DCM", L1ICM: "PAPI_L1_ICM",
+		L2TCM: "PAPI_L2_TCM", TOTINS: "PAPI_TOT_INS",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %s, want %s", e, e.String(), want)
+		}
+	}
+	if Event(99).String() != "PAPI_INVALID" {
+		t.Error("invalid event name")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	mem := newMem()
+	es, err := NewEventSet(mem, L1DCM, TOTINS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mem.Instructions(100)
+	mem.Stream(memsim.Read, 0, 64<<10) // 1024 lines, all cold misses
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1024 || vals[1] != 100 {
+		t.Fatalf("Read = %v, want [1024 100]", vals)
+	}
+	mem.Instructions(50)
+	vals, err = es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1] != 150 {
+		t.Fatalf("Stop instructions = %d, want 150", vals[1])
+	}
+}
+
+func TestCountersAreDeltas(t *testing.T) {
+	mem := newMem()
+	mem.Instructions(9999) // pre-existing activity
+	es, _ := NewEventSet(mem, TOTINS)
+	es.Start()
+	mem.Instructions(5)
+	vals, _ := es.Stop()
+	if vals[0] != 5 {
+		t.Fatalf("event set counted pre-start activity: %d", vals[0])
+	}
+}
+
+func TestStateErrors(t *testing.T) {
+	mem := newMem()
+	es, _ := NewEventSet(mem, L1DCM)
+	if _, err := es.Read(); err == nil {
+		t.Error("Read before Start succeeded")
+	}
+	if _, err := es.Stop(); err == nil {
+		t.Error("Stop before Start succeeded")
+	}
+	es.Start()
+	if err := es.Start(); err == nil {
+		t.Error("double Start succeeded")
+	}
+	es.Stop()
+	if err := es.Start(); err != nil {
+		t.Errorf("restart after Stop failed: %v", err)
+	}
+}
+
+func TestNewEventSetValidation(t *testing.T) {
+	mem := newMem()
+	if _, err := NewEventSet(mem); err == nil {
+		t.Error("empty event set accepted")
+	}
+	if _, err := NewEventSet(mem, Event(42)); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, err := NewEventSet(mem, L1DCM, L1DCM); err == nil {
+		t.Error("duplicate event accepted")
+	}
+}
+
+func TestEventsEcho(t *testing.T) {
+	es, _ := NewEventSet(newMem(), L2TCM, L1ICM)
+	got := es.Events()
+	if len(got) != 2 || got[0] != L2TCM || got[1] != L1ICM {
+		t.Fatalf("Events = %v", got)
+	}
+}
+
+func TestAllFourCounters(t *testing.T) {
+	mem := newMem()
+	es, _ := NewEventSet(mem, L1DCM, L1ICM, L2TCM, TOTINS)
+	es.Start()
+	mem.Instructions(7)
+	mem.Stream(memsim.Read, 0, 64)      // 1 D-miss, 1 L2 miss
+	mem.Stream(memsim.IFetch, 4096, 64) // 1 I-miss, 1 L2 miss
+	vals, _ := es.Stop()
+	if vals[0] != 1 || vals[1] != 1 || vals[2] != 2 || vals[3] != 7 {
+		t.Fatalf("vals = %v, want [1 1 2 7]", vals)
+	}
+}

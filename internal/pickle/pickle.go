@@ -1,0 +1,451 @@
+// Package pickle implements a binary serialization of the pyobj object
+// model in the style of Python's pickle protocol 2: a stack machine
+// with a memo table, so shared references and self-referential
+// containers round-trip with identity preserved.
+//
+// pyMPI falls back to pickle for any message that is not a native MPI
+// scalar (§II of the paper); the pympi package uses this codec for
+// exactly that split, and the codec's byte counts feed the MPI
+// simulator's transfer-time model.
+//
+// The opcode set is a faithful subset of the real protocol 2 wire
+// format (PROTO, NONE, NEWTRUE/NEWFALSE, BININT1/BININT/LONG8,
+// BINFLOAT, SHORT_BINUNICODE*, EMPTY_LIST/APPENDS, EMPTY_DICT/SETITEMS,
+// MARK/TUPLE, BINGET/LONG_BINGET, BINPUT/LONG_BINPUT, STOP), using the
+// real opcode bytes; streams this package produces for simple values
+// are byte-identical to CPython's for the shared subset.
+package pickle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/pyobj"
+)
+
+// Protocol 2 opcode bytes (values match CPython's pickletools).
+const (
+	opProto      = 0x80
+	opStop       = '.'
+	opNone       = 'N'
+	opNewTrue    = 0x88
+	opNewFalse   = 0x89
+	opBinInt1    = 'K'  // 1-byte unsigned
+	opBinInt     = 'J'  // 4-byte signed little-endian
+	opLong1      = 0x8a // length byte + little-endian two's-complement
+	opBinFloat   = 'G'  // 8-byte big-endian double
+	opShortBinU  = 'U'  // short string, 1-byte length
+	opBinU       = 'T'  // string, 4-byte length
+	opEmptyList  = ']'
+	opAppends    = 'e'
+	opEmptyDict  = '}'
+	opSetItems   = 'u'
+	opMark       = '('
+	opTuple      = 't'
+	opBinGet     = 'h' // 1-byte memo index
+	opLongBinGet = 'j' // 4-byte memo index
+	opBinPut     = 'q' // 1-byte memo index
+	opLongBinPut = 'r' // 4-byte memo index
+)
+
+// Error is a decode failure.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "pickle: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Dumps serializes an object to bytes.
+func Dumps(o pyobj.Object) ([]byte, error) {
+	e := &encoder{memo: make(map[pyobj.Object]int)}
+	e.buf = append(e.buf, opProto, 2)
+	if err := e.encode(o); err != nil {
+		return nil, err
+	}
+	e.buf = append(e.buf, opStop)
+	return e.buf, nil
+}
+
+type encoder struct {
+	buf  []byte
+	memo map[pyobj.Object]int // container identity -> memo index
+}
+
+func (e *encoder) put(o pyobj.Object) {
+	idx := len(e.memo)
+	e.memo[o] = idx
+	if idx < 256 {
+		e.buf = append(e.buf, opBinPut, byte(idx))
+	} else {
+		e.buf = append(e.buf, opLongBinPut)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(idx))
+	}
+}
+
+func (e *encoder) get(idx int) {
+	if idx < 256 {
+		e.buf = append(e.buf, opBinGet, byte(idx))
+	} else {
+		e.buf = append(e.buf, opLongBinGet)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(idx))
+	}
+}
+
+func (e *encoder) encode(o pyobj.Object) error {
+	// Containers with identity go through the memo.
+	switch o.(type) {
+	case *pyobj.List, *pyobj.Dict, *pyobj.Tuple:
+		if idx, ok := e.memo[o]; ok {
+			e.get(idx)
+			return nil
+		}
+	}
+	switch v := o.(type) {
+	case pyobj.NoneType:
+		e.buf = append(e.buf, opNone)
+	case pyobj.Bool:
+		if v {
+			e.buf = append(e.buf, opNewTrue)
+		} else {
+			e.buf = append(e.buf, opNewFalse)
+		}
+	case pyobj.Int:
+		switch {
+		case v >= 0 && v < 256:
+			e.buf = append(e.buf, opBinInt1, byte(v))
+		case v >= math.MinInt32 && v <= math.MaxInt32:
+			e.buf = append(e.buf, opBinInt)
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(int32(v)))
+		default:
+			// LONG1: minimal-length little-endian two's complement,
+			// exactly as CPython encodes it.
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+			n := 8
+			for n > 1 {
+				// Drop redundant sign-extension bytes.
+				if v < 0 && tmp[n-1] == 0xff && tmp[n-2]&0x80 != 0 {
+					n--
+					continue
+				}
+				if v >= 0 && tmp[n-1] == 0 && tmp[n-2]&0x80 == 0 {
+					n--
+					continue
+				}
+				break
+			}
+			e.buf = append(e.buf, opLong1, byte(n))
+			e.buf = append(e.buf, tmp[:n]...)
+		}
+	case pyobj.Float:
+		e.buf = append(e.buf, opBinFloat)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(float64(v)))
+	case pyobj.Str:
+		b := []byte(v)
+		if len(b) < 256 {
+			e.buf = append(e.buf, opShortBinU, byte(len(b)))
+		} else {
+			e.buf = append(e.buf, opBinU)
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(b)))
+		}
+		e.buf = append(e.buf, b...)
+	case *pyobj.List:
+		e.buf = append(e.buf, opEmptyList)
+		e.put(o)
+		if len(v.Items) > 0 {
+			e.buf = append(e.buf, opMark)
+			for _, it := range v.Items {
+				if err := e.encode(it); err != nil {
+					return err
+				}
+			}
+			e.buf = append(e.buf, opAppends)
+		}
+	case *pyobj.Dict:
+		e.buf = append(e.buf, opEmptyDict)
+		e.put(o)
+		keys, vals := v.Items()
+		if len(keys) > 0 {
+			e.buf = append(e.buf, opMark)
+			for i := range keys {
+				if err := e.encode(keys[i]); err != nil {
+					return err
+				}
+				if err := e.encode(vals[i]); err != nil {
+					return err
+				}
+			}
+			e.buf = append(e.buf, opSetItems)
+		}
+	case *pyobj.Tuple:
+		// Note: real pickle cannot memoize a tuple before its items
+		// (tuples are built after their elements); self-referential
+		// tuples are impossible to construct in Python, so this is
+		// faithful.
+		e.buf = append(e.buf, opMark)
+		for _, it := range v.Items {
+			if err := e.encode(it); err != nil {
+				return err
+			}
+		}
+		e.buf = append(e.buf, opTuple)
+		e.put(o)
+	default:
+		return errf("cannot pickle %s", o.Type())
+	}
+	return nil
+}
+
+// markObj is the sentinel pushed by opMark.
+type markObj struct{}
+
+func (markObj) Type() string { return "mark" }
+func (markObj) Repr() string { return "<mark>" }
+
+// Loads deserializes bytes produced by Dumps.
+func Loads(data []byte) (pyobj.Object, error) {
+	d := &decoder{data: data, memo: map[int]pyobj.Object{}}
+	return d.run()
+}
+
+type decoder struct {
+	data  []byte
+	pos   int
+	stack []pyobj.Object
+	memo  map[int]pyobj.Object
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, errf("truncated stream at %d", d.pos)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if d.pos+n > len(d.data) {
+		return nil, errf("truncated stream: need %d bytes at %d", n, d.pos)
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) push(o pyobj.Object) { d.stack = append(d.stack, o) }
+
+func (d *decoder) pop() (pyobj.Object, error) {
+	if len(d.stack) == 0 {
+		return nil, errf("stack underflow")
+	}
+	o := d.stack[len(d.stack)-1]
+	d.stack = d.stack[:len(d.stack)-1]
+	return o, nil
+}
+
+// popToMark pops items above the topmost mark, returning them in push
+// order.
+func (d *decoder) popToMark() ([]pyobj.Object, error) {
+	for i := len(d.stack) - 1; i >= 0; i-- {
+		if _, ok := d.stack[i].(markObj); ok {
+			items := append([]pyobj.Object(nil), d.stack[i+1:]...)
+			d.stack = d.stack[:i]
+			return items, nil
+		}
+	}
+	return nil, errf("no mark on stack")
+}
+
+func (d *decoder) run() (pyobj.Object, error) {
+	op, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if op != opProto {
+		return nil, errf("missing PROTO header, got %#x", op)
+	}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != 2 {
+		return nil, errf("unsupported protocol %d", ver)
+	}
+	for {
+		op, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opStop:
+			if len(d.stack) != 1 {
+				return nil, errf("STOP with %d items on stack", len(d.stack))
+			}
+			return d.stack[0], nil
+		case opNone:
+			d.push(pyobj.None)
+		case opNewTrue:
+			d.push(pyobj.Bool(true))
+		case opNewFalse:
+			d.push(pyobj.Bool(false))
+		case opBinInt1:
+			b, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.Int(b))
+		case opBinInt:
+			b, err := d.bytes(4)
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.Int(int32(binary.LittleEndian.Uint32(b))))
+		case opLong1:
+			n, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				d.push(pyobj.Int(0))
+				break
+			}
+			if n > 8 {
+				return nil, errf("LONG1 of %d bytes exceeds int64", n)
+			}
+			b, err := d.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			var v uint64
+			for i := int(n) - 1; i >= 0; i-- {
+				v = v<<8 | uint64(b[i])
+			}
+			// Sign-extend from n bytes.
+			if b[n-1]&0x80 != 0 {
+				for i := int(n); i < 8; i++ {
+					v |= 0xff << (8 * i)
+				}
+			}
+			d.push(pyobj.Int(int64(v)))
+		case opBinFloat:
+			b, err := d.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.Float(math.Float64frombits(binary.BigEndian.Uint64(b))))
+		case opShortBinU:
+			n, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			b, err := d.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.Str(b))
+		case opBinU:
+			nb, err := d.bytes(4)
+			if err != nil {
+				return nil, err
+			}
+			b, err := d.bytes(int(binary.LittleEndian.Uint32(nb)))
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.Str(b))
+		case opEmptyList:
+			d.push(pyobj.NewList())
+		case opAppends:
+			items, err := d.popToMark()
+			if err != nil {
+				return nil, err
+			}
+			top, err := d.pop()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := top.(*pyobj.List)
+			if !ok {
+				return nil, errf("APPENDS on %s", top.Type())
+			}
+			l.Items = append(l.Items, items...)
+			d.push(l)
+		case opEmptyDict:
+			d.push(pyobj.NewDict())
+		case opSetItems:
+			items, err := d.popToMark()
+			if err != nil {
+				return nil, err
+			}
+			if len(items)%2 != 0 {
+				return nil, errf("SETITEMS with odd item count")
+			}
+			top, err := d.pop()
+			if err != nil {
+				return nil, err
+			}
+			dict, ok := top.(*pyobj.Dict)
+			if !ok {
+				return nil, errf("SETITEMS on %s", top.Type())
+			}
+			for i := 0; i < len(items); i += 2 {
+				if err := dict.Set(items[i], items[i+1]); err != nil {
+					return nil, errf("bad dict key: %v", err)
+				}
+			}
+			d.push(dict)
+		case opMark:
+			d.push(markObj{})
+		case opTuple:
+			items, err := d.popToMark()
+			if err != nil {
+				return nil, err
+			}
+			d.push(pyobj.NewTuple(items...))
+		case opBinPut:
+			idx, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if len(d.stack) == 0 {
+				return nil, errf("PUT on empty stack")
+			}
+			d.memo[int(idx)] = d.stack[len(d.stack)-1]
+		case opLongBinPut:
+			b, err := d.bytes(4)
+			if err != nil {
+				return nil, err
+			}
+			if len(d.stack) == 0 {
+				return nil, errf("PUT on empty stack")
+			}
+			d.memo[int(binary.LittleEndian.Uint32(b))] = d.stack[len(d.stack)-1]
+		case opBinGet:
+			idx, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			o, ok := d.memo[int(idx)]
+			if !ok {
+				return nil, errf("GET of unset memo %d", idx)
+			}
+			d.push(o)
+		case opLongBinGet:
+			b, err := d.bytes(4)
+			if err != nil {
+				return nil, err
+			}
+			o, ok := d.memo[int(binary.LittleEndian.Uint32(b))]
+			if !ok {
+				return nil, errf("GET of unset memo")
+			}
+			d.push(o)
+		default:
+			return nil, errf("unknown opcode %#x at %d", op, d.pos-1)
+		}
+	}
+}

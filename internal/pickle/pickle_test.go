@@ -1,0 +1,299 @@
+package pickle
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pyobj"
+	"repro/internal/xrand"
+)
+
+func roundTrip(t *testing.T, o pyobj.Object) pyobj.Object {
+	t.Helper()
+	data, err := Dumps(o)
+	if err != nil {
+		t.Fatalf("Dumps(%s): %v", o.Repr(), err)
+	}
+	got, err := Loads(data)
+	if err != nil {
+		t.Fatalf("Loads(%s): %v", o.Repr(), err)
+	}
+	return got
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	cases := []pyobj.Object{
+		pyobj.None,
+		pyobj.Bool(true),
+		pyobj.Bool(false),
+		pyobj.Int(0),
+		pyobj.Int(255),
+		pyobj.Int(256),
+		pyobj.Int(-1),
+		pyobj.Int(math.MaxInt32),
+		pyobj.Int(math.MinInt32),
+		pyobj.Int(math.MaxInt64),
+		pyobj.Int(math.MinInt64),
+		pyobj.Int(1 << 40),
+		pyobj.Float(0),
+		pyobj.Float(-2.5),
+		pyobj.Float(math.Inf(1)),
+		pyobj.Float(math.SmallestNonzeroFloat64),
+		pyobj.Str(""),
+		pyobj.Str("hello"),
+		pyobj.Str(string(make([]byte, 300))), // forces 4-byte length form
+	}
+	for _, o := range cases {
+		got := roundTrip(t, o)
+		if !pyobj.Equal(o, got) {
+			t.Errorf("round trip %s -> %s", o.Repr(), got.Repr())
+		}
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	got := roundTrip(t, pyobj.Float(math.NaN()))
+	f, ok := got.(pyobj.Float)
+	if !ok || !math.IsNaN(float64(f)) {
+		t.Fatalf("NaN became %v", got)
+	}
+}
+
+func TestContainers(t *testing.T) {
+	d := pyobj.NewDict()
+	d.Set(pyobj.Str("dt"), pyobj.Float(0.001))
+	d.Set(pyobj.Int(7), pyobj.NewList(pyobj.Int(1), pyobj.Int(2)))
+	d.Set(pyobj.NewTuple(pyobj.Int(1), pyobj.Str("x")), pyobj.None)
+	o := pyobj.NewList(
+		pyobj.Int(1),
+		pyobj.NewTuple(),
+		pyobj.NewTuple(pyobj.Str("a")),
+		d,
+		pyobj.NewList(),
+	)
+	got := roundTrip(t, o)
+	if !pyobj.Equal(o, got) {
+		t.Fatalf("containers: %s -> %s", o.Repr(), got.Repr())
+	}
+}
+
+func TestSharedReferencePreserved(t *testing.T) {
+	shared := pyobj.NewList(pyobj.Int(1))
+	o := pyobj.NewList(shared, shared)
+	got := roundTrip(t, o).(*pyobj.List)
+	l0 := got.Items[0].(*pyobj.List)
+	l1 := got.Items[1].(*pyobj.List)
+	if l0 != l1 {
+		t.Fatal("shared reference duplicated: memo not working")
+	}
+	// Mutating one view shows through the other, like real pickle.
+	l0.Append(pyobj.Int(2))
+	if l1.Len() != 2 {
+		t.Fatal("aliasing lost")
+	}
+}
+
+func TestSelfReferentialList(t *testing.T) {
+	l := pyobj.NewList(pyobj.Int(42))
+	l.Append(l)
+	got := roundTrip(t, l).(*pyobj.List)
+	if got.Items[0] != pyobj.Int(42) {
+		t.Fatal("payload lost")
+	}
+	inner, ok := got.Items[1].(*pyobj.List)
+	if !ok || inner != got {
+		t.Fatal("self-reference not restored to identity")
+	}
+}
+
+func TestSelfReferentialDict(t *testing.T) {
+	d := pyobj.NewDict()
+	d.Set(pyobj.Str("self"), d)
+	got := roundTrip(t, d).(*pyobj.Dict)
+	v, ok := got.Get(pyobj.Str("self"))
+	if !ok || v != pyobj.Object(got) {
+		t.Fatal("self-referential dict not restored")
+	}
+}
+
+func TestWireFormatStability(t *testing.T) {
+	// Byte-level checks against the real protocol 2 encoding for values
+	// in the shared subset (verified against CPython's pickletools):
+	//   pickle.dumps(None, 2)  == b'\x80\x02N.'
+	//   pickle.dumps(True, 2)  == b'\x80\x02\x88.'
+	//   pickle.dumps(5, 2)     == b'\x80\x02K\x05.'
+	cases := []struct {
+		o    pyobj.Object
+		want []byte
+	}{
+		{pyobj.None, []byte{0x80, 2, 'N', '.'}},
+		{pyobj.Bool(true), []byte{0x80, 2, 0x88, '.'}},
+		{pyobj.Bool(false), []byte{0x80, 2, 0x89, '.'}},
+		{pyobj.Int(5), []byte{0x80, 2, 'K', 5, '.'}},
+		{pyobj.Int(-1), []byte{0x80, 2, 'J', 0xff, 0xff, 0xff, 0xff, '.'}},
+	}
+	for _, c := range cases {
+		got, err := Dumps(c.o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("Dumps(%s) = %x, want %x", c.o.Repr(), got, c.want)
+		}
+	}
+}
+
+func TestLong1MinimalEncoding(t *testing.T) {
+	// 1<<40 needs 6 bytes; CPython emits LONG1 with n=6.
+	data, err := Dumps(pyobj.Int(1 << 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0x80 0x02 0x8a n bytes... '.'
+	if data[2] != 0x8a {
+		t.Fatalf("opcode = %#x, want LONG1", data[2])
+	}
+	if data[3] != 6 {
+		t.Fatalf("LONG1 length = %d, want 6", data[3])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"no proto":         {'N', '.'},
+		"bad version":      {0x80, 9, 'N', '.'},
+		"truncated int":    {0x80, 2, 'J', 1, 2},
+		"unknown opcode":   {0x80, 2, 0x01, '.'},
+		"stack underflow":  {0x80, 2, 'e', '.'},
+		"no mark appends":  {0x80, 2, ']', 'e', '.'},
+		"unset memo":       {0x80, 2, 'h', 0, '.'},
+		"missing stop":     {0x80, 2, 'N'},
+		"long1 too big":    {0x80, 2, 0x8a, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, '.'},
+		"setitems on list": {0x80, 2, ']', '(', 'K', 1, 'K', 2, 'u', '.'},
+		"odd setitems":     {0x80, 2, '}', '(', 'K', 1, 'u', '.'},
+	}
+	for name, data := range cases {
+		if _, err := Loads(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestTruncationAlwaysErrors(t *testing.T) {
+	// Property: every strict prefix of a valid pickle fails to load.
+	o, err := pyobj.FromGo(map[string]any{
+		"a": []any{1, 2.5, "three", nil, true},
+		"b": "payload",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Dumps(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := Loads(data[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded successfully", i)
+		}
+	}
+}
+
+// genObject builds a random object tree for property tests.
+func genObject(r *xrand.RNG, depth int) pyobj.Object {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return pyobj.None
+		case 1:
+			return pyobj.Bool(r.Bool(0.5))
+		case 2:
+			return pyobj.Int(int64(r.Uint64()))
+		case 3:
+			return pyobj.Float(r.Norm(0, 1e6))
+		default:
+			return pyobj.Str(r.Letters(r.Intn(40)))
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		l := pyobj.NewList()
+		for i := 0; i < r.Intn(5); i++ {
+			l.Append(genObject(r, depth-1))
+		}
+		return l
+	case 1:
+		items := make([]pyobj.Object, r.Intn(4))
+		for i := range items {
+			items[i] = genObject(r, depth-1)
+		}
+		return pyobj.NewTuple(items...)
+	case 2:
+		d := pyobj.NewDict()
+		for i := 0; i < r.Intn(5); i++ {
+			d.Set(pyobj.Str(r.Letters(8)), genObject(r, depth-1))
+		}
+		return d
+	default:
+		return genObject(r, 0)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		o := genObject(r, 4)
+		data, err := Dumps(o)
+		if err != nil {
+			return false
+		}
+		got, err := Loads(data)
+		if err != nil {
+			return false
+		}
+		return pyobj.Equal(o, got)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDumpsRejectsUnknownType(t *testing.T) {
+	if _, err := Dumps(fake{}); err == nil {
+		t.Fatal("unknown type pickled")
+	}
+}
+
+type fake struct{}
+
+func (fake) Type() string { return "fake" }
+func (fake) Repr() string { return "<fake>" }
+
+func BenchmarkDumps(b *testing.B) {
+	o, _ := pyobj.FromGo(map[string]any{
+		"dt": 0.001, "step": 42, "name": "stencil",
+		"vals": []any{1.0, 2.0, 3.0, 4.0, 5.0},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dumps(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoads(b *testing.B) {
+	o, _ := pyobj.FromGo(map[string]any{
+		"dt": 0.001, "step": 42, "name": "stencil",
+		"vals": []any{1.0, 2.0, 3.0, 4.0, 5.0},
+	})
+	data, _ := Dumps(o)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Loads(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

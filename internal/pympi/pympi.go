@@ -1,0 +1,353 @@
+// Package pympi models pyMPI, the Python/MPI binding Pynamic is built
+// on (§II of the paper): each MPI task runs a Python interpreter, and
+// Python-level objects move between ranks — "using MPI native types
+// where possible and the Python pickle serialization mechanism
+// elsewhere".
+//
+// That split is implemented literally: ints and floats travel as
+// 8-byte native payloads; every other object is pickled. Reductions
+// (mpi.allreduce(dt, mpi.MIN) is the paper's example) decode, combine
+// with Python semantics, and re-encode at every tree step, so the
+// simulated byte counts and times reflect the real protocol.
+//
+// MPITest is the "test of the MPI functionality" the Pynamic driver
+// runs when built against pyMPI.
+package pympi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mpisim"
+	"repro/internal/pickle"
+	"repro/internal/pyobj"
+)
+
+// Op is a pyMPI reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	MIN Op = iota
+	MAX
+	SUM
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case MIN:
+		return "MIN"
+	case MAX:
+		return "MAX"
+	case SUM:
+		return "SUM"
+	}
+	return "invalid"
+}
+
+// Wire format headers.
+const (
+	wireInt    = 'I' // 8-byte little-endian int64
+	wireFloat  = 'F' // 8-byte IEEE-754
+	wirePickle = 'P' // pickle stream
+	wireError  = 'E' // propagated reduction failure (message text)
+)
+
+// TypeError mirrors Python's TypeError for bad reduce operands.
+type TypeError struct{ Msg string }
+
+func (e *TypeError) Error() string { return "pympi: TypeError: " + e.Msg }
+
+// ReduceError is a failure that occurred on another rank during a
+// reduction and was propagated through the tree, so every participant
+// observes it (rather than some ranks silently receiving a bogus
+// result).
+type ReduceError struct{ Msg string }
+
+func (e *ReduceError) Error() string { return "pympi: reduction failed: " + e.Msg }
+
+// encode serializes an object, using the native fast path for scalars.
+func encode(o pyobj.Object) ([]byte, error) {
+	switch v := o.(type) {
+	case pyobj.Int:
+		var b [9]byte
+		b[0] = wireInt
+		binary.LittleEndian.PutUint64(b[1:], uint64(v))
+		return b[:], nil
+	case pyobj.Float:
+		var b [9]byte
+		b[0] = wireFloat
+		binary.LittleEndian.PutUint64(b[1:], math.Float64bits(float64(v)))
+		return b[:], nil
+	default:
+		p, err := pickle.Dumps(o)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{wirePickle}, p...), nil
+	}
+}
+
+// decode reverses encode.
+func decode(data []byte) (pyobj.Object, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pympi: empty message")
+	}
+	switch data[0] {
+	case wireInt:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("pympi: bad int payload length %d", len(data))
+		}
+		return pyobj.Int(binary.LittleEndian.Uint64(data[1:])), nil
+	case wireFloat:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("pympi: bad float payload length %d", len(data))
+		}
+		return pyobj.Float(math.Float64frombits(binary.LittleEndian.Uint64(data[1:]))), nil
+	case wirePickle:
+		return pickle.Loads(data[1:])
+	case wireError:
+		return nil, &ReduceError{Msg: string(data[1:])}
+	default:
+		return nil, fmt.Errorf("pympi: unknown wire header %#x", data[0])
+	}
+}
+
+func encodeError(err error) []byte {
+	return append([]byte{wireError}, err.Error()...)
+}
+
+// Send ships obj to rank dst.
+func Send(c *mpisim.Comm, dst int, obj pyobj.Object) error {
+	data, err := encode(obj)
+	if err != nil {
+		return err
+	}
+	return c.Send(dst, data)
+}
+
+// Recv receives an object from rank src.
+func Recv(c *mpisim.Comm, src int) (pyobj.Object, error) {
+	data, err := c.Recv(src)
+	if err != nil {
+		return nil, err
+	}
+	return decode(data)
+}
+
+// Bcast distributes root's object to all ranks.
+func Bcast(c *mpisim.Comm, root int, obj pyobj.Object) (pyobj.Object, error) {
+	var data []byte
+	if c.Rank() == root {
+		var err error
+		if data, err = encode(obj); err != nil {
+			return nil, err
+		}
+	}
+	got, err := c.Bcast(root, data)
+	if err != nil {
+		return nil, err
+	}
+	return decode(got)
+}
+
+// combine applies op with Python semantics.
+func combine(op Op, a, b pyobj.Object) (pyobj.Object, error) {
+	switch op {
+	case SUM:
+		return add(a, b)
+	case MIN, MAX:
+		less, err := lessThan(b, a)
+		if err != nil {
+			return nil, err
+		}
+		if (op == MIN) == less {
+			return b, nil
+		}
+		return a, nil
+	}
+	return nil, &TypeError{Msg: fmt.Sprintf("unknown op %d", op)}
+}
+
+func add(a, b pyobj.Object) (pyobj.Object, error) {
+	switch av := a.(type) {
+	case pyobj.Int:
+		switch bv := b.(type) {
+		case pyobj.Int:
+			return av + bv, nil
+		case pyobj.Float:
+			return pyobj.Float(float64(av)) + bv, nil
+		}
+	case pyobj.Float:
+		switch bv := b.(type) {
+		case pyobj.Int:
+			return av + pyobj.Float(float64(bv)), nil
+		case pyobj.Float:
+			return av + bv, nil
+		}
+	case pyobj.Str:
+		if bv, ok := b.(pyobj.Str); ok {
+			return av + bv, nil
+		}
+	case *pyobj.List:
+		if bv, ok := b.(*pyobj.List); ok {
+			return pyobj.NewList(append(append([]pyobj.Object{}, av.Items...), bv.Items...)...), nil
+		}
+	}
+	return nil, &TypeError{Msg: fmt.Sprintf(
+		"unsupported operand type(s) for +: '%s' and '%s'", a.Type(), b.Type())}
+}
+
+func lessThan(a, b pyobj.Object) (bool, error) {
+	an, aok := numeric(a)
+	bn, bok := numeric(b)
+	if aok && bok {
+		return an < bn, nil
+	}
+	as, aok2 := a.(pyobj.Str)
+	bs, bok2 := b.(pyobj.Str)
+	if aok2 && bok2 {
+		return as < bs, nil
+	}
+	return false, &TypeError{Msg: fmt.Sprintf(
+		"'<' not supported between instances of '%s' and '%s'", a.Type(), b.Type())}
+}
+
+func numeric(o pyobj.Object) (float64, bool) {
+	switch v := o.(type) {
+	case pyobj.Int:
+		return float64(v), true
+	case pyobj.Float:
+		return float64(v), true
+	case pyobj.Bool:
+		if v {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Allreduce folds obj across all ranks with op; every rank receives the
+// result. This is the paper's coordination idiom:
+// "selecting the minimum timestep with mpi.allreduce(dt, mpi.MIN)".
+func Allreduce(c *mpisim.Comm, obj pyobj.Object, op Op) (pyobj.Object, error) {
+	data, err := encode(obj)
+	if err != nil {
+		return nil, err
+	}
+	var combineErr error
+	folded, err := c.AllreduceBytes(data, func(x, y []byte) []byte {
+		// Error payloads (local or received from a child) win: they
+		// ride the rest of the tree so every rank fails consistently.
+		if len(x) > 0 && x[0] == wireError {
+			return x
+		}
+		if len(y) > 0 && y[0] == wireError {
+			return y
+		}
+		xo, err := decode(x)
+		if err != nil {
+			combineErr = err
+			return encodeError(err)
+		}
+		yo, err := decode(y)
+		if err != nil {
+			combineErr = err
+			return encodeError(err)
+		}
+		zo, err := combine(op, xo, yo)
+		if err != nil {
+			combineErr = err
+			return encodeError(err)
+		}
+		z, err := encode(zo)
+		if err != nil {
+			combineErr = err
+			return encodeError(err)
+		}
+		return z
+	})
+	if err != nil {
+		return nil, err
+	}
+	if combineErr != nil {
+		// This rank performed the failing combine: report the original.
+		return nil, combineErr
+	}
+	return decode(folded)
+}
+
+// TestReport summarizes one rank's MPI functionality test.
+type TestReport struct {
+	Seconds     float64 // simulated time this rank spent in the test
+	MinDt       float64 // agreed timestep from the allreduce
+	RingChecked bool    // ring-pass payload verified
+}
+
+// MPITest is the Pynamic driver's MPI functionality test: a barrier, a
+// minimum-timestep allreduce, a config broadcast, a pickled-tuple ring
+// pass, and a closing barrier. It returns this rank's report.
+func MPITest(c *mpisim.Comm) (TestReport, error) {
+	var rep TestReport
+	mark := c.Clock().Mark()
+
+	if err := c.Barrier(); err != nil {
+		return rep, err
+	}
+
+	// Each rank proposes a timestep; all agree on the minimum.
+	dt := pyobj.Float(0.001 * float64(c.Rank()+1))
+	minDt, err := Allreduce(c, dt, MIN)
+	if err != nil {
+		return rep, err
+	}
+	f, ok := minDt.(pyobj.Float)
+	if !ok || float64(f) != 0.001 {
+		return rep, fmt.Errorf("pympi: allreduce(dt, MIN) = %v, want 0.001", minDt)
+	}
+	rep.MinDt = float64(f)
+
+	// Root broadcasts a configuration dict (pickled path).
+	cfg := pyobj.NewDict()
+	cfg.Set(pyobj.Str("steps"), pyobj.Int(10))
+	cfg.Set(pyobj.Str("dt"), minDt)
+	var in pyobj.Object = pyobj.None
+	if c.Rank() == 0 {
+		in = cfg
+	}
+	got, err := Bcast(c, 0, in)
+	if err != nil {
+		return rep, err
+	}
+	if d, ok := got.(*pyobj.Dict); !ok || d.Len() != 2 {
+		return rep, fmt.Errorf("pympi: bcast config corrupted: %v", got)
+	}
+
+	// Ring pass of a pickled tuple (exercises Send/Recv and pickle).
+	if c.Size() > 1 {
+		payload := pyobj.NewTuple(pyobj.Int(int64(c.Rank())), pyobj.Str("ring"))
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() - 1 + c.Size()) % c.Size()
+		if err := Send(c, next, payload); err != nil {
+			return rep, err
+		}
+		gotRing, err := Recv(c, prev)
+		if err != nil {
+			return rep, err
+		}
+		tup, ok := gotRing.(*pyobj.Tuple)
+		if !ok || len(tup.Items) != 2 || tup.Items[0] != pyobj.Int(int64(prev)) {
+			return rep, fmt.Errorf("pympi: ring payload corrupted: %v", gotRing)
+		}
+	}
+	rep.RingChecked = true
+
+	if err := c.Barrier(); err != nil {
+		return rep, err
+	}
+	rep.Seconds = c.Clock().Since(mark)
+	return rep, nil
+}

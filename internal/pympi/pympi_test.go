@@ -1,0 +1,282 @@
+package pympi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpisim"
+	"repro/internal/pyobj"
+)
+
+func run(t *testing.T, n int, body func(c *mpisim.Comm) error) error {
+	t.Helper()
+	w, err := mpisim.NewWorld(n, mpisim.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(body) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock")
+		return nil
+	}
+}
+
+func TestSendRecvObjects(t *testing.T) {
+	payloads := []pyobj.Object{
+		pyobj.Int(42),
+		pyobj.Float(2.5),
+		pyobj.Str("hello"),
+		pyobj.None,
+		pyobj.NewList(pyobj.Int(1), pyobj.NewTuple(pyobj.Str("x"))),
+	}
+	err := run(t, 2, func(c *mpisim.Comm) error {
+		for _, p := range payloads {
+			if c.Rank() == 0 {
+				if err := Send(c, 1, p); err != nil {
+					return err
+				}
+			} else {
+				got, err := Recv(c, 0)
+				if err != nil {
+					return err
+				}
+				if !pyobj.Equal(p, got) {
+					return fmt.Errorf("payload %s arrived as %s", p.Repr(), got.Repr())
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeVsPickleWireSize(t *testing.T) {
+	// Scalars use the 9-byte native path; containers pay pickle cost.
+	i, err := encode(pyobj.Int(7))
+	if err != nil || len(i) != 9 || i[0] != wireInt {
+		t.Fatalf("int encoding: %x, %v", i, err)
+	}
+	f, err := encode(pyobj.Float(1.5))
+	if err != nil || len(f) != 9 || f[0] != wireFloat {
+		t.Fatalf("float encoding: %x, %v", f, err)
+	}
+	l, err := encode(pyobj.NewList(pyobj.Int(7)))
+	if err != nil || l[0] != wirePickle {
+		t.Fatalf("list encoding: %x, %v", l, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":       {},
+		"unknown":     {0x7f},
+		"short int":   {wireInt, 1, 2},
+		"short float": {wireFloat},
+		"bad pickle":  {wirePickle, 0x01},
+	} {
+		if _, err := decode(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestAllreduceMin(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := run(t, n, func(c *mpisim.Comm) error {
+				dt := pyobj.Float(0.001 * float64(c.Rank()+1))
+				got, err := Allreduce(c, dt, MIN)
+				if err != nil {
+					return err
+				}
+				if got != pyobj.Float(0.001) {
+					return fmt.Errorf("rank %d: MIN = %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllreduceSumIntAndMixed(t *testing.T) {
+	err := run(t, 6, func(c *mpisim.Comm) error {
+		got, err := Allreduce(c, pyobj.Int(int64(c.Rank())), SUM)
+		if err != nil {
+			return err
+		}
+		if got != pyobj.Int(15) {
+			return fmt.Errorf("SUM = %v, want 15", got)
+		}
+		// Mixed int/float promotes to float.
+		var v pyobj.Object = pyobj.Int(1)
+		if c.Rank() == 3 {
+			v = pyobj.Float(0.5)
+		}
+		got, err = Allreduce(c, v, SUM)
+		if err != nil {
+			return err
+		}
+		f, ok := got.(pyobj.Float)
+		if !ok || float64(f) != 5.5 {
+			return fmt.Errorf("mixed SUM = %v, want 5.5", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxStrings(t *testing.T) {
+	err := run(t, 4, func(c *mpisim.Comm) error {
+		s := pyobj.Str(fmt.Sprintf("host%02d", c.Rank()))
+		got, err := Allreduce(c, s, MAX)
+		if err != nil {
+			return err
+		}
+		if got != pyobj.Str("host03") {
+			return fmt.Errorf("MAX = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSumLists(t *testing.T) {
+	err := run(t, 3, func(c *mpisim.Comm) error {
+		got, err := Allreduce(c, pyobj.NewList(pyobj.Int(int64(c.Rank()))), SUM)
+		if err != nil {
+			return err
+		}
+		l, ok := got.(*pyobj.List)
+		if !ok || l.Len() != 3 {
+			return fmt.Errorf("list SUM = %v", got.Repr())
+		}
+		// Concatenation order follows the reduction tree, but all three
+		// elements must be present.
+		seen := map[pyobj.Object]bool{}
+		for _, it := range l.Items {
+			seen[it] = true
+		}
+		for r := 0; r < 3; r++ {
+			if !seen[pyobj.Int(int64(r))] {
+				return fmt.Errorf("rank %d missing from %v", r, l.Repr())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceTypeError(t *testing.T) {
+	err := run(t, 2, func(c *mpisim.Comm) error {
+		var v pyobj.Object = pyobj.Int(1)
+		if c.Rank() == 1 {
+			v = pyobj.NewDict()
+		}
+		_, err := Allreduce(c, v, SUM)
+		if err == nil {
+			return errors.New("dict+int SUM succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxUnorderableTypes(t *testing.T) {
+	err := run(t, 2, func(c *mpisim.Comm) error {
+		var v pyobj.Object = pyobj.Str("a")
+		if c.Rank() == 1 {
+			v = pyobj.Int(1)
+		}
+		_, err := Allreduce(c, v, MIN)
+		if err == nil {
+			return errors.New("str<int comparison succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastObjects(t *testing.T) {
+	err := run(t, 5, func(c *mpisim.Comm) error {
+		var in pyobj.Object = pyobj.None
+		if c.Rank() == 2 {
+			d := pyobj.NewDict()
+			d.Set(pyobj.Str("k"), pyobj.NewList(pyobj.Int(1), pyobj.Int(2)))
+			in = d
+		}
+		got, err := Bcast(c, 2, in)
+		if err != nil {
+			return err
+		}
+		d, ok := got.(*pyobj.Dict)
+		if !ok {
+			return fmt.Errorf("bcast result %T", got)
+		}
+		v, _ := d.Get(pyobj.Str("k"))
+		if l, ok := v.(*pyobj.List); !ok || l.Len() != 2 {
+			return fmt.Errorf("bcast payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPITest(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := run(t, n, func(c *mpisim.Comm) error {
+				rep, err := MPITest(c)
+				if err != nil {
+					return err
+				}
+				if rep.MinDt != 0.001 {
+					return fmt.Errorf("MinDt = %v", rep.MinDt)
+				}
+				if !rep.RingChecked {
+					return errors.New("ring not checked")
+				}
+				if n > 1 && rep.Seconds <= 0 {
+					return errors.New("no simulated time")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if MIN.String() != "MIN" || MAX.String() != "MAX" || SUM.String() != "SUM" {
+		t.Fatal("Op strings wrong")
+	}
+	if Op(99).String() != "invalid" {
+		t.Fatal("invalid op string")
+	}
+}

@@ -1,0 +1,373 @@
+// Package pyobj defines the miniature Python object model shared by
+// the VM (internal/pyvm), the pickle codec (internal/pickle) and the
+// pyMPI layer (internal/pympi).
+//
+// pyMPI "handles the details of serializing/unserializing messages
+// using MPI native types where possible and the Python pickle
+// serialization mechanism elsewhere" (§II); reproducing that split
+// requires a real object model with identity, mutability and cycles,
+// not just Go values.
+package pyobj
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Object is any Python-level value.
+type Object interface {
+	// Type returns the Python type name ("int", "list", ...).
+	Type() string
+	// Repr returns a Python-ish literal representation.
+	Repr() string
+}
+
+// None is the singleton null value.
+type NoneType struct{}
+
+// None is the canonical instance.
+var None = NoneType{}
+
+func (NoneType) Type() string { return "NoneType" }
+func (NoneType) Repr() string { return "None" }
+
+// Bool is a Python bool.
+type Bool bool
+
+func (b Bool) Type() string { return "bool" }
+func (b Bool) Repr() string {
+	if b {
+		return "True"
+	}
+	return "False"
+}
+
+// Int is a Python int (64-bit here; the generator's C types are at most
+// long).
+type Int int64
+
+func (i Int) Type() string { return "int" }
+func (i Int) Repr() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a Python float.
+type Float float64
+
+func (f Float) Type() string { return "float" }
+func (f Float) Repr() string { return strconv.FormatFloat(float64(f), 'g', -1, 64) }
+
+// Str is a Python str.
+type Str string
+
+func (s Str) Type() string { return "str" }
+func (s Str) Repr() string { return strconv.Quote(string(s)) }
+
+// List is a mutable sequence. Lists have identity: two *List values
+// with equal contents are distinct objects, and a list may contain
+// itself (pickle must preserve that).
+type List struct {
+	Items []Object
+}
+
+// NewList builds a list from items.
+func NewList(items ...Object) *List { return &List{Items: items} }
+
+func (l *List) Type() string { return "list" }
+func (l *List) Repr() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, it := range l.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it == Object(l) {
+			b.WriteString("[...]")
+		} else {
+			b.WriteString(it.Repr())
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Append adds an item.
+func (l *List) Append(o Object) { l.Items = append(l.Items, o) }
+
+// Len returns the element count.
+func (l *List) Len() int { return len(l.Items) }
+
+// Tuple is an immutable sequence.
+type Tuple struct {
+	Items []Object
+}
+
+// NewTuple builds a tuple from items.
+func NewTuple(items ...Object) *Tuple { return &Tuple{Items: items} }
+
+func (t *Tuple) Type() string { return "tuple" }
+func (t *Tuple) Repr() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, it := range t.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Repr())
+	}
+	if len(t.Items) == 1 {
+		b.WriteByte(',')
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dict is a mutable mapping with insertion order preserved (like
+// CPython 3.7+; also gives deterministic pickles). Keys must be
+// hashable (None, bool, int, float, str, or tuples thereof).
+type Dict struct {
+	keys  []Object
+	index map[string]int
+	vals  []Object
+}
+
+// NewDict returns an empty dict.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int)}
+}
+
+func (d *Dict) Type() string { return "dict" }
+func (d *Dict) Repr() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range d.keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.Repr())
+		b.WriteString(": ")
+		b.WriteString(d.vals[i].Repr())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Set inserts or updates key -> value. It returns an error for
+// unhashable keys.
+func (d *Dict) Set(key, value Object) error {
+	h, err := Hash(key)
+	if err != nil {
+		return err
+	}
+	if i, ok := d.index[h]; ok {
+		d.vals[i] = value
+		return nil
+	}
+	d.index[h] = len(d.keys)
+	d.keys = append(d.keys, key)
+	d.vals = append(d.vals, value)
+	return nil
+}
+
+// Get returns the value for key and whether it was present.
+func (d *Dict) Get(key Object) (Object, bool) {
+	h, err := Hash(key)
+	if err != nil {
+		return nil, false
+	}
+	i, ok := d.index[h]
+	if !ok {
+		return nil, false
+	}
+	return d.vals[i], true
+}
+
+// Delete removes key, reporting whether it was present.
+func (d *Dict) Delete(key Object) bool {
+	h, err := Hash(key)
+	if err != nil {
+		return false
+	}
+	i, ok := d.index[h]
+	if !ok {
+		return false
+	}
+	delete(d.index, h)
+	d.keys = append(d.keys[:i], d.keys[i+1:]...)
+	d.vals = append(d.vals[:i], d.vals[i+1:]...)
+	for h2, j := range d.index {
+		if j > i {
+			d.index[h2] = j - 1
+		}
+	}
+	return true
+}
+
+// Len returns the entry count.
+func (d *Dict) Len() int { return len(d.keys) }
+
+// Items returns (key, value) pairs in insertion order.
+func (d *Dict) Items() ([]Object, []Object) {
+	return append([]Object(nil), d.keys...), append([]Object(nil), d.vals...)
+}
+
+// SortedKeys returns keys sorted by repr, for deterministic output.
+func (d *Dict) SortedKeys() []Object {
+	ks := append([]Object(nil), d.keys...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Repr() < ks[j].Repr() })
+	return ks
+}
+
+// UnhashableError reports a dict key of mutable type.
+type UnhashableError struct{ TypeName string }
+
+func (e *UnhashableError) Error() string {
+	return "pyobj: unhashable type: '" + e.TypeName + "'"
+}
+
+// Hash returns a canonical string key for a hashable object. Mirrors
+// Python semantics where hash(1) == hash(1.0) == hash(True).
+func Hash(o Object) (string, error) {
+	switch v := o.(type) {
+	case NoneType:
+		return "N", nil
+	case Bool:
+		if v {
+			return "n:1", nil
+		}
+		return "n:0", nil
+	case Int:
+		return "n:" + strconv.FormatInt(int64(v), 10), nil
+	case Float:
+		if f := float64(v); f == math.Trunc(f) && !math.IsInf(f, 0) &&
+			f >= math.MinInt64 && f <= math.MaxInt64 {
+			return "n:" + strconv.FormatInt(int64(f), 10), nil
+		}
+		return "f:" + strconv.FormatFloat(float64(v), 'b', -1, 64), nil
+	case Str:
+		return "s:" + string(v), nil
+	case *Tuple:
+		parts := make([]string, len(v.Items))
+		for i, it := range v.Items {
+			h, err := Hash(it)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = h
+		}
+		return "t:(" + strings.Join(parts, ",") + ")", nil
+	default:
+		return "", &UnhashableError{TypeName: o.Type()}
+	}
+}
+
+// Equal reports deep structural equality (identity for cycles is not
+// chased; cyclic inputs of equal shape up to depth 64 compare equal).
+func Equal(a, b Object) bool { return equalDepth(a, b, 64) }
+
+func equalDepth(a, b Object, depth int) bool {
+	if depth == 0 {
+		return true // assume equal beyond the cycle horizon
+	}
+	switch av := a.(type) {
+	case NoneType:
+		_, ok := b.(NoneType)
+		return ok
+	case Bool:
+		bv, ok := b.(Bool)
+		return ok && av == bv
+	case Int:
+		bv, ok := b.(Int)
+		return ok && av == bv
+	case Float:
+		bv, ok := b.(Float)
+		return ok && (av == bv || (math.IsNaN(float64(av)) && math.IsNaN(float64(bv))))
+	case Str:
+		bv, ok := b.(Str)
+		return ok && av == bv
+	case *List:
+		bv, ok := b.(*List)
+		if !ok || len(av.Items) != len(bv.Items) {
+			return false
+		}
+		for i := range av.Items {
+			if !equalDepth(av.Items[i], bv.Items[i], depth-1) {
+				return false
+			}
+		}
+		return true
+	case *Tuple:
+		bv, ok := b.(*Tuple)
+		if !ok || len(av.Items) != len(bv.Items) {
+			return false
+		}
+		for i := range av.Items {
+			if !equalDepth(av.Items[i], bv.Items[i], depth-1) {
+				return false
+			}
+		}
+		return true
+	case *Dict:
+		bv, ok := b.(*Dict)
+		if !ok || av.Len() != bv.Len() {
+			return false
+		}
+		for i, k := range av.keys {
+			bval, found := bv.Get(k)
+			if !found || !equalDepth(av.vals[i], bval, depth-1) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// FromGo converts basic Go values into objects (testing convenience).
+func FromGo(v any) (Object, error) {
+	switch x := v.(type) {
+	case nil:
+		return None, nil
+	case bool:
+		return Bool(x), nil
+	case int:
+		return Int(x), nil
+	case int64:
+		return Int(x), nil
+	case float64:
+		return Float(x), nil
+	case string:
+		return Str(x), nil
+	case []any:
+		l := NewList()
+		for _, it := range x {
+			o, err := FromGo(it)
+			if err != nil {
+				return nil, err
+			}
+			l.Append(o)
+		}
+		return l, nil
+	case map[string]any:
+		d := NewDict()
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o, err := FromGo(x[k])
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Set(Str(k), o); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("pyobj: cannot convert %T", v)
+	}
+}

@@ -1,0 +1,236 @@
+package pyobj
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReprs(t *testing.T) {
+	cases := []struct {
+		o    Object
+		want string
+	}{
+		{None, "None"},
+		{Bool(true), "True"},
+		{Bool(false), "False"},
+		{Int(-42), "-42"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), `"hi"`},
+		{NewList(Int(1), Str("a")), `[1, "a"]`},
+		{NewTuple(Int(1)), "(1,)"},
+		{NewTuple(Int(1), Int(2)), "(1, 2)"},
+		{NewTuple(), "()"},
+	}
+	for _, c := range cases {
+		if got := c.o.Repr(); got != c.want {
+			t.Errorf("Repr(%s) = %q, want %q", c.o.Type(), got, c.want)
+		}
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	if err := d.Set(Str("a"), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(Str("b"), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(Str("a"), Int(3)); err != nil { // update
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	v, ok := d.Get(Str("a"))
+	if !ok || v != Int(3) {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := d.Get(Str("zzz")); ok {
+		t.Fatal("missing key found")
+	}
+	// Insertion order preserved.
+	keys, vals := d.Items()
+	if keys[0] != Str("a") || keys[1] != Str("b") || vals[1] != Int(2) {
+		t.Fatalf("Items order: %v %v", keys, vals)
+	}
+	if got := d.Repr(); got != `{"a": 3, "b": 2}` {
+		t.Fatalf("Repr = %s", got)
+	}
+}
+
+func TestDictDelete(t *testing.T) {
+	d := NewDict()
+	d.Set(Str("a"), Int(1))
+	d.Set(Str("b"), Int(2))
+	d.Set(Str("c"), Int(3))
+	if !d.Delete(Str("b")) {
+		t.Fatal("Delete failed")
+	}
+	if d.Delete(Str("b")) {
+		t.Fatal("double delete succeeded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Index map stays consistent after the shift.
+	if v, ok := d.Get(Str("c")); !ok || v != Int(3) {
+		t.Fatalf("Get(c) after delete = %v, %v", v, ok)
+	}
+	if v, ok := d.Get(Str("a")); !ok || v != Int(1) {
+		t.Fatalf("Get(a) after delete = %v, %v", v, ok)
+	}
+}
+
+func TestDictUnhashableKey(t *testing.T) {
+	d := NewDict()
+	err := d.Set(NewList(), Int(1))
+	if err == nil {
+		t.Fatal("list key accepted")
+	}
+	if _, ok := err.(*UnhashableError); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if _, ok := d.Get(NewList()); ok {
+		t.Fatal("Get with unhashable key succeeded")
+	}
+	if d.Delete(NewDict()) {
+		t.Fatal("Delete with unhashable key succeeded")
+	}
+}
+
+func TestHashNumericEquivalence(t *testing.T) {
+	// Python: hash(1) == hash(1.0) == hash(True).
+	h1, _ := Hash(Int(1))
+	h2, _ := Hash(Float(1.0))
+	h3, _ := Hash(Bool(true))
+	if h1 != h2 || h2 != h3 {
+		t.Fatalf("numeric hashes differ: %q %q %q", h1, h2, h3)
+	}
+	hf, _ := Hash(Float(1.5))
+	if hf == h1 {
+		t.Fatal("1.5 hashes like 1")
+	}
+	// Str("1") must differ from Int(1).
+	hs, _ := Hash(Str("1"))
+	if hs == h1 {
+		t.Fatal("string '1' hashes like int 1")
+	}
+}
+
+func TestHashTuples(t *testing.T) {
+	h1, err := Hash(NewTuple(Int(1), Str("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := Hash(NewTuple(Int(1), Str("a")))
+	if h1 != h2 {
+		t.Fatal("equal tuples hash differently")
+	}
+	h3, _ := Hash(NewTuple(Int(1), Str("b")))
+	if h1 == h3 {
+		t.Fatal("different tuples hash equal")
+	}
+	if _, err := Hash(NewTuple(NewList())); err == nil {
+		t.Fatal("tuple containing list is hashable")
+	}
+}
+
+func TestDictNumericKeyCollision(t *testing.T) {
+	d := NewDict()
+	d.Set(Int(1), Str("int"))
+	d.Set(Float(1.0), Str("float")) // same key in Python semantics
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (1 and 1.0 are the same key)", d.Len())
+	}
+	v, _ := d.Get(Bool(true))
+	if v != Str("float") {
+		t.Fatalf("Get(True) = %v", v)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewList(Int(1), NewTuple(Str("x"), Float(2.5)), None)
+	b := NewList(Int(1), NewTuple(Str("x"), Float(2.5)), None)
+	if !Equal(a, b) {
+		t.Fatal("equal lists not Equal")
+	}
+	b.Items[0] = Int(2)
+	if Equal(a, b) {
+		t.Fatal("different lists Equal")
+	}
+	if Equal(Int(1), Str("1")) {
+		t.Fatal("cross-type Equal")
+	}
+	if !Equal(Float(math.NaN()), Float(math.NaN())) {
+		t.Fatal("NaN != NaN under Equal (want equal for round-trip tests)")
+	}
+	d1, d2 := NewDict(), NewDict()
+	d1.Set(Str("k"), Int(1))
+	d2.Set(Str("k"), Int(1))
+	if !Equal(d1, d2) {
+		t.Fatal("equal dicts not Equal")
+	}
+	d2.Set(Str("j"), Int(2))
+	if Equal(d1, d2) {
+		t.Fatal("different-size dicts Equal")
+	}
+}
+
+func TestEqualCyclic(t *testing.T) {
+	a := NewList(Int(1))
+	a.Append(a)
+	b := NewList(Int(1))
+	b.Append(b)
+	if !Equal(a, b) {
+		t.Fatal("isomorphic cyclic lists not Equal")
+	}
+}
+
+func TestSelfReferentialRepr(t *testing.T) {
+	l := NewList(Int(1))
+	l.Append(l)
+	if got := l.Repr(); got != "[1, [...]]" {
+		t.Fatalf("cyclic Repr = %q", got)
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	o, err := FromGo(map[string]any{
+		"n":    nil,
+		"b":    true,
+		"i":    42,
+		"f":    2.5,
+		"s":    "hello",
+		"list": []any{1, "two", 3.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := o.(*Dict)
+	if !ok {
+		t.Fatalf("FromGo map gave %T", o)
+	}
+	v, _ := d.Get(Str("i"))
+	if v != Int(42) {
+		t.Fatalf("d[i] = %v", v)
+	}
+	lv, _ := d.Get(Str("list"))
+	l := lv.(*List)
+	if l.Len() != 3 || l.Items[1] != Str("two") {
+		t.Fatalf("list = %v", l.Repr())
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Fatal("unconvertible type accepted")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	d := NewDict()
+	d.Set(Str("b"), Int(1))
+	d.Set(Str("a"), Int(2))
+	ks := d.SortedKeys()
+	if ks[0] != Str("a") || ks[1] != Str("b") {
+		t.Fatalf("SortedKeys = %v", ks)
+	}
+}

@@ -1,0 +1,272 @@
+// Package pyvm is a miniature Python-like runtime: just enough
+// interpreter to run the Pynamic driver — a module system whose import
+// machinery calls into the simulated dynamic linker, and a call
+// mechanism that executes generated function bodies against the memory
+// simulator.
+//
+// The correspondence to the paper:
+//
+//   - Import() models `import module_NNN`: a sys.modules hit is cheap;
+//     a miss finds the extension DSO and dlopen()s it with RTLD_NOW,
+//     exactly as pyMPI does ("the vanilla pyMPI version resolves both
+//     the GOT and PLT when the modules are imported as it passes the
+//     RTLD_NOW flag to the dlopen call", §IV.A), then runs module
+//     initialization (method-table registration).
+//   - VisitEntry() models calling the module's Python-callable entry
+//     function, which walks the generated call chains: intra-module
+//     calls are direct, cross-DSO calls go through the PLT and hence —
+//     under lazy binding — through the dynamic linker's resolver.
+//   - Coverage < 1 implements the paper's §V future-work knob:
+//     "Allowing Pynamic to be configured with a specified code
+//     coverage" — the entry function launches only that fraction of
+//     its chains.
+package pyvm
+
+import (
+	"fmt"
+
+	"repro/internal/dynld"
+	"repro/internal/elfimg"
+	"repro/internal/memsim"
+	"repro/internal/pyobj"
+)
+
+// Finder maps a Python module name to the soname of its extension DSO.
+type Finder func(name string) (soname string, ok bool)
+
+// Options tunes the interpreter.
+type Options struct {
+	// Coverage is the fraction of each entry function's call chains to
+	// execute; the generator's default behaviour is 1.0 ("Pynamic
+	// currently covers one hundred percent of the functions", §V).
+	Coverage float64
+	// MaxCallDepth guards against cyclic call graphs; the generator
+	// emits depth-10 chains, so the default of 64 is generous.
+	MaxCallDepth int
+}
+
+// Stats counts interpreter activity.
+type Stats struct {
+	Imports      uint64 // import statements executed
+	ImportHits   uint64 // satisfied from sys.modules
+	Calls        uint64 // function bodies executed
+	PLTCalls     uint64 // calls that crossed a DSO boundary
+	EntryVisits  uint64
+	ChainsPruned uint64 // entry chains skipped by the coverage knob
+}
+
+// Module is an imported extension module.
+type Module struct {
+	Name  string
+	Entry *dynld.LinkEntry
+	Dict  *pyobj.Dict
+}
+
+// Interp is one simulated Python interpreter (one MPI task runs one).
+type Interp struct {
+	mem    memsim.Memory
+	ld     *dynld.Loader
+	finder Finder
+	opts   Options
+
+	modules map[string]*Module // sys.modules
+	order   []string
+	stats   Stats
+}
+
+// Interpreter work constants (instructions per operation). The visit
+// and import *shapes* come from the loader and memory simulator; these
+// model CPython's bytecode overhead.
+const (
+	instrImportStmt  = 5000 // find_module + exec overhead
+	instrModuleInitF = 30   // PyMethodDef registration per function
+	instrCallFrame   = 200  // eval-loop call dispatch
+	stackBase        = uint64(1) << 47
+	frameSize        = 192
+
+	// The process heap: argument boxing and allocator metadata touched
+	// around C calls. Scattered touches into a footprint much larger
+	// than L1 keep the visit phase's data misses small but nonzero
+	// (Table II's Vanilla visit row: ~4 misses per visited function).
+	heapZone      = uint64(1) << 48
+	heapFootprint = uint64(32) << 20
+	heapProbes    = 2
+)
+
+// New creates an interpreter over the given loader and memory model.
+func New(mem memsim.Memory, ld *dynld.Loader, finder Finder, opts Options) *Interp {
+	if opts.Coverage <= 0 || opts.Coverage > 1 {
+		opts.Coverage = 1
+	}
+	if opts.MaxCallDepth <= 0 {
+		opts.MaxCallDepth = 64
+	}
+	return &Interp{
+		mem:     mem,
+		ld:      ld,
+		finder:  finder,
+		opts:    opts,
+		modules: make(map[string]*Module),
+	}
+}
+
+// Stats returns accumulated counters.
+func (ip *Interp) Stats() Stats { return ip.stats }
+
+// Modules returns imported module names in import order.
+func (ip *Interp) Modules() []string { return append([]string(nil), ip.order...) }
+
+// ImportError reports a failed import.
+type ImportError struct {
+	Name string
+	Err  error
+}
+
+func (e *ImportError) Error() string {
+	if e.Err == nil {
+		return "pyvm: No module named '" + e.Name + "'"
+	}
+	return "pyvm: ImportError: " + e.Name + ": " + e.Err.Error()
+}
+
+func (e *ImportError) Unwrap() error { return e.Err }
+
+// CallError reports a failed call.
+type CallError struct {
+	Module string
+	Err    error
+}
+
+func (e *CallError) Error() string {
+	return "pyvm: call failed in " + e.Module + ": " + e.Err.Error()
+}
+
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Import executes `import name`.
+func (ip *Interp) Import(name string) (*Module, error) {
+	ip.stats.Imports++
+	ip.mem.Instructions(instrImportStmt)
+	if m, ok := ip.modules[name]; ok {
+		ip.stats.ImportHits++
+		return m, nil
+	}
+	soname, ok := ip.finder(name)
+	if !ok {
+		return nil, &ImportError{Name: name}
+	}
+	le, err := ip.ld.Dlopen(soname, dynld.RTLDNow)
+	if err != nil {
+		return nil, &ImportError{Name: name, Err: err}
+	}
+	m := &Module{Name: name, Entry: le, Dict: pyobj.NewDict()}
+	ip.initModule(m)
+	ip.modules[name] = m
+	ip.order = append(ip.order, name)
+	return m, nil
+}
+
+// initModule models PyInit_<module>: registering the method table and
+// populating the module dict — a pass over the module's data section
+// and one dict insert per exported function.
+func (ip *Interp) initModule(m *Module) {
+	img := m.Entry.Image
+	ip.mem.Instructions(uint64(len(img.Funcs)) * instrModuleInitF)
+	ip.mem.Stream(memsim.Read, m.Entry.Addr(img.Layout.Data, 0), img.Layout.Data.Size)
+	ip.mem.Touch(memsim.Write, m.Entry.Addr(img.Layout.Data, 0), 4096)
+	m.Dict.Set(pyobj.Str("__name__"), pyobj.Str(m.Name))
+	if img.EntryFunc >= 0 {
+		m.Dict.Set(pyobj.Str("entry"), pyobj.Str(img.NameOf(img.Funcs[img.EntryFunc].Sym)))
+	}
+}
+
+// VisitEntry calls the module's entry function, following the generated
+// call chains. It is the unit of the driver's "visit" phase.
+func (ip *Interp) VisitEntry(m *Module) error {
+	img := m.Entry.Image
+	if img.EntryFunc < 0 {
+		return &CallError{Module: m.Name, Err: fmt.Errorf("module has no entry function")}
+	}
+	ip.stats.EntryVisits++
+	if err := ip.callEntry(m.Entry, img.EntryFunc); err != nil {
+		return &CallError{Module: m.Name, Err: err}
+	}
+	return nil
+}
+
+// callEntry runs the entry function, applying the coverage knob to its
+// top-level chain launches.
+func (ip *Interp) callEntry(le *dynld.LinkEntry, fi int) error {
+	f := le.Image.Funcs[fi]
+	ip.execBody(le, f, 0)
+	limit := len(f.Calls)
+	if ip.opts.Coverage < 1 {
+		limit = int(float64(limit)*ip.opts.Coverage + 0.5)
+		ip.stats.ChainsPruned += uint64(len(f.Calls) - limit)
+	}
+	for _, c := range f.Calls[:limit] {
+		if err := ip.dispatch(le, c, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// call executes function fi of object le at the given stack depth.
+func (ip *Interp) call(le *dynld.LinkEntry, fi int, depth int) error {
+	if depth > ip.opts.MaxCallDepth {
+		return fmt.Errorf("maximum call depth %d exceeded", ip.opts.MaxCallDepth)
+	}
+	f := le.Image.Funcs[fi]
+	ip.execBody(le, f, depth)
+	for _, c := range f.Calls {
+		if err := ip.dispatch(le, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch routes one call site.
+func (ip *Interp) dispatch(le *dynld.LinkEntry, c elfimg.Call, depth int) error {
+	switch c.Kind {
+	case elfimg.CallIntra:
+		return ip.call(le, c.Target, depth)
+	case elfimg.CallPLT:
+		ip.stats.PLTCalls++
+		def, err := ip.ld.ResolvePLT(le, c.Target)
+		if err != nil {
+			return err
+		}
+		tfi := def.Entry.Image.FuncBySym(def.SymIndex)
+		if tfi < 0 {
+			return fmt.Errorf("call through PLT to non-function symbol in %s",
+				def.Entry.Image.Name)
+		}
+		return ip.call(def.Entry, tfi, depth)
+	default:
+		return fmt.Errorf("unknown call kind %d", c.Kind)
+	}
+}
+
+// execBody issues one function body's instruction fetch, retired
+// instructions, stack traffic, and a touch of its module's data
+// segment (every generated function reads a module-level global, so
+// visiting a module drags its .data through the cache once — the
+// Vanilla row's small-but-nonzero visit misses in Table II).
+func (ip *Interp) execBody(le *dynld.LinkEntry, f elfimg.Func, depth int) {
+	ip.stats.Calls++
+	ip.mem.Instructions(instrCallFrame + uint64(f.NInstr))
+	ip.mem.Stream(memsim.IFetch, le.Addr(le.Image.Layout.Text, f.TextOff), uint64(f.TextSize))
+	frame := stackBase - uint64(depth+1)*frameSize
+	refs := uint64(f.DataRefs)
+	if refs == 0 {
+		refs = 16
+	}
+	ip.mem.Touch(memsim.Write, frame, refs)
+	ip.mem.Touch(memsim.Read, frame, refs)
+	if ds := le.Image.Layout.Data.Size; ds > 0 {
+		ip.mem.Touch(memsim.Read, le.Addr(le.Image.Layout.Data, f.TextOff%ds), 8)
+	}
+	ip.mem.Probe(memsim.Read, heapZone, heapFootprint, heapProbes)
+}

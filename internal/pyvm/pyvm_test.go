@@ -1,0 +1,285 @@
+package pyvm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dynld"
+	"repro/internal/elfimg"
+	"repro/internal/fsim"
+	"repro/internal/memsim"
+	"repro/internal/pyobj"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// testEnv wires an interpreter over a two-DSO world:
+//
+//	libutil.so: u0 u1 (functions)
+//	libmodA.so: entry -> f1 -> f2 -> PLT(u0); entry also calls PLT(u1)
+type testEnv struct {
+	ip   *Interp
+	ld   *dynld.Loader
+	mem  memsim.Memory
+	util *elfimg.Image
+	modA *elfimg.Image
+}
+
+func newEnv(t *testing.T, opts Options) *testEnv {
+	t.Helper()
+	fs, err := fsim.New(fsim.Defaults(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(2))
+	ld := dynld.New(mem, fs, simtime.NewClock(0), dynld.Options{})
+
+	ub := elfimg.NewBuilder("libutil.so")
+	ub.AddFunc(elfimg.SymID(1), 24, 700, 140, 64, false)
+	ub.AddFunc(elfimg.SymID(2), 24, 700, 140, 64, false)
+	util, err := ub.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb := elfimg.NewBuilder("libmodA.so").SetPythonModule(true)
+	mb.AddDep("libutil.so")
+	e := mb.AddFunc(elfimg.SymID(10), 24, 700, 140, 64, false)
+	f1 := mb.AddFunc(elfimg.SymID(11), 24, 700, 140, 64, false)
+	f2 := mb.AddFunc(elfimg.SymID(12), 24, 700, 140, 64, false)
+	mb.MarkEntry(e)
+	p0 := mb.AddPLTReloc(elfimg.SymID(1))
+	p1 := mb.AddPLTReloc(elfimg.SymID(2))
+	mb.AddCall(e, elfimg.Call{Kind: elfimg.CallIntra, Target: f1})
+	mb.AddCall(e, elfimg.Call{Kind: elfimg.CallPLT, Target: p1})
+	mb.AddCall(f1, elfimg.Call{Kind: elfimg.CallIntra, Target: f2})
+	mb.AddCall(f2, elfimg.Call{Kind: elfimg.CallPLT, Target: p0})
+	modA, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ld.Install(util)
+	ld.Install(modA)
+
+	finder := func(name string) (string, bool) {
+		if name == "modA" {
+			return "libmodA.so", true
+		}
+		return "", false
+	}
+	return &testEnv{
+		ip:   New(mem, ld, finder, opts),
+		ld:   ld,
+		mem:  mem,
+		util: util,
+		modA: modA,
+	}
+}
+
+func TestImportLoadsAndCaches(t *testing.T) {
+	env := newEnv(t, Options{})
+	m, err := env.ip.Import("modA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "modA" || m.Entry.Image != env.modA {
+		t.Fatal("wrong module")
+	}
+	// sys.modules hit on re-import: no second dlopen.
+	m2, err := env.ip.Import("modA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatal("re-import created a new module")
+	}
+	s := env.ip.Stats()
+	if s.Imports != 2 || s.ImportHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if env.ld.Stats().DlopenCalls != 1 {
+		t.Fatalf("dlopen called %d times", env.ld.Stats().DlopenCalls)
+	}
+	if got := env.ip.Modules(); len(got) != 1 || got[0] != "modA" {
+		t.Fatalf("Modules() = %v", got)
+	}
+}
+
+func TestImportMissingModule(t *testing.T) {
+	env := newEnv(t, Options{})
+	_, err := env.ip.Import("nope")
+	var ie *ImportError
+	if !errors.As(err, &ie) || ie.Name != "nope" {
+		t.Fatalf("want ImportError, got %v", err)
+	}
+}
+
+func TestImportPropagatesLoaderFailure(t *testing.T) {
+	env := newEnv(t, Options{})
+	// A finder that maps to a non-installed soname.
+	ip := New(env.mem, env.ld, func(string) (string, bool) {
+		return "libghost.so", true
+	}, Options{})
+	_, err := ip.Import("ghost")
+	var ie *ImportError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want ImportError, got %v", err)
+	}
+	var nf *dynld.NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("cause not NotFoundError: %v", err)
+	}
+}
+
+func TestModuleDictPopulated(t *testing.T) {
+	env := newEnv(t, Options{})
+	m, _ := env.ip.Import("modA")
+	name, ok := m.Dict.Get(pyobj.Str("__name__"))
+	if !ok || name != pyobj.Str("modA") {
+		t.Fatalf("__name__ = %v", name)
+	}
+	if _, ok := m.Dict.Get(pyobj.Str("entry")); !ok {
+		t.Fatal("entry name missing from module dict")
+	}
+}
+
+func TestVisitExecutesAllChains(t *testing.T) {
+	env := newEnv(t, Options{})
+	m, _ := env.ip.Import("modA")
+	if err := env.ip.VisitEntry(m); err != nil {
+		t.Fatal(err)
+	}
+	s := env.ip.Stats()
+	// entry, f1, f2, u0, u1 = 5 bodies.
+	if s.Calls != 5 {
+		t.Fatalf("Calls = %d, want 5", s.Calls)
+	}
+	if s.PLTCalls != 2 {
+		t.Fatalf("PLTCalls = %d, want 2", s.PLTCalls)
+	}
+	if s.EntryVisits != 1 {
+		t.Fatalf("EntryVisits = %d", s.EntryVisits)
+	}
+}
+
+func TestVisitUnderVanillaDoesNotLazyResolve(t *testing.T) {
+	// Import used RTLD_NOW, so the visit must not enter the resolver.
+	env := newEnv(t, Options{})
+	m, _ := env.ip.Import("modA")
+	env.ip.VisitEntry(m)
+	if n := env.ld.Stats().LazyResolutions; n != 0 {
+		t.Fatalf("vanilla visit did %d lazy resolutions", n)
+	}
+}
+
+func TestVisitUnderPrelinkedLazyResolves(t *testing.T) {
+	// Link build: startup maps everything lazily; cached dlopen at
+	// import doesn't bind; visit pays the resolver — the Table I
+	// mechanism.
+	env := newEnv(t, Options{})
+	if err := env.ld.StartupPrelinked([]string{"libmodA.so"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := env.ip.Import("modA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ip.VisitEntry(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := env.ld.Stats().LazyResolutions; n != 2 {
+		t.Fatalf("prelinked visit did %d lazy resolutions, want 2", n)
+	}
+	// Second visit: slots bound, no further resolutions.
+	env.ip.VisitEntry(m)
+	if n := env.ld.Stats().LazyResolutions; n != 2 {
+		t.Fatalf("second visit re-resolved: %d", n)
+	}
+}
+
+func TestCoverageKnob(t *testing.T) {
+	// Coverage 0.5 executes half the entry's top-level chains (the §V
+	// future-work feature). Entry has 2 call sites -> 1 executes.
+	env := newEnv(t, Options{Coverage: 0.5})
+	m, _ := env.ip.Import("modA")
+	if err := env.ip.VisitEntry(m); err != nil {
+		t.Fatal(err)
+	}
+	s := env.ip.Stats()
+	// entry, f1, f2, u0 = 4 bodies (u1's chain pruned).
+	if s.Calls != 4 {
+		t.Fatalf("Calls = %d, want 4", s.Calls)
+	}
+	if s.ChainsPruned != 1 {
+		t.Fatalf("ChainsPruned = %d, want 1", s.ChainsPruned)
+	}
+}
+
+func TestCoverageDefaultsToFull(t *testing.T) {
+	env := newEnv(t, Options{Coverage: 0})
+	m, _ := env.ip.Import("modA")
+	env.ip.VisitEntry(m)
+	if env.ip.Stats().ChainsPruned != 0 {
+		t.Fatal("default coverage pruned chains")
+	}
+}
+
+func TestCallDepthGuard(t *testing.T) {
+	// A self-recursive function must hit the depth guard, not hang.
+	fs, _ := fsim.New(fsim.Defaults(), 1)
+	mem := memsim.NewDetailed(memsim.ZeusConfig(), xrand.New(3))
+	ld := dynld.New(mem, fs, simtime.NewClock(0), dynld.Options{})
+	b := elfimg.NewBuilder("libloop.so").SetPythonModule(true)
+	f := b.AddFunc(elfimg.SymID(77), 24, 700, 140, 64, false)
+	b.MarkEntry(f)
+	b.AddCall(f, elfimg.Call{Kind: elfimg.CallIntra, Target: f})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.Install(img)
+	ip := New(mem, ld, func(string) (string, bool) { return "libloop.so", true },
+		Options{MaxCallDepth: 20})
+	m, err := ip.Import("loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ip.VisitEntry(m)
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CallError for infinite recursion, got %v", err)
+	}
+}
+
+func TestVisitModuleWithoutEntry(t *testing.T) {
+	fs, _ := fsim.New(fsim.Defaults(), 1)
+	mem := memsim.NewAnalytic(memsim.ZeusConfig())
+	ld := dynld.New(mem, fs, simtime.NewClock(0), dynld.Options{})
+	b := elfimg.NewBuilder("libnoentry.so")
+	b.AddFunc(elfimg.SymID(5), 24, 700, 140, 64, false)
+	img, _ := b.Build()
+	ld.Install(img)
+	ip := New(mem, ld, func(string) (string, bool) { return "libnoentry.so", true }, Options{})
+	m, _ := ip.Import("noentry")
+	if err := ip.VisitEntry(m); err == nil {
+		t.Fatal("visit of entry-less module succeeded")
+	}
+}
+
+func TestVisitIssuesMemoryTraffic(t *testing.T) {
+	env := newEnv(t, Options{})
+	m, _ := env.ip.Import("modA")
+	before := env.mem.Counters()
+	env.ip.VisitEntry(m)
+	d := env.mem.Counters().Sub(before)
+	if d.Lines[memsim.IFetch] == 0 {
+		t.Fatal("visit fetched no instructions")
+	}
+	if d.Instructions == 0 {
+		t.Fatal("visit retired no instructions")
+	}
+	if d.Lines[memsim.Write] == 0 {
+		t.Fatal("visit touched no stack")
+	}
+}

@@ -1,0 +1,93 @@
+// Package simtime provides the simulated clock used by every substrate.
+//
+// All times reported by this repository are *simulated*: the benchmark
+// models the Zeus cluster of the paper (2.4 GHz Opterons), so elapsed
+// time is computed from simulated CPU cycles plus simulated I/O and
+// network seconds, never from the wall clock. This makes every
+// experiment deterministic and independent of the host machine.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultHz is the Zeus Opteron clock rate from the paper (§IV).
+const DefaultHz = 2.4e9
+
+// Clock accumulates simulated time from two sources: CPU cycles
+// (converted through the core frequency) and directly-added seconds
+// (I/O, network, and fixed service latencies).
+type Clock struct {
+	hz      float64
+	cycles  uint64
+	seconds float64
+}
+
+// NewClock returns a clock for a core running at hz cycles per second.
+// If hz <= 0, DefaultHz is used.
+func NewClock(hz float64) *Clock {
+	if hz <= 0 {
+		hz = DefaultHz
+	}
+	return &Clock{hz: hz}
+}
+
+// Hz returns the configured core frequency.
+func (c *Clock) Hz() float64 { return c.hz }
+
+// AddCycles advances the clock by n CPU cycles.
+func (c *Clock) AddCycles(n uint64) { c.cycles += n }
+
+// AddSeconds advances the clock by s seconds of non-CPU time.
+func (c *Clock) AddSeconds(s float64) {
+	if s < 0 {
+		panic("simtime: negative time added")
+	}
+	c.seconds += s
+}
+
+// Cycles returns the accumulated CPU cycles.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Seconds returns total simulated elapsed seconds.
+func (c *Clock) Seconds() float64 {
+	return float64(c.cycles)/c.hz + c.seconds
+}
+
+// Duration returns the elapsed simulated time as a time.Duration.
+func (c *Clock) Duration() time.Duration {
+	return time.Duration(c.Seconds() * float64(time.Second))
+}
+
+// Mark captures the current reading so a caller can measure a phase.
+type Mark struct {
+	cycles  uint64
+	seconds float64
+}
+
+// Mark returns a checkpoint of the current clock reading.
+func (c *Clock) Mark() Mark { return Mark{c.cycles, c.seconds} }
+
+// Since returns the simulated seconds elapsed since the mark was taken.
+func (c *Clock) Since(m Mark) float64 {
+	return float64(c.cycles-m.cycles)/c.hz + (c.seconds - m.seconds)
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.cycles, c.seconds = 0, 0 }
+
+// MinSec formats a duration in seconds as "m:ss" the way Table IV of
+// the paper reports TotalView startup times (e.g. 399s -> "6:39").
+func MinSec(seconds float64) string {
+	if seconds < 0 {
+		seconds = 0
+	}
+	total := int(seconds + 0.5)
+	return fmt.Sprintf("%d:%02d", total/60, total%60)
+}
+
+// Seconds formats a duration with one decimal the way Table I does.
+func Seconds(seconds float64) string {
+	return fmt.Sprintf("%.1f", seconds)
+}

@@ -1,0 +1,132 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesToSeconds(t *testing.T) {
+	c := NewClock(2.4e9)
+	c.AddCycles(2_400_000_000) // one second at 2.4 GHz
+	if got := c.Seconds(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Seconds() = %v, want 1.0", got)
+	}
+}
+
+func TestDefaultHz(t *testing.T) {
+	c := NewClock(0)
+	if c.Hz() != DefaultHz {
+		t.Fatalf("Hz() = %v, want %v", c.Hz(), DefaultHz)
+	}
+	c2 := NewClock(-1)
+	if c2.Hz() != DefaultHz {
+		t.Fatalf("negative hz not defaulted")
+	}
+}
+
+func TestAddSeconds(t *testing.T) {
+	c := NewClock(1e9)
+	c.AddSeconds(2.5)
+	c.AddCycles(5e8) // 0.5 s
+	if got := c.Seconds(); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("Seconds() = %v, want 3.0", got)
+	}
+}
+
+func TestNegativeSecondsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSeconds(-1) did not panic")
+		}
+	}()
+	NewClock(0).AddSeconds(-1)
+}
+
+func TestMarkSince(t *testing.T) {
+	c := NewClock(1e9)
+	c.AddCycles(1e9)
+	m := c.Mark()
+	c.AddCycles(2e9)
+	c.AddSeconds(1)
+	if got := c.Since(m); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("Since = %v, want 3.0", got)
+	}
+	// Total is unaffected by marks.
+	if got := c.Seconds(); math.Abs(got-4.0) > 1e-9 {
+		t.Fatalf("Seconds = %v, want 4.0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewClock(1e9)
+	c.AddCycles(123)
+	c.AddSeconds(4)
+	c.Reset()
+	if c.Seconds() != 0 || c.Cycles() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestMinSecFormatting(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "0:00"},
+		{59, "0:59"},
+		{60, "1:00"},
+		{399, "6:39"},   // Table IV cold phase 1 (Pynamic)
+		{543, "9:03"},   // Table IV cold total (real app)
+		{61, "1:01"},    // Table IV warm phase 1 (Pynamic)
+		{-5, "0:00"},    // clamped
+		{90.6, "1:31"},  // rounds
+		{3600, "60:00"}, // minutes don't wrap
+	}
+	for _, c := range cases {
+		if got := MinSec(c.sec); got != c.want {
+			t.Errorf("MinSec(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	if got := Seconds(152.84); got != "152.8" {
+		t.Errorf("Seconds(152.84) = %q", got)
+	}
+	if got := Seconds(1.55); got != "1.6" {
+		t.Errorf("Seconds(1.55) = %q", got)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	c := NewClock(1e9)
+	c.AddSeconds(1.5)
+	if got := c.Duration().Seconds(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Duration = %v", got)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	if err := quick.Check(func(cycleSteps []uint16, secSteps []uint8) bool {
+		c := NewClock(2.4e9)
+		prev := 0.0
+		for _, s := range cycleSteps {
+			c.AddCycles(uint64(s))
+			if c.Seconds() < prev {
+				return false
+			}
+			prev = c.Seconds()
+		}
+		for _, s := range secSteps {
+			c.AddSeconds(float64(s) / 255)
+			if c.Seconds() < prev {
+				return false
+			}
+			prev = c.Seconds()
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

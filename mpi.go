@@ -1,0 +1,101 @@
+package pynamic
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mpisim"
+	"repro/internal/pympi"
+	"repro/internal/pyobj"
+)
+
+// This file exposes the pyMPI substrate (§II of the paper): a simulated
+// MPI world whose ranks exchange Python-level objects, with native
+// encodings for scalars and pickle for everything else.
+
+// MPIWorld is a simulated MPI_COMM_WORLD.
+type MPIWorld = mpisim.World
+
+// MPIComm is one rank's communicator endpoint.
+type MPIComm = mpisim.Comm
+
+// NewMPIWorld creates an n-rank world with the Zeus interconnect
+// parameters (InfiniBand-era latency and bandwidth).
+func NewMPIWorld(n int) (*MPIWorld, error) {
+	z := cluster.Zeus()
+	return mpisim.NewWorld(n, mpisim.Config{
+		Latency:   z.LinkLatency,
+		Bandwidth: z.LinkBandwidth,
+		ChanDepth: 64,
+	})
+}
+
+// ReduceOp is a pyMPI reduction operator.
+type ReduceOp = pympi.Op
+
+// Reduction operators, as in mpi.allreduce(dt, mpi.MIN).
+const (
+	MIN = pympi.MIN
+	MAX = pympi.MAX
+	SUM = pympi.SUM
+)
+
+// PyObject is a Python-level value (None, bool, int, float, str, list,
+// tuple, dict).
+type PyObject = pyobj.Object
+
+// Python value constructors and types.
+type (
+	// PyInt is a Python int.
+	PyInt = pyobj.Int
+	// PyFloat is a Python float.
+	PyFloat = pyobj.Float
+	// PyStr is a Python str.
+	PyStr = pyobj.Str
+	// PyList is a Python list.
+	PyList = pyobj.List
+	// PyDict is a Python dict.
+	PyDict = pyobj.Dict
+	// PyTuple is a Python tuple.
+	PyTuple = pyobj.Tuple
+)
+
+// PyNone is Python's None.
+var PyNone = pyobj.None
+
+// NewPyList builds a list.
+func NewPyList(items ...PyObject) *PyList { return pyobj.NewList(items...) }
+
+// NewPyDict builds an empty dict.
+func NewPyDict() *PyDict { return pyobj.NewDict() }
+
+// NewPyTuple builds a tuple.
+func NewPyTuple(items ...PyObject) *PyTuple { return pyobj.NewTuple(items...) }
+
+// MPIAllreduce folds obj across all ranks (pyMPI's
+// mpi.allreduce(value, op)); every rank receives the result.
+func MPIAllreduce(c *MPIComm, obj PyObject, op ReduceOp) (PyObject, error) {
+	return pympi.Allreduce(c, obj, op)
+}
+
+// MPIBcast distributes root's object to all ranks.
+func MPIBcast(c *MPIComm, root int, obj PyObject) (PyObject, error) {
+	return pympi.Bcast(c, root, obj)
+}
+
+// MPISend ships a Python object to rank dst.
+func MPISend(c *MPIComm, dst int, obj PyObject) error {
+	return pympi.Send(c, dst, obj)
+}
+
+// MPIRecv receives a Python object from rank src.
+func MPIRecv(c *MPIComm, src int) (PyObject, error) {
+	return pympi.Recv(c, src)
+}
+
+// MPITestReport summarizes the driver's MPI functionality test.
+type MPITestReport = pympi.TestReport
+
+// RunMPITest runs the Pynamic driver's MPI functionality test on one
+// rank (call from inside MPIWorld.Run).
+func RunMPITest(c *MPIComm) (MPITestReport, error) {
+	return pympi.MPITest(c)
+}

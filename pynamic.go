@@ -1,0 +1,151 @@
+// Package pynamic reproduces "Pynamic: the Python Dynamic Benchmark"
+// (G. L. Lee, D. H. Ahn, B. R. de Supinski, J. Gyllenhaal, P. Miller;
+// LLNL; IISWC 2007) as a simulation-backed Go library.
+//
+// Pynamic emulates the dynamic-linking behaviour of large Python-based
+// HPC applications: a generator produces a configurable number of
+// Python extension modules and utility libraries (hundreds of DSOs,
+// hundreds of thousands of functions), and a driver imports every
+// module, visits every generated function, and optionally runs a
+// pyMPI-style MPI test, timing each phase.
+//
+// This package is the public facade. It re-exports:
+//
+//   - the generator (Config, Generate, the paper's LLNLModel and
+//     RealAppModel configurations) — internal/pygen;
+//   - the driver and its build modes (Vanilla, Link, LinkBind) —
+//     internal/driver;
+//   - the tool-startup model and the §II.B.3 cost model —
+//     internal/toolsim;
+//   - the experiment harnesses that regenerate every table and figure
+//     in the paper — internal/experiments.
+//
+// Everything is simulated: the dynamic linker, the caches, the NFS
+// filesystem, the MPI fabric and the debugger are deterministic models
+// of the paper's Zeus cluster, so results are reproducible bit-for-bit
+// from a seed. See DESIGN.md for the substitution table and
+// EXPERIMENTS.md for measured-vs-paper numbers.
+//
+// Quick start:
+//
+//	w, err := pynamic.Generate(pynamic.LLNLModel().Scaled(20))
+//	if err != nil { ... }
+//	m, err := pynamic.Run(pynamic.RunConfig{
+//		Mode:     pynamic.Vanilla,
+//		Workload: w,
+//		NTasks:   32,
+//	})
+//	fmt.Printf("import took %.1fs (simulated)\n", m.ImportSec)
+package pynamic
+
+import (
+	"repro/internal/driver"
+	"repro/internal/experiments"
+	"repro/internal/pygen"
+	"repro/internal/toolsim"
+)
+
+// Config is the generator configuration (§III of the paper): module
+// and utility-library counts, average functions per DSO, RNG seed,
+// call-chain depth, and feature toggles.
+type Config = pygen.Config
+
+// SizeModel controls symbol-name and section-size distributions.
+type SizeModel = pygen.SizeModel
+
+// Workload is a generated benchmark: the pyMPI executable image plus
+// the module and utility DSOs.
+type Workload = pygen.Workload
+
+// Generate builds a workload from a configuration.
+func Generate(cfg Config) (*Workload, error) { return pygen.Generate(cfg) }
+
+// LLNLModel returns the paper's flagship configuration: 280 Python
+// modules + 215 utility libraries averaging 1850 functions each,
+// modelling an LLNL multiphysics application (§IV).
+func LLNLModel() Config { return pygen.LLNLModel() }
+
+// RealAppModel returns the synthetic stand-in for the real
+// (export-controlled) multiphysics application, used by the Table IV
+// comparison.
+func RealAppModel() Config { return pygen.RealAppModel() }
+
+// DefaultSizeModel returns the size distributions calibrated to Table
+// III's Pynamic column.
+func DefaultSizeModel() SizeModel { return pygen.DefaultSizeModel() }
+
+// BuildMode selects the paper's build/run configuration.
+type BuildMode = driver.BuildMode
+
+// Build modes (Table I rows).
+const (
+	// Vanilla imports every module via dlopen(RTLD_NOW) at import time.
+	Vanilla = driver.Vanilla
+	// Link pre-links every generated DSO into the pyMPI executable.
+	Link = driver.Link
+	// LinkBind is Link with LD_BIND_NOW=1.
+	LinkBind = driver.LinkBind
+)
+
+// MemBackend selects memory-model fidelity.
+type MemBackend = driver.MemBackend
+
+// Memory backends.
+const (
+	// Analytic is the fast O(1)-per-event model (use at paper scale).
+	Analytic = driver.Analytic
+	// Detailed is the line-accurate cache simulation (use scaled down).
+	Detailed = driver.Detailed
+)
+
+// RunConfig configures a driver run.
+type RunConfig = driver.Config
+
+// Metrics is a driver run's report: Table I phase times and Table II
+// cache-miss counts, plus substrate statistics.
+type Metrics = driver.Metrics
+
+// Run executes the Pynamic driver over a workload.
+func Run(cfg RunConfig) (*Metrics, error) { return driver.Run(cfg) }
+
+// ToolCostModel is the §II.B.3 closed form M×N×(T1 + B×T2).
+type ToolCostModel = toolsim.CostModel
+
+// PaperCostExample returns the in-text example (500 libraries, 500
+// tasks, 10ms events, 10 breakpoints, 1ms reinserts ≈ 83 minutes).
+func PaperCostExample() ToolCostModel { return toolsim.PaperExample() }
+
+// ToolStartupConfig configures a simulated debugger attach (Table IV).
+type ToolStartupConfig = toolsim.Config
+
+// ToolStartupPhases is a Table IV column.
+type ToolStartupPhases = toolsim.Phases
+
+// ToolAttach simulates one debugger startup; run it twice against the
+// same filesystem for the cold/warm pair.
+func ToolAttach(cfg ToolStartupConfig) (ToolStartupPhases, error) {
+	return toolsim.Attach(cfg)
+}
+
+// ExperimentOptions scales the experiment harnesses.
+type ExperimentOptions = experiments.Options
+
+// TableI reproduces Tables I and II (three build-mode driver runs).
+func TableI(opts ExperimentOptions) (*experiments.TableIResult, error) {
+	return experiments.RunTableI(opts)
+}
+
+// TableIII reproduces Table III (full-scale section-size accounting).
+func TableIII(seed uint64) (*experiments.TableIIIResult, error) {
+	return experiments.RunTableIII(seed)
+}
+
+// TableIV reproduces Table IV (tool startup, cold/warm, both models).
+func TableIV(opts ExperimentOptions) (*experiments.TableIVResult, error) {
+	return experiments.RunTableIV(opts)
+}
+
+// CostModel reproduces the §II.B.3 example.
+func CostModel() *experiments.CostModelResult {
+	return experiments.RunCostModel()
+}
