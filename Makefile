@@ -1,0 +1,28 @@
+# Tier-1 verification is `make ci`: the same gate the GitHub workflow
+# runs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test bench lint ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: lint build test bench
+
+clean:
+	$(GO) clean
+	rm -rf runs .pynamic-cache

@@ -1,0 +1,162 @@
+// Command pynamic-runner sweeps the experiment matrix (named
+// experiment × parameter grid × N repeats) across a goroutine worker
+// pool, with deterministic per-cell seeds, an optional content-keyed
+// result cache, and structured artifacts per run:
+//
+//	pynamic-runner -list
+//	pynamic-runner -experiments dllcount,dllsize -repeats 3 -workers 8 -seed 42
+//	pynamic-runner -experiments all -cache -out runs
+//
+// Artifacts land in <out>/<stamp>/: manifest.json (run metadata) plus
+// results.json, results.csv, and cells.json per experiment. The
+// aggregated results.json is byte-identical for any -workers value at
+// a fixed seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("experiments", "all", "comma-separated experiment names, or 'all'")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 3, "repeats per grid cell")
+		seed     = flag.Uint64("seed", 42, "base seed for per-cell seed derivation (0 = paper-default workload seeds)")
+		out      = flag.String("out", "runs", "artifact root; each run writes <out>/<stamp>/")
+		cache    = flag.Bool("cache", false, "enable the on-disk result cache")
+		cacheDir = flag.String("cache-dir", ".pynamic-cache", "result cache directory (with -cache)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	reg := experiments.RunnerRegistry()
+	if *list {
+		for _, name := range reg.Names() {
+			e := reg.Get(name)
+			points := 0
+			if e.Grid != nil {
+				points = len(e.Grid())
+			}
+			fmt.Printf("%-16s %s (%d grid points)\n", e.Name, e.Description, points)
+		}
+		return
+	}
+
+	spec := runner.MatrixSpec{
+		Repeats: *repeats,
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	if *expFlag != "" && *expFlag != "all" {
+		for _, name := range strings.Split(*expFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				spec.Experiments = append(spec.Experiments, name)
+			}
+		}
+	}
+	if *cache {
+		c, err := runner.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Cache = c
+	}
+
+	res, err := runner.RunMatrix(reg, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	stamp := time.Now()
+	dir, err := newRunDir(*out, stamp)
+	if err != nil {
+		fatal(err)
+	}
+	files, err := runner.WriteRun(dir, spec, res, stamp)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, er := range res.Experiments {
+		fmt.Print(renderExperiment(er))
+	}
+	fmt.Printf("ran %d cells (%d executed) in %.2fs with %d workers\n",
+		res.Cells(), res.ExecutedCells, res.Elapsed.Seconds(), res.WorkersUsed)
+	if *cache {
+		fmt.Printf("cache: %d hits, %d misses (%s)\n", res.CacheHits, res.CacheMisses, *cacheDir)
+	}
+	fmt.Printf("artifacts: %d files under %s\n", len(files), dir)
+}
+
+// renderExperiment formats one experiment's aggregates: sorted param
+// columns, then mean±std per sorted metric.
+func renderExperiment(er runner.ExperimentResult) string {
+	if len(er.Aggregates) == 0 {
+		return ""
+	}
+	pKeys, mKeys := runner.ColumnKeys(er.Aggregates)
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s (repeats=%d, seed=%d)", er.Name, er.Repeats, er.Seed),
+		Header: append(append([]string{}, pKeys...), mKeys...),
+	}
+	for _, a := range er.Aggregates {
+		row := make([]string, 0, len(pKeys)+len(mKeys))
+		for _, k := range pKeys {
+			if v, ok := a.Params[k]; ok {
+				row = append(row, fmt.Sprintf("%v", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		for _, m := range mKeys {
+			s, ok := a.Stats[m]
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case a.Repeats > 1:
+				row = append(row, fmt.Sprintf("%.3f±%.3f", s.Mean, s.Std))
+			default:
+				row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// newRunDir creates a fresh stamped directory under out, suffixing
+// the stamp if another run claimed it in the same millisecond so
+// concurrent runs never interleave artifacts.
+func newRunDir(out string, stamp time.Time) (string, error) {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return "", err
+	}
+	base := filepath.Join(out, stamp.UTC().Format("20060102T150405.000"))
+	dir := base
+	for i := 1; ; i++ {
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			return dir, nil
+		}
+		if !os.IsExist(err) {
+			return "", err
+		}
+		dir = fmt.Sprintf("%s-%d", base, i)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-runner:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,14 @@
 // Command pynamic-sweep runs the paper's §V future-work scaling
-// studies:
+// studies, delegating execution to the internal/runner worker pool:
 //
 //	pynamic-sweep -dim dlls     # S1: scaling vs number of DLLs
 //	pynamic-sweep -dim size     # S2: scaling vs DLL size
 //	pynamic-sweep -dim nodes    # S3: NFS loading vs collective open
 //	pynamic-sweep -dim coverage # A2: the code-coverage extension
+//
+// -workers, -repeats, -seed, and -cache control the pool; tabulated
+// values are means across repeats. For full-matrix runs with
+// structured artifacts, use pynamic-runner.
 package main
 
 import (
@@ -14,55 +18,66 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		dim    = flag.String("dim", "dlls", "sweep dimension: dlls, size, nodes, coverage")
-		mode   = flag.String("mode", "vanilla", "build mode for dlls/size sweeps")
-		points = flag.String("points", "", "comma-separated sweep points (defaults per dimension)")
-		scale  = flag.Int("scale", 20, "workload scale divisor for nodes/coverage sweeps")
+		dim      = flag.String("dim", "dlls", "sweep dimension: dlls, size, nodes, coverage")
+		mode     = flag.String("mode", "vanilla", "build mode for dlls/size sweeps")
+		points   = flag.String("points", "", "comma-separated sweep points (defaults per dimension)")
+		scale    = flag.Int("scale", 20, "workload scale divisor for nodes/coverage sweeps")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 1, "repeats per sweep point (tabulated values are means; repeats only vary with a nonzero -seed)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-default workload seed, making all repeats identical)")
+		cache    = flag.Bool("cache", false, "enable the on-disk result cache")
+		cacheDir = flag.String("cache-dir", ".pynamic-cache", "result cache directory (with -cache)")
 	)
 	flag.Parse()
 
-	var bm driver.BuildMode
-	switch *mode {
-	case "vanilla":
-		bm = driver.Vanilla
-	case "link":
-		bm = driver.Link
-	case "link-bind":
-		bm = driver.LinkBind
-	default:
-		fmt.Fprintf(os.Stderr, "pynamic-sweep: unknown mode %q\n", *mode)
+	bm, err := experiments.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pynamic-sweep:", err)
 		os.Exit(2)
+	}
+
+	opts := experiments.MatrixOpts{
+		Workers: *workers,
+		Repeats: *repeats,
+		Seed:    *seed,
+	}
+	if *cache {
+		c, err := runner.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = c
 	}
 
 	switch *dim {
 	case "dlls":
-		r, err := experiments.RunSweepDLLCount(parseInts(*points), bm)
+		r, err := experiments.RunSweepDLLCountOpts(parseInts(*points), bm, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(r.Render())
 	case "size":
-		r, err := experiments.RunSweepDLLSize(parseInts(*points), bm)
+		r, err := experiments.RunSweepDLLSizeOpts(parseInts(*points), bm, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(r.Render())
 	case "nodes":
-		r, err := experiments.RunSweepNFS(parseInts(*points), *scale)
+		r, err := experiments.RunSweepNFSOpts(parseInts(*points), *scale, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(r.Render())
 		fmt.Print(report.RenderChecks(r.Checks()))
 	case "coverage":
-		pts, err := experiments.RunAblationCoverage(parseFloats(*points), *scale)
+		pts, err := experiments.RunAblationCoverageOpts(parseFloats(*points), *scale, opts)
 		if err != nil {
 			fatal(err)
 		}

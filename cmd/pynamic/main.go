@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/driver"
+	"repro/internal/experiments"
 	"repro/internal/pygen"
 	"repro/internal/simtime"
 )
@@ -38,16 +39,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var bm driver.BuildMode
-	switch *mode {
-	case "vanilla":
-		bm = driver.Vanilla
-	case "link":
-		bm = driver.Link
-	case "link-bind", "linkbind", "link+bind":
-		bm = driver.LinkBind
-	default:
-		fmt.Fprintf(os.Stderr, "pynamic: unknown mode %q\n", *mode)
+	bm, err := experiments.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pynamic:", err)
 		os.Exit(2)
 	}
 

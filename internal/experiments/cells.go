@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/fsim"
+	"repro/internal/pygen"
+	"repro/internal/runner"
+	"repro/internal/toolsim"
+)
+
+// This file defines the paper's sweeps and ablations as single-cell
+// functions over (params, seed) — the unit the runner's worker pool
+// executes and caches. The legacy Run* entry points in sweeps.go build
+// grids over these cells and route them through runner.RunMatrix.
+
+// ParseMode maps a CLI-style mode key to a build mode. It accepts the
+// flag spellings ("vanilla", "link", "link-bind"/"linkbind") and the
+// Table I row labels ("Vanilla", "Link", "Link+Bind").
+func ParseMode(s string) (driver.BuildMode, error) {
+	switch strings.ToLower(s) {
+	case "vanilla":
+		return driver.Vanilla, nil
+	case "link":
+		return driver.Link, nil
+	case "link-bind", "linkbind", "link+bind":
+		return driver.LinkBind, nil
+	}
+	return 0, fmt.Errorf("unknown build mode %q (want vanilla, link, or link-bind)", s)
+}
+
+// ModeKey is the inverse of ParseMode: the CLI/grid spelling of a
+// build mode.
+func ModeKey(m driver.BuildMode) string {
+	switch m {
+	case driver.Vanilla:
+		return "vanilla"
+	case driver.Link:
+		return "link"
+	case driver.LinkBind:
+		return "link-bind"
+	}
+	return "invalid"
+}
+
+// seededLLNL returns the LLNL workload model, with the cell seed
+// substituted when nonzero (seed 0 is the paper-default sentinel).
+func seededLLNL(seed uint64) pygen.Config {
+	cfg := pygen.LLNLModel()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return cfg
+}
+
+func driverMetrics(m *driver.Metrics) runner.Metrics {
+	return runner.Metrics{
+		"startup_sec": m.StartupSec,
+		"import_sec":  m.ImportSec,
+		"visit_sec":   m.VisitSec,
+		"total_sec":   m.TotalSec(),
+	}
+}
+
+// dllCountCell is one S1 point: DSO count p["dsos"] at fixed per-DSO
+// size, run in build mode p["mode"].
+func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	mode, err := ParseMode(p.Str("mode"))
+	if err != nil {
+		return nil, err
+	}
+	n := p.Int("dsos")
+	if n < 1 {
+		return nil, fmt.Errorf("dllcount: dsos must be >= 1, got %d", n)
+	}
+	cfg := seededLLNL(seed)
+	cfg.NumModules = (n*57 + 50) / 100 // keep the 57% module fraction
+	if cfg.NumModules < 1 {
+		cfg.NumModules = 1
+	}
+	cfg.NumUtils = n - cfg.NumModules
+	cfg.AvgFuncsPerModule = 200
+	cfg.AvgFuncsPerUtil = 200
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return driverMetrics(m), nil
+}
+
+// dllSizeCell is one S2 point: p["funcs"] functions per DSO at fixed
+// DSO count, run in build mode p["mode"].
+func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	mode, err := ParseMode(p.Str("mode"))
+	if err != nil {
+		return nil, err
+	}
+	nf := p.Int("funcs")
+	if nf < 1 {
+		return nil, fmt.Errorf("dllsize: funcs must be >= 1, got %d", nf)
+	}
+	cfg := seededLLNL(seed)
+	cfg.NumModules = 16
+	cfg.NumUtils = 12
+	cfg.AvgFuncsPerModule = nf
+	cfg.AvgFuncsPerUtil = nf
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return driverMetrics(m), nil
+}
+
+// nfsCell is one S3 point: p["nodes"] nodes staging the generated DSO
+// set independently from NFS versus via collective open.
+func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	nodes := p.Int("nodes")
+	if nodes < 1 {
+		return nil, fmt.Errorf("nfs: nodes must be >= 1, got %d", nodes)
+	}
+	scaleDiv := p.Int("scale_div")
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("nfs: scale_div must be >= 1, got %d", scaleDiv)
+	}
+	cfg := seededLLNL(seed).Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Independent: all nodes fault in every DSO concurrently.
+	fsI, err := fsim.New(fsim.Defaults(), nodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, img := range w.AllImages() {
+		fsI.Create(img.Path, img.FileSize())
+	}
+	var worst float64
+	for n := 0; n < nodes; n++ {
+		var nodeTime float64
+		for _, img := range w.AllImages() {
+			secs, _, err := fsI.ReadBytes(n, img.Path, img.MappedSize(), nodes)
+			if err != nil {
+				return nil, err
+			}
+			nodeTime += secs
+		}
+		if nodeTime > worst {
+			worst = nodeTime
+		}
+	}
+
+	// Collective: root fetch + broadcast per DSO.
+	fsC, err := fsim.New(fsim.Defaults(), nodes)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	var coll float64
+	for _, img := range w.AllImages() {
+		fsC.Create(img.Path, img.FileSize())
+		secs, err := fsC.CollectiveRead(ids, img.Path)
+		if err != nil {
+			return nil, err
+		}
+		coll += secs
+	}
+	return runner.Metrics{
+		"independent_sec": worst,
+		"collective_sec":  coll,
+	}, nil
+}
+
+// bindingCell is A1: the same workload's visit phase under lazy and
+// eager binding.
+func bindingCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	scaleDiv := p.Int("scale_div")
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("binding: scale_div must be >= 1, got %d", scaleDiv)
+	}
+	cfg := seededLLNL(seed).Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lazy, err := driver.Run(driver.Config{
+		Mode: driver.Link, Workload: w, NTasks: 32, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eager, err := driver.Run(driver.Config{
+		Mode: driver.LinkBind, Workload: w, NTasks: 32, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runner.Metrics{
+		"lazy_visit_sec":   lazy.VisitSec,
+		"eager_visit_sec":  eager.VisitSec,
+		"lazy_resolutions": float64(lazy.Loader.LazyResolutions),
+	}, nil
+}
+
+// coverageCell is one A2 point: the Link-build visit phase at code
+// coverage p["coverage"].
+func coverageCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	frac := p.Float("coverage")
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("coverage: fraction %v outside (0, 1]", frac)
+	}
+	scaleDiv := p.Int("scale_div")
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("coverage: scale_div must be >= 1, got %d", scaleDiv)
+	}
+	cfg := seededLLNL(seed).Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := driver.Run(driver.Config{
+		Mode: driver.Link, Workload: w, NTasks: 32, Coverage: frac, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runner.Metrics{
+		"visit_sec":     m.VisitSec,
+		"funcs_visited": float64(m.FuncsVisited),
+	}, nil
+}
+
+// aslrCell is A3: tool-attach phase 1 with homogeneous versus
+// randomized (heterogeneous) link maps.
+func aslrCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	tasks := p.Int("tasks")
+	if tasks < 1 {
+		return nil, fmt.Errorf("aslr: tasks must be >= 1, got %d", tasks)
+	}
+	scaleDiv := p.Int("scale_div")
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("aslr: scale_div must be >= 1, got %d", scaleDiv)
+	}
+	cfg := seededLLNL(seed).Scaled(scaleDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(hetero bool) (float64, error) {
+		fs, err := fsim.New(fsim.Defaults(), 4)
+		if err != nil {
+			return 0, err
+		}
+		ph, err := toolsim.Attach(toolsim.Config{
+			Workload: w, Tasks: tasks, FS: fs, HeterogeneousLinkMaps: hetero,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return ph.Phase1, nil
+	}
+	homo, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	hetero, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Metrics{
+		"homogeneous_phase1_sec":   homo,
+		"heterogeneous_phase1_sec": hetero,
+	}, nil
+}

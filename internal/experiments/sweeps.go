@@ -2,13 +2,18 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/driver"
-	"repro/internal/fsim"
-	"repro/internal/pygen"
 	"repro/internal/report"
-	"repro/internal/toolsim"
+	"repro/internal/runner"
 )
+
+// The S1/S2/S3 sweeps and A1/A2/A3 ablations are implemented as
+// runner experiments (see cells.go and registry.go). The entry points
+// below keep the original result shapes but route every grid through
+// runner.RunMatrix, so the points execute concurrently on the worker
+// pool while staying deterministic in output order.
 
 // SweepPoint is one measurement in a scaling study.
 type SweepPoint struct {
@@ -43,75 +48,87 @@ func (r *SweepResult) Render() string {
 	return t.Render()
 }
 
+// MatrixOpts carries the pool knobs for the legacy sweep entry
+// points. The zero value means: GOMAXPROCS workers, one repeat, the
+// paper-default workload seed, no cache.
+type MatrixOpts struct {
+	Workers int
+	Repeats int
+	Seed    uint64
+	Cache   runner.Cache
+}
+
+// runGrid executes one experiment over an explicit grid on the pool
+// and returns its aggregates in grid order.
+func runGrid(name string, grid []runner.Params, o MatrixOpts) ([]runner.Aggregate, error) {
+	res, err := runner.RunMatrix(RunnerRegistry(), runner.MatrixSpec{
+		Experiments: []string{name},
+		Grids:       map[string][]runner.Params{name: grid},
+		Workers:     o.Workers,
+		Repeats:     o.Repeats,
+		Seed:        o.Seed,
+		Cache:       o.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Experiments[0].Aggregates, nil
+}
+
+func sweepPoints(aggs []runner.Aggregate, xKey string) []SweepPoint {
+	var pts []SweepPoint
+	for _, a := range aggs {
+		pts = append(pts, SweepPoint{
+			X:          a.Params.Float(xKey),
+			StartupSec: a.Stats["startup_sec"].Mean,
+			ImportSec:  a.Stats["import_sec"].Mean,
+			VisitSec:   a.Stats["visit_sec"].Mean,
+			TotalSec:   a.Stats["total_sec"].Mean,
+		})
+	}
+	return pts
+}
+
 // RunSweepDLLCount is S1 (§V future work): "the scaling characteristics
 // of Pynamic with respect to the number of DLLs". The DSO count grows
 // at fixed per-DSO size; import cost should grow superlinearly because
 // each added DSO both adds lookups and deepens every search scope.
 func RunSweepDLLCount(counts []int, mode driver.BuildMode) (*SweepResult, error) {
-	if len(counts) == 0 {
-		counts = []int{8, 16, 32, 64, 128}
+	return RunSweepDLLCountOpts(counts, mode, MatrixOpts{})
+}
+
+// RunSweepDLLCountOpts is RunSweepDLLCount with explicit pool knobs.
+func RunSweepDLLCountOpts(counts []int, mode driver.BuildMode, o MatrixOpts) (*SweepResult, error) {
+	aggs, err := runGrid("dllcount", dllCountGrid(counts, []string{ModeKey(mode)}), o)
+	if err != nil {
+		return nil, err
 	}
-	res := &SweepResult{
+	return &SweepResult{
 		Name:   "S1: scaling vs number of DLLs (" + mode.String() + " build)",
 		XLabel: "DSOs",
 		Mode:   mode,
-	}
-	for _, n := range counts {
-		cfg := pygen.LLNLModel()
-		cfg.NumModules = (n*57 + 50) / 100 // keep the 57% module fraction
-		if cfg.NumModules < 1 {
-			cfg.NumModules = 1
-		}
-		cfg.NumUtils = n - cfg.NumModules
-		cfg.AvgFuncsPerModule = 200
-		cfg.AvgFuncsPerUtil = 200
-		w, err := pygen.Generate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, SweepPoint{
-			X: float64(n), StartupSec: m.StartupSec, ImportSec: m.ImportSec,
-			VisitSec: m.VisitSec, TotalSec: m.TotalSec(),
-		})
-	}
-	return res, nil
+		Points: sweepPoints(aggs, "dsos"),
+	}, nil
 }
 
 // RunSweepDLLSize is S2 (§V future work): scaling "with respect to ...
 // the size of the DLLs": fixed DSO count, growing functions per DSO.
 func RunSweepDLLSize(funcCounts []int, mode driver.BuildMode) (*SweepResult, error) {
-	if len(funcCounts) == 0 {
-		funcCounts = []int{100, 200, 400, 800, 1600}
+	return RunSweepDLLSizeOpts(funcCounts, mode, MatrixOpts{})
+}
+
+// RunSweepDLLSizeOpts is RunSweepDLLSize with explicit pool knobs.
+func RunSweepDLLSizeOpts(funcCounts []int, mode driver.BuildMode, o MatrixOpts) (*SweepResult, error) {
+	aggs, err := runGrid("dllsize", dllSizeGrid(funcCounts, []string{ModeKey(mode)}), o)
+	if err != nil {
+		return nil, err
 	}
-	res := &SweepResult{
+	return &SweepResult{
 		Name:   "S2: scaling vs DLL size (" + mode.String() + " build)",
 		XLabel: "functions per DSO",
 		Mode:   mode,
-	}
-	for _, nf := range funcCounts {
-		cfg := pygen.LLNLModel()
-		cfg.NumModules = 16
-		cfg.NumUtils = 12
-		cfg.AvgFuncsPerModule = nf
-		cfg.AvgFuncsPerUtil = nf
-		w, err := pygen.Generate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, SweepPoint{
-			X: float64(nf), StartupSec: m.StartupSec, ImportSec: m.ImportSec,
-			VisitSec: m.VisitSec, TotalSec: m.TotalSec(),
-		})
-	}
-	return res, nil
+		Points: sweepPoints(aggs, "funcs"),
+	}, nil
 }
 
 // NFSPoint is one node count in the S3 study.
@@ -132,62 +149,21 @@ type NFSSweepResult struct {
 // independent loading of the generated DSO set against the proposed
 // collective-open extension as the node count grows.
 func RunSweepNFS(nodeCounts []int, scaleDiv int) (*NFSSweepResult, error) {
-	if len(nodeCounts) == 0 {
-		nodeCounts = []int{4, 16, 64, 256}
-	}
-	if scaleDiv < 1 {
-		scaleDiv = 20
-	}
-	cfg := pygen.LLNLModel().Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	return RunSweepNFSOpts(nodeCounts, scaleDiv, MatrixOpts{})
+}
+
+// RunSweepNFSOpts is RunSweepNFS with explicit pool knobs.
+func RunSweepNFSOpts(nodeCounts []int, scaleDiv int, o MatrixOpts) (*NFSSweepResult, error) {
+	aggs, err := runGrid("nfs", nfsGrid(nodeCounts, scaleDiv), o)
 	if err != nil {
 		return nil, err
 	}
 	res := &NFSSweepResult{}
-	for _, nodes := range nodeCounts {
-		// Independent: all nodes fault in every DSO concurrently.
-		fsI, err := fsim.New(fsim.Defaults(), nodes)
-		if err != nil {
-			return nil, err
-		}
-		for _, img := range w.AllImages() {
-			fsI.Create(img.Path, img.FileSize())
-		}
-		var worst float64
-		for n := 0; n < nodes; n++ {
-			var nodeTime float64
-			for _, img := range w.AllImages() {
-				secs, _, err := fsI.ReadBytes(n, img.Path, img.MappedSize(), nodes)
-				if err != nil {
-					return nil, err
-				}
-				nodeTime += secs
-			}
-			if nodeTime > worst {
-				worst = nodeTime
-			}
-		}
-
-		// Collective: root fetch + broadcast per DSO.
-		fsC, err := fsim.New(fsim.Defaults(), nodes)
-		if err != nil {
-			return nil, err
-		}
-		ids := make([]int, nodes)
-		for i := range ids {
-			ids[i] = i
-		}
-		var coll float64
-		for _, img := range w.AllImages() {
-			fsC.Create(img.Path, img.FileSize())
-			secs, err := fsC.CollectiveRead(ids, img.Path)
-			if err != nil {
-				return nil, err
-			}
-			coll += secs
-		}
+	for _, a := range aggs {
 		res.Points = append(res.Points, NFSPoint{
-			Nodes: nodes, IndependentSecs: worst, CollectiveSecs: coll,
+			Nodes:           a.Params.Int("nodes"),
+			IndependentSecs: a.Stats["independent_sec"].Mean,
+			CollectiveSecs:  a.Stats["collective_sec"].Mean,
 		})
 	}
 	return res, nil
@@ -248,25 +224,17 @@ type AblationBindingResult struct {
 // lazy and eager binding — the isolated Table I mechanism.
 func RunAblationBinding(scaleDiv int) (*AblationBindingResult, error) {
 	if scaleDiv < 1 {
-		scaleDiv = 10
+		scaleDiv = defaultAblationScaleDiv
 	}
-	cfg := pygen.LLNLModel().Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	aggs, err := runGrid("ablate-binding", []runner.Params{{"scale_div": scaleDiv}}, MatrixOpts{})
 	if err != nil {
 		return nil, err
 	}
-	lazy, err := driver.Run(driver.Config{Mode: driver.Link, Workload: w, NTasks: 32})
-	if err != nil {
-		return nil, err
-	}
-	eager, err := driver.Run(driver.Config{Mode: driver.LinkBind, Workload: w, NTasks: 32})
-	if err != nil {
-		return nil, err
-	}
+	s := aggs[0].Stats
 	return &AblationBindingResult{
-		LazyVisitSec:    lazy.VisitSec,
-		EagerVisitSec:   eager.VisitSec,
-		LazyResolutions: lazy.Loader.LazyResolutions,
+		LazyVisitSec:    s["lazy_visit_sec"].Mean,
+		EagerVisitSec:   s["eager_visit_sec"].Mean,
+		LazyResolutions: uint64(math.Round(s["lazy_resolutions"].Mean)),
 	}, nil
 }
 
@@ -280,27 +248,22 @@ type CoveragePoint struct {
 // RunAblationCoverage is A2 (§V future work): "Allowing Pynamic to be
 // configured with a specified code coverage".
 func RunAblationCoverage(fractions []float64, scaleDiv int) ([]CoveragePoint, error) {
-	if len(fractions) == 0 {
-		fractions = []float64{0.25, 0.5, 0.75, 1.0}
-	}
-	if scaleDiv < 1 {
-		scaleDiv = 10
-	}
-	cfg := pygen.LLNLModel().Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	return RunAblationCoverageOpts(fractions, scaleDiv, MatrixOpts{})
+}
+
+// RunAblationCoverageOpts is RunAblationCoverage with explicit pool
+// knobs.
+func RunAblationCoverageOpts(fractions []float64, scaleDiv int, o MatrixOpts) ([]CoveragePoint, error) {
+	aggs, err := runGrid("ablate-coverage", coverageGrid(fractions, scaleDiv), o)
 	if err != nil {
 		return nil, err
 	}
 	var out []CoveragePoint
-	for _, frac := range fractions {
-		m, err := driver.Run(driver.Config{
-			Mode: driver.Link, Workload: w, NTasks: 32, Coverage: frac,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for _, a := range aggs {
 		out = append(out, CoveragePoint{
-			Coverage: frac, VisitSec: m.VisitSec, FuncsVisited: m.FuncsVisited,
+			Coverage:     a.Params.Float("coverage"),
+			VisitSec:     a.Stats["visit_sec"].Mean,
+			FuncsVisited: uint64(math.Round(a.Stats["funcs_visited"].Mean)),
 		})
 	}
 	return out, nil
@@ -316,35 +279,19 @@ type AblationASLRResult struct {
 // tool's ability to share parsed state across tasks.
 func RunAblationASLR(tasks, scaleDiv int) (*AblationASLRResult, error) {
 	if tasks <= 0 {
-		tasks = 32
+		tasks = defaultAblationTasks
 	}
 	if scaleDiv < 1 {
-		scaleDiv = 10
+		scaleDiv = defaultAblationScaleDiv
 	}
-	cfg := pygen.LLNLModel().Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	aggs, err := runGrid("ablate-aslr",
+		[]runner.Params{{"tasks": tasks, "scale_div": scaleDiv}}, MatrixOpts{})
 	if err != nil {
 		return nil, err
 	}
-	run := func(hetero bool) (float64, error) {
-		fs, err := fsim.New(fsim.Defaults(), 4)
-		if err != nil {
-			return 0, err
-		}
-		ph, err := toolsim.Attach(toolsim.Config{
-			Workload: w, Tasks: tasks, FS: fs, HeterogeneousLinkMaps: hetero,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return ph.Phase1, nil
-	}
-	var res AblationASLRResult
-	if res.HomogeneousPhase1, err = run(false); err != nil {
-		return nil, err
-	}
-	if res.HeterogeneousPhase1, err = run(true); err != nil {
-		return nil, err
-	}
-	return &res, nil
+	s := aggs[0].Stats
+	return &AblationASLRResult{
+		HomogeneousPhase1:   s["homogeneous_phase1_sec"].Mean,
+		HeterogeneousPhase1: s["heterogeneous_phase1_sec"].Mean,
+	}, nil
 }

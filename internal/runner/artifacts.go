@@ -1,0 +1,188 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Manifest is the run-level metadata written alongside the per-
+// experiment artifacts. It carries everything run-dependent (wall
+// clock, cache traffic) so results.json stays byte-identical across
+// worker counts and cache states.
+type Manifest struct {
+	Stamp        string   `json:"stamp"`
+	Experiments  []string `json:"experiments"`
+	Workers      int      `json:"workers"`
+	Repeats      int      `json:"repeats"`
+	Seed         uint64   `json:"seed"`
+	Cells        int      `json:"cells"`
+	CellsRun     int      `json:"cells_executed"`
+	CacheEnabled bool     `json:"cache_enabled"`
+	CacheHits    int      `json:"cache_hits"`
+	CacheMisses  int      `json:"cache_misses"`
+	ElapsedSec   float64  `json:"elapsed_sec"`
+}
+
+// WriteRun writes the structured artifacts for one matrix run under
+// dir:
+//
+//	dir/manifest.json            run metadata (timing, cache stats)
+//	dir/<experiment>/results.json  deterministic aggregates
+//	dir/<experiment>/results.csv   one row per grid point
+//	dir/<experiment>/cells.json    raw per-cell metrics
+//
+// and returns the list of files written.
+func WriteRun(dir string, spec MatrixSpec, res *MatrixResult, stamp time.Time) ([]string, error) {
+	var files []string
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(res.Experiments))
+	for _, e := range res.Experiments {
+		names = append(names, e.Name)
+	}
+	man := Manifest{
+		Stamp:        stamp.UTC().Format(time.RFC3339),
+		Experiments:  names,
+		Workers:      res.WorkersUsed,
+		Repeats:      spec.EffectiveRepeats(),
+		Seed:         spec.Seed,
+		Cells:        res.Cells(),
+		CellsRun:     res.ExecutedCells,
+		CacheEnabled: spec.Cache != nil,
+		CacheHits:    res.CacheHits,
+		CacheMisses:  res.CacheMisses,
+		ElapsedSec:   res.Elapsed.Seconds(),
+	}
+	p := filepath.Join(dir, "manifest.json")
+	if err := writeJSON(p, man); err != nil {
+		return nil, err
+	}
+	files = append(files, p)
+
+	for _, e := range res.Experiments {
+		sub := filepath.Join(dir, e.Name)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+		rp := filepath.Join(sub, "results.json")
+		if err := writeJSON(rp, struct {
+			Name       string      `json:"name"`
+			Repeats    int         `json:"repeats"`
+			Seed       uint64      `json:"seed"`
+			Aggregates []Aggregate `json:"aggregates"`
+		}{e.Name, e.Repeats, e.Seed, e.Aggregates}); err != nil {
+			return nil, err
+		}
+		cp := filepath.Join(sub, "cells.json")
+		if err := writeJSON(cp, e.Cells); err != nil {
+			return nil, err
+		}
+		vp := filepath.Join(sub, "results.csv")
+		if err := writeCSV(vp, e); err != nil {
+			return nil, err
+		}
+		files = append(files, rp, cp, vp)
+	}
+	return files, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ColumnKeys returns the union of parameter names and of metric names
+// across aggregates, each sorted — so artifacts never silently drop a
+// column when grid points are heterogeneous.
+func ColumnKeys(aggs []Aggregate) (pKeys, mKeys []string) {
+	pSeen, mSeen := map[string]bool{}, map[string]bool{}
+	for _, a := range aggs {
+		for k := range a.Params {
+			if !pSeen[k] {
+				pSeen[k] = true
+				pKeys = append(pKeys, k)
+			}
+		}
+		for k := range a.Stats {
+			if !mSeen[k] {
+				mSeen[k] = true
+				mKeys = append(mKeys, k)
+			}
+		}
+	}
+	sort.Strings(pKeys)
+	sort.Strings(mKeys)
+	return pKeys, mKeys
+}
+
+// writeCSV renders one row per grid point: the sorted parameter
+// columns followed by mean/std/min/max columns per sorted metric name.
+func writeCSV(path string, e ExperimentResult) error {
+	if len(e.Aggregates) == 0 {
+		return os.WriteFile(path, nil, 0o644)
+	}
+	pKeys, mKeys := ColumnKeys(e.Aggregates)
+
+	header := append([]string{}, pKeys...)
+	header = append(header, "repeats")
+	for _, m := range mKeys {
+		header = append(header, m+"_mean", m+"_std", m+"_min", m+"_max")
+	}
+	rows := [][]string{header}
+	for _, a := range e.Aggregates {
+		row := make([]string, 0, len(header))
+		for _, k := range pKeys {
+			row = append(row, formatParam(a.Params[k]))
+		}
+		row = append(row, strconv.Itoa(a.Repeats))
+		for _, m := range mKeys {
+			if s, ok := a.Stats[m]; ok {
+				row = append(row, ff(s.Mean), ff(s.Std), ff(s.Min), ff(s.Max))
+			} else {
+				// metric absent from this grid point: empty, not 0
+				row = append(row, "", "", "", "")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func formatParam(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "" // param absent from this grid point
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return ff(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Cache stores cell results keyed by content: experiment name +
+// canonical config + derived seed. Implementations must be safe for
+// concurrent use by pool workers.
+type Cache interface {
+	Get(key string) (Metrics, bool)
+	Put(key string, m Metrics)
+}
+
+// cacheSchema invalidates all persisted entries when the cached
+// Metrics layout or cell semantics change. Bump it alongside such
+// changes.
+const cacheSchema = "pynamic-cache-v1"
+
+// CacheKey builds the content key for one cell from the experiment
+// name, the canonicalized grid point, and the derived seed (plus the
+// schema version). Changing any of those reaches a fresh entry; the
+// key cannot see changes to the simulator code or model constants
+// themselves, so clear the cache directory (`make clean`) after code
+// changes that alter results.
+func CacheKey(experiment, canonical string, seed uint64) string {
+	h := sha256.New()
+	h.Write([]byte(cacheSchema))
+	h.Write([]byte{0})
+	h.Write([]byte(experiment))
+	h.Write([]byte{0})
+	h.Write([]byte(canonical))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.FormatUint(seed, 10)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MemCache is an in-memory cache.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]Metrics
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: map[string]Metrics{}}
+}
+
+// Get returns an independent copy of the cached metrics for key, if
+// present — callers may mutate the result without corrupting the
+// cache.
+func (c *MemCache) Get(key string) (Metrics, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.m[key]
+	return m.Clone(), ok
+}
+
+// Put stores a copy of the metrics under key.
+func (c *MemCache) Put(key string, m Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = m.Clone()
+}
+
+// DiskCache persists results as one JSON file per key under a root
+// directory, fronted by an in-memory layer so repeated Gets within a
+// process never re-read the disk.
+type DiskCache struct {
+	root string
+	mem  *MemCache
+}
+
+// NewDiskCache opens (creating if needed) a disk cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create cache dir: %w", err)
+	}
+	return &DiskCache{root: dir, mem: NewMemCache()}, nil
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.root, key+".json")
+}
+
+// Get returns the cached metrics for key, consulting memory first and
+// then disk. Corrupt or unreadable entries are treated as misses.
+func (c *DiskCache) Get(key string) (Metrics, bool) {
+	if m, ok := c.mem.Get(key); ok {
+		return m, true
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var m Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false
+	}
+	c.mem.Put(key, m)
+	return m, true
+}
+
+// Put stores metrics under key in memory and on disk. The file is
+// written to a temp name and renamed so concurrent readers never see a
+// partial entry; disk errors are ignored (the memory layer still
+// serves the result for this process).
+func (c *DiskCache) Put(key string, m Metrics) {
+	c.mem.Put(key, m)
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.root, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}

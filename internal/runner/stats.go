@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"math"
+	"sort"
+)
+
+// Stat summarizes one metric across repeats.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Aggregate is the repeat summary for one grid point: a Stat per
+// metric name.
+type Aggregate struct {
+	Params  Params          `json:"params"`
+	Repeats int             `json:"repeats"`
+	Stats   map[string]Stat `json:"stats"`
+}
+
+// AggregateCells folds one grid point's repeat cells into per-metric
+// statistics. Metric names are the union across cells (a conditional
+// metric absent from some repeats is aggregated over the repeats that
+// report it, never zero-filled). Std is the sample standard deviation
+// (n-1 denominator; 0 for a single value). Cells are consumed in
+// slice order so the floating-point accumulation is independent of
+// pool scheduling.
+func AggregateCells(p Params, cells []CellResult) Aggregate {
+	agg := Aggregate{Params: p, Repeats: len(cells), Stats: map[string]Stat{}}
+	seen := map[string]bool{}
+	var names []string
+	for _, c := range cells {
+		for name := range c.Metrics {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var vals []float64
+		for _, c := range cells {
+			if v, ok := c.Metrics[name]; ok {
+				vals = append(vals, v)
+			}
+		}
+		s := Stat{Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+		s.Mean = sum / float64(len(vals))
+		if len(vals) > 1 {
+			var ss float64
+			for _, v := range vals {
+				d := v - s.Mean
+				ss += d * d
+			}
+			s.Std = math.Sqrt(ss / float64(len(vals)-1))
+		}
+		agg.Stats[name] = s
+	}
+	return agg
+}
