@@ -22,11 +22,14 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/driver"
+	"repro/internal/dynld"
 	"repro/internal/experiments"
 	"repro/internal/fsim"
+	"repro/internal/memsim"
 	"repro/internal/mpisim"
 	"repro/internal/pygen"
 	"repro/internal/pympi"
+	"repro/internal/simtime"
 	"repro/internal/toolsim"
 )
 
@@ -195,6 +198,110 @@ func BenchmarkAblationASLR(b *testing.B) {
 		last = r
 	}
 	b.ReportMetric(last.HeterogeneousPhase1/last.HomogeneousPhase1, "sim-slowdown-x")
+}
+
+// ---------------------------------------------------------------------
+// Dynld symbol-lookup fast-path benchmarks: every pair runs the same
+// simulated work with the memoized fast path on (fast) and off
+// (baseline). CI gates on the fast/baseline ratio against the numbers
+// committed in testdata/dynld_bench_baseline.txt.
+
+type pltSite struct {
+	le *dynld.LinkEntry
+	ri int
+}
+
+// benchDynldLoader builds a Link-style loader (everything prelinked,
+// lazy PLT) over the bench workload and force-binds every jump slot,
+// returning the steady-state call sites.
+func benchDynldLoader(b *testing.B, noFast bool) (*dynld.Loader, *pygen.Workload, []pltSite) {
+	b.Helper()
+	w := benchWorkload(b)
+	mem := memsim.NewAnalytic(memsim.ZeusConfig())
+	fs, err := fsim.New(fsim.Defaults(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := simtime.NewClock(cluster.Zeus().CoreHz)
+	ld := dynld.New(mem, fs, clock, dynld.Options{Clients: 1, NoFastPath: noFast})
+	for _, img := range w.AllImages() {
+		ld.Install(img)
+	}
+	ld.Install(w.Exe)
+	if _, err := ld.StartupExecutable(w.Exe); err != nil {
+		b.Fatal(err)
+	}
+	if err := ld.StartupPrelinked(w.Sonames()); err != nil {
+		b.Fatal(err)
+	}
+	var sites []pltSite
+	for _, le := range ld.LinkMap() {
+		for _, ri := range le.Image.PLTRelocs() {
+			if _, _, err := ld.ResolvePLTFunc(le, ri); err != nil {
+				b.Fatal(err)
+			}
+			sites = append(sites, pltSite{le, ri})
+		}
+	}
+	return ld, w, sites
+}
+
+func benchFastBaseline(b *testing.B, run func(b *testing.B, noFast bool)) {
+	b.Run("fast", func(b *testing.B) { run(b, false) })
+	b.Run("baseline", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkDynldSymbolLookup measures the steady-state bound-PLT
+// resolution path (the visit phase's hot loop): one op resolves every
+// jump slot in the link map once.
+func BenchmarkDynldSymbolLookup(b *testing.B) {
+	benchFastBaseline(b, func(b *testing.B, noFast bool) {
+		ld, _, sites := benchDynldLoader(b, noFast)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sites {
+				if _, _, err := ld.ResolvePLTFunc(s.le, s.ri); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites)), "slots")
+	})
+}
+
+// BenchmarkDynldCachedDlopen measures the §IV.A cached-dlopen path
+// (import of an already-linked module): one op re-opens every module,
+// paying the dependency-closure re-verification walk each time.
+func BenchmarkDynldCachedDlopen(b *testing.B) {
+	benchFastBaseline(b, func(b *testing.B, noFast bool) {
+		ld, w, _ := benchDynldLoader(b, noFast)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, img := range w.Modules {
+				if _, err := ld.Dlopen(img.Name, dynld.RTLDLazy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDynldDriverLink is the end-to-end cross-check: a full Link
+// build driver run (startup + import + visit) with the fast path on
+// and off. The simulated results are identical (see the driver's
+// fast-path equivalence test); only host ns/op may differ.
+func BenchmarkDynldDriverLink(b *testing.B) {
+	benchFastBaseline(b, func(b *testing.B, noFast bool) {
+		w := benchWorkload(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(RunConfig{
+				Mode: Link, Workload: w, NTasks: 32, NoFastPath: noFast,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkGenerate measures the generator itself at 1/10 scale.

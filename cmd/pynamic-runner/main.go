@@ -5,7 +5,12 @@
 //
 //	pynamic-runner -list
 //	pynamic-runner -experiments dllcount,dllsize -repeats 3 -workers 8 -seed 42
+//	pynamic-runner -experiments 'scenario:*' -workers 8 -seed 7
 //	pynamic-runner -experiments all -cache -out runs
+//
+// A trailing '*' in an -experiments entry expands to every registered
+// experiment with that prefix (e.g. 'scenario:*' selects the whole
+// scenario catalog).
 //
 // Artifacts land in <out>/<stamp>/: manifest.json (run metadata) plus
 // results.json, results.csv, and cells.json per experiment. The
@@ -60,7 +65,11 @@ func main() {
 	if *expFlag != "" && *expFlag != "all" {
 		for _, name := range strings.Split(*expFlag, ",") {
 			if name = strings.TrimSpace(name); name != "" {
-				spec.Experiments = append(spec.Experiments, name)
+				expanded, err := expandPattern(reg, name)
+				if err != nil {
+					fatal(err)
+				}
+				spec.Experiments = append(spec.Experiments, expanded...)
 			}
 		}
 	}
@@ -96,6 +105,27 @@ func main() {
 		fmt.Printf("cache: %d hits, %d misses (%s)\n", res.CacheHits, res.CacheMisses, *cacheDir)
 	}
 	fmt.Printf("artifacts: %d files under %s\n", len(files), dir)
+}
+
+// expandPattern resolves one -experiments entry: a literal name passes
+// through (RunMatrix validates it); a trailing '*' selects every
+// registered experiment with the preceding prefix, in registration
+// order.
+func expandPattern(reg *runner.Registry, pattern string) ([]string, error) {
+	if !strings.HasSuffix(pattern, "*") {
+		return []string{pattern}, nil
+	}
+	prefix := strings.TrimSuffix(pattern, "*")
+	var out []string
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pattern %q matches no registered experiment", pattern)
+	}
+	return out, nil
 }
 
 // renderExperiment formats one experiment's aggregates: sorted param

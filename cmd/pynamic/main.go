@@ -16,6 +16,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/pygen"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
 
@@ -36,8 +37,18 @@ func main() {
 		aslr      = flag.Bool("aslr", false, "randomize load addresses (exec-shield)")
 		scale     = flag.Int("scale", 1, "divide DSO counts by this factor")
 		manifest  = flag.String("manifest", "", "write the workload manifest (JSON) to this file")
+		scenarios = flag.Bool("scenarios", false, "list the scenario catalog and exit")
 	)
 	flag.Parse()
+
+	if *scenarios {
+		fmt.Println("scenario catalog (run with: pynamic-runner -experiments <name>):")
+		for _, s := range scenario.Catalog() {
+			fmt.Printf("  %-26s %s (%d grid points)\n",
+				scenario.Prefix+s.Name, s.Description, len(s.Knobs()))
+		}
+		return
+	}
 
 	bm, err := experiments.ParseMode(*mode)
 	if err != nil {

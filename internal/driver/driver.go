@@ -97,6 +97,10 @@ type Config struct {
 	// SharedFS reuses a caller-provided filesystem (for cold/warm
 	// sequences); when nil a fresh one is created.
 	SharedFS *fsim.FS
+	// NoFastPath disables the loader's host-side symbol-lookup fast
+	// path (see internal/dynld); simulated results are unchanged. Used
+	// by equivalence tests and the before/after benchmarks.
+	NoFastPath bool
 
 	Seed uint64
 }
@@ -217,11 +221,12 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 	clock := simtime.NewClock(cfg.Cluster.CoreHz)
 	ld := dynld.New(mem, fs, clock, dynld.Options{
-		BindNow: cfg.Mode == LinkBind,
-		ASLR:    cfg.ASLR,
-		Seed:    cfg.Seed,
-		NodeID:  0,
-		Clients: place.NodesUsed(),
+		BindNow:    cfg.Mode == LinkBind,
+		ASLR:       cfg.ASLR,
+		Seed:       cfg.Seed,
+		NodeID:     0,
+		Clients:    place.NodesUsed(),
+		NoFastPath: cfg.NoFastPath,
 	})
 	w := cfg.Workload
 	for _, img := range w.AllImages() {

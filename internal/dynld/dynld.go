@@ -36,6 +36,28 @@
 // against the memory simulator; the *outcome* is computed from the
 // definition index so simulation stays O(1) per lookup even with
 // hundreds of objects in scope.
+//
+// # Symbol-lookup fast path
+//
+// Host-side (not simulated) symbol resolution is served by a layered
+// fast path so large scenario workloads stay tractable:
+//
+//   - The first-definer index is presized from the per-object hashed
+//     symbol indexes of every installed image, so registering hundreds
+//     of thousands of definitions never rehashes incrementally.
+//   - Each relocation slot memoizes its resolved definition (and, for
+//     jump slots, the target function index), turning the hot
+//     bound-PLT path from two hash lookups per call into two array
+//     reads.
+//   - The dependency-closure re-verification walk that every cached
+//     dlopen pays is memoized per root object and invalidated whenever
+//     the link map gains an object (a generation counter guards
+//     staleness; dlclose keeps objects resident, so it cannot change
+//     walk order and does not invalidate).
+//
+// The fast path never changes simulated outcomes: memory traffic,
+// clock time, and Stats are byte-identical with Options.NoFastPath
+// set, which exists for equivalence tests and before/after benchmarks.
 package dynld
 
 import (
@@ -75,6 +97,10 @@ type Options struct {
 	// concurrently (an N-task job starts N processes that all map the
 	// same DSOs).
 	Clients int
+	// NoFastPath disables the host-side symbol-lookup fast path (see
+	// the package comment). Simulated results are identical either
+	// way; the toggle exists for equivalence tests and benchmarks.
+	NoFastPath bool
 }
 
 // Stats counts loader activity.
@@ -108,6 +134,22 @@ type LinkEntry struct {
 
 	pltBound    []bool // per-reloc lazy-binding state (JUMP_SLOT only)
 	gotResolved bool
+
+	// Fast-path memos (nil when Options.NoFastPath is set).
+	//
+	// relocDef caches the resolved definition per relocation slot. A
+	// slot's binding is final once established (real ELF semantics:
+	// the GOT holds the resolved address; later dlopens never rebind
+	// an existing slot), so these entries are never invalidated.
+	relocDef []DefSite
+	// relocFunc caches the target function index per jump slot,
+	// encoded as 0 = unset, 1 = not a function, fi+2 otherwise.
+	relocFunc []int32
+	// closure memoizes the reverifyClosure walk rooted here, in walk
+	// order; valid only while closureGen matches the loader's scopeGen
+	// (mapping any new object invalidates it).
+	closure    []*LinkEntry
+	closureGen uint64
 }
 
 // Addr returns the absolute simulated address of offset off within
@@ -130,6 +172,14 @@ type Loader struct {
 	linkMap  []*LinkEntry
 	bySoname map[string]*LinkEntry
 	defs     map[elfimg.SymID]DefSite // first definition in scope order
+
+	// installedSyms counts symbols across installed images; the fast
+	// path presizes defs from it so registration never rehashes.
+	installedSyms int
+	// scopeGen increments whenever the link map gains an object;
+	// memoized scope state is valid only while its stamped generation
+	// matches.
+	scopeGen uint64
 
 	nextBase uint64
 
@@ -192,7 +242,6 @@ func New(mem memsim.Memory, fs *fsim.FS, clock *simtime.Clock, opts Options) *Lo
 		rng:      xrand.New(opts.Seed ^ 0xd1f),
 		registry: make(map[string]*elfimg.Image),
 		bySoname: make(map[string]*LinkEntry),
-		defs:     make(map[elfimg.SymID]DefSite),
 		nextBase: loadBase,
 	}
 }
@@ -200,6 +249,9 @@ func New(mem memsim.Memory, fs *fsim.FS, clock *simtime.Clock, opts Options) *Lo
 // Install registers an image as present on the filesystem. It must be
 // called before the image can be loaded.
 func (ld *Loader) Install(img *elfimg.Image) {
+	if _, dup := ld.registry[img.Name]; !dup {
+		ld.installedSyms += len(img.Syms)
+	}
 	ld.registry[img.Name] = img
 	ld.fs.Create(img.Path, img.FileSize())
 }
@@ -273,14 +325,29 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 		Prelinked: prelinked,
 		pltBound:  make([]bool, len(img.Relocs)),
 	}
+	if !ld.opts.NoFastPath {
+		le.relocDef = make([]DefSite, len(img.Relocs))
+		le.relocFunc = make([]int32, len(img.Relocs))
+	}
 	ld.linkMap = append(ld.linkMap, le)
 	ld.bySoname[img.Name] = le
+	ld.scopeGen++
 
 	// Header/program-header parsing.
 	ld.mem.Instructions(instrPerMapObject)
 	ld.mem.Stream(memsim.Read, le.Base, 4096)
 
 	// Register definitions (first definer in scope wins, SysV rules).
+	// The fast path presizes the index for every installed image's
+	// symbols up front, so the registration loop never pays an
+	// incremental rehash of a table with 10^5+ entries.
+	if ld.defs == nil {
+		hint := 0
+		if !ld.opts.NoFastPath {
+			hint = ld.installedSyms
+		}
+		ld.defs = make(map[elfimg.SymID]DefSite, hint)
+	}
 	for i, s := range img.Syms {
 		if s.Local {
 			continue
@@ -402,16 +469,20 @@ func (ld *Loader) relocate(le *LinkEntry, eager bool) error {
 			ld.stats.RelocsProcessed++
 		case r.Type == elfimg.RelocGOTData:
 			ld.mem.Instructions(instrPerReloc)
-			if _, err := ld.lookup(le, r.Sym); err != nil {
+			def, err := ld.lookup(le, r.Sym)
+			if err != nil {
 				return err
 			}
+			le.memoizeReloc(i, def)
 			ld.mem.Touch(memsim.Write, slot, 8)
 			ld.stats.RelocsProcessed++
 		case r.Type == elfimg.RelocJumpSlot && eager:
 			ld.mem.Instructions(instrPerReloc)
-			if _, err := ld.lookup(le, r.Sym); err != nil {
+			def, err := ld.lookup(le, r.Sym)
+			if err != nil {
 				return err
 			}
+			le.memoizeReloc(i, def)
 			ld.mem.Touch(memsim.Write, slot, 8)
 			le.pltBound[i] = true
 			ld.stats.RelocsProcessed++
@@ -428,6 +499,15 @@ func (ld *Loader) relocate(le *LinkEntry, eager bool) error {
 // gotSlotOff returns the GOT offset of relocation slot i (past the
 // three reserved header entries).
 func gotSlotOff(i int) uint64 { return 3*8 + uint64(i)*8 }
+
+// memoizeReloc records the final binding of relocation slot i. A slot
+// binds at most once (the GOT then holds the resolved address), so the
+// memo needs no invalidation.
+func (le *LinkEntry) memoizeReloc(i int, def DefSite) {
+	if le.relocDef != nil {
+		le.relocDef[i] = def
+	}
+}
 
 // mapBFS maps the given root objects and their DT_NEEDED closure
 // breadth-first — the order glibc's _dl_map_object_deps produces, which
@@ -547,19 +627,27 @@ func (ld *Loader) Dlopen(soname string, flags Flags) (*LinkEntry, error) {
 // table is read, not the full multi-hundred-megabyte name pool — which
 // is why the paper measures this path at roughly a third of a full
 // load, not near-zero and not equal.
+//
+// The walk order (hence the issued traffic) is a pure function of the
+// link map, so the fast path memoizes it per root and replays the
+// member list until the link map mutates again.
 func (ld *Loader) reverifyClosure(root *LinkEntry) {
+	if root.closure != nil && root.closureGen == ld.scopeGen {
+		for _, le := range root.closure {
+			ld.verifyClosureMember(le)
+		}
+		return
+	}
 	seen := map[string]bool{}
+	var order []*LinkEntry
 	var walk func(le *LinkEntry)
 	walk = func(le *LinkEntry) {
 		if seen[le.Image.Name] {
 			return
 		}
 		seen[le.Image.Name] = true
-		ld.mem.Instructions(instrPerVerifyDep)
-		l := le.Image.Layout
-		ld.mem.Stream(memsim.Read, le.Addr(l.Hash, 0), l.Hash.Size)
-		ld.mem.Stream(memsim.Read, le.Addr(l.SymTab, 0), l.SymTab.Size)
-		ld.mem.Stream(memsim.Read, le.Addr(l.StrTab, 0), l.StrTab.Size/16)
+		ld.verifyClosureMember(le)
+		order = append(order, le)
 		for _, dep := range le.Image.Deps {
 			if d, ok := ld.bySoname[dep]; ok {
 				walk(d)
@@ -567,6 +655,19 @@ func (ld *Loader) reverifyClosure(root *LinkEntry) {
 		}
 	}
 	walk(root)
+	if !ld.opts.NoFastPath {
+		root.closure, root.closureGen = order, ld.scopeGen
+	}
+}
+
+// verifyClosureMember issues one closure member's re-verification
+// traffic: dependency bookkeeping plus the hash/symbol/version reads.
+func (ld *Loader) verifyClosureMember(le *LinkEntry) {
+	ld.mem.Instructions(instrPerVerifyDep)
+	l := le.Image.Layout
+	ld.mem.Stream(memsim.Read, le.Addr(l.Hash, 0), l.Hash.Size)
+	ld.mem.Stream(memsim.Read, le.Addr(l.SymTab, 0), l.SymTab.Size)
+	ld.mem.Stream(memsim.Read, le.Addr(l.StrTab, 0), l.StrTab.Size/16)
 }
 
 // Dlclose drops a reference. The object is NOT unmapped at zero (glibc
@@ -578,6 +679,10 @@ func (ld *Loader) Dlclose(le *LinkEntry) error {
 	}
 	le.Refcount--
 	ld.stats.Dlcloses++
+	// No scopeGen bump: dropping a reference never unmaps (glibc keeps
+	// the object resident), so link-map membership — the only input to
+	// the memoized closure walks — is unchanged. Any future true
+	// unload path must increment scopeGen when it removes entries.
 	return nil
 }
 
@@ -598,10 +703,19 @@ func (ld *Loader) ResolvePLT(le *LinkEntry, relocIdx int) (DefSite, error) {
 	ld.mem.Touch(memsim.IFetch, le.Addr(img.Layout.PLT, 16+uint64(relocIdx)*16), 16)
 	ld.mem.Touch(memsim.Read, slot, 8)
 	if le.pltBound[relocIdx] {
+		// Fast path: the slot's binding was memoized when it bound, so
+		// the hot already-bound case is an array read, not a hash
+		// lookup per call.
+		if le.relocDef != nil {
+			if def := le.relocDef[relocIdx]; def.Entry != nil {
+				return def, nil
+			}
+		}
 		def, ok := ld.defs[r.Sym]
 		if !ok {
 			return DefSite{}, &UndefinedSymbolError{Sym: r.Sym, From: img.Name}
 		}
+		le.memoizeReloc(relocIdx, def)
 		return def, nil
 	}
 	// Slow path: into the resolver.
@@ -613,7 +727,29 @@ func (ld *Loader) ResolvePLT(le *LinkEntry, relocIdx int) (DefSite, error) {
 	}
 	ld.mem.Touch(memsim.Write, slot, 8)
 	le.pltBound[relocIdx] = true
+	le.memoizeReloc(relocIdx, def)
 	return def, nil
+}
+
+// ResolvePLTFunc is ResolvePLT plus the target *function* resolution
+// the interpreter needs to continue execution in the defining object.
+// The function index is memoized per slot alongside the definition, so
+// steady-state cross-DSO calls cost two array reads on the host.
+func (ld *Loader) ResolvePLTFunc(le *LinkEntry, relocIdx int) (DefSite, int, error) {
+	def, err := ld.ResolvePLT(le, relocIdx)
+	if err != nil {
+		return DefSite{}, -1, err
+	}
+	if le.relocFunc != nil {
+		if enc := le.relocFunc[relocIdx]; enc != 0 {
+			return def, int(enc) - 2, nil
+		}
+	}
+	fi := def.Entry.Image.FuncBySym(def.SymIndex)
+	if le.relocFunc != nil {
+		le.relocFunc[relocIdx] = int32(fi) + 2
+	}
+	return def, fi, nil
 }
 
 // ResolveData returns the definition a GLOB_DAT relocation was bound
@@ -624,10 +760,16 @@ func (ld *Loader) ResolveData(le *LinkEntry, relocIdx int) (DefSite, error) {
 		return DefSite{}, fmt.Errorf("dynld: reloc %d of %s is not a data slot", relocIdx, le.Image.Name)
 	}
 	ld.mem.Touch(memsim.Read, le.Addr(le.Image.Layout.GOT, gotSlotOff(relocIdx)), 8)
+	if le.relocDef != nil {
+		if def := le.relocDef[relocIdx]; def.Entry != nil {
+			return def, nil
+		}
+	}
 	def, ok := ld.defs[r.Sym]
 	if !ok {
 		return DefSite{}, &UndefinedSymbolError{Sym: r.Sym, From: le.Image.Name}
 	}
+	le.memoizeReloc(relocIdx, def)
 	return def, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // Default grids for the registered experiments. They mirror the
@@ -96,6 +97,8 @@ var (
 //	ablate-binding  A1 — lazy vs eager binding
 //	ablate-coverage A2 — the code-coverage extension
 //	ablate-aslr     A3 — homogeneous vs randomized link maps
+//
+// plus the scenario catalog (internal/scenario) under scenario:* names.
 func RunnerRegistry() *runner.Registry {
 	registryOnce.Do(func() {
 		registry = runner.NewRegistry()
@@ -150,6 +153,7 @@ func RunnerRegistry() *runner.Registry {
 			},
 			Run: aslrCell,
 		})
+		scenario.Register(registry)
 	})
 	return registry
 }

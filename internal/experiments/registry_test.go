@@ -6,12 +6,14 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func TestRunnerRegistryNames(t *testing.T) {
 	reg := RunnerRegistry()
 	want := []string{"dllcount", "dllsize", "nfs", "ablate-binding",
 		"ablate-coverage", "ablate-aslr"}
+	want = append(want, scenario.Names()...)
 	got := reg.Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered = %v", got)

@@ -234,11 +234,10 @@ func (ip *Interp) dispatch(le *dynld.LinkEntry, c elfimg.Call, depth int) error 
 		return ip.call(le, c.Target, depth)
 	case elfimg.CallPLT:
 		ip.stats.PLTCalls++
-		def, err := ip.ld.ResolvePLT(le, c.Target)
+		def, tfi, err := ip.ld.ResolvePLTFunc(le, c.Target)
 		if err != nil {
 			return err
 		}
-		tfi := def.Entry.Image.FuncBySym(def.SymIndex)
 		if tfi < 0 {
 			return fmt.Errorf("call through PLT to non-function symbol in %s",
 				def.Entry.Image.Name)

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParamsCanonical fuzzes the canonical grid-point encoding that
+// cache keys and per-cell seeds hang off. Properties: Canonical never
+// panics on any JSON-decodable input, is idempotent under re-parsing
+// (canonical(parse(canonical(p))) == canonical(p)), and feeds CacheKey
+// stably. Seed corpus lives in testdata/fuzz/FuzzParamsCanonical.
+func FuzzParamsCanonical(f *testing.F) {
+	f.Add(`{"dsos":8,"mode":"vanilla"}`)
+	f.Add(`{"coverage":0.25,"scale_div":10}`)
+	f.Add(`{"tasks":512,"funcs_div":8,"scale_div":20}`)
+	f.Add(`{"extra":true,"n":2,"mode":"beta"}`)
+	f.Add(`{}`)
+	f.Add(`{"nested":{"a":[1,2,{"b":null}]},"s":"x"}`)
+	f.Add(`{"neg":-12,"exp":1e300,"tiny":5e-324}`)
+	f.Add(`{"unicode":"héllo ☃","empty":""}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var p Params
+		if err := json.Unmarshal([]byte(raw), &p); err != nil {
+			t.Skip() // not a JSON object; Canonical's contract starts at Params
+		}
+		c1 := p.Canonical()
+		var p2 Params
+		if err := json.Unmarshal([]byte(c1), &p2); err != nil {
+			t.Fatalf("canonical form does not re-parse: %q from %q: %v", c1, raw, err)
+		}
+		c2 := p2.Canonical()
+		if c2 != c1 {
+			t.Fatalf("canonicalization not idempotent:\nfirst:  %q\nsecond: %q", c1, c2)
+		}
+		if CacheKey("exp", c1, 42) != CacheKey("exp", c2, 42) {
+			t.Fatal("equal canonical forms produced different cache keys")
+		}
+		// Accessors must be total on arbitrary decoded content.
+		for k := range p {
+			_ = p.Int(k)
+			_ = p.Float(k)
+			_ = p.Str(k)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -179,6 +180,86 @@ func TestCellSeed(t *testing.T) {
 			t.Fatalf("%s collides with %s", name, prev)
 		}
 		distinct[s] = name
+	}
+}
+
+// TestCellSeedPropertyDeterminismAndDispersion is the property-based
+// contract for per-cell seed derivation, sampled over 10k random
+// (base, experiment, repeat) tuples: recomputing a tuple always yields
+// the same seed, no two distinct tuples collide, and no nonzero base
+// ever collapses into the seed-0 sentinel.
+func TestCellSeedPropertyDeterminismAndDispersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	names := []string{
+		"dllcount", "dllsize", "nfs",
+		"ablate-binding", "ablate-coverage", "ablate-aslr",
+		"scenario:startup-storm", "scenario:reimport-churn",
+		"scenario:mixed-builds", "scenario:import-shuffle",
+		"scenario:nfs-cold-warm", "scenario:symbol-collision",
+	}
+	type tuple struct {
+		base uint64
+		exp  string
+		rep  int
+	}
+	seeds := map[uint64]tuple{}
+	sampled := map[tuple]bool{}
+	for len(sampled) < 10000 {
+		tu := tuple{
+			base: rng.Uint64(),
+			exp:  names[rng.Intn(len(names))],
+			rep:  rng.Intn(1000),
+		}
+		if tu.base == 0 || sampled[tu] {
+			continue
+		}
+		sampled[tu] = true
+		s := CellSeed(tu.base, tu.exp, tu.rep)
+		if s == 0 {
+			t.Fatalf("tuple %+v collapsed into the sentinel", tu)
+		}
+		if s != CellSeed(tu.base, tu.exp, tu.rep) {
+			t.Fatalf("tuple %+v not deterministic", tu)
+		}
+		if prev, dup := seeds[s]; dup {
+			t.Fatalf("seed collision: %+v and %+v both derive %#x", prev, tu, s)
+		}
+		seeds[s] = tu
+	}
+}
+
+// TestRunMatrixWorkerCountMatrix is the cross-worker determinism
+// property at matrix granularity: every combination of worker count
+// and cache configuration must produce byte-identical experiment
+// results (cells and aggregates) for a fixed base seed.
+func TestRunMatrixWorkerCountMatrix(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+		for _, withCache := range []bool{false, true} {
+			spec := MatrixSpec{Repeats: 3, Seed: 1234, Workers: workers}
+			if withCache {
+				spec.Cache = NewMemCache()
+			}
+			res, err := RunMatrix(fakeRegistry(true), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := mustJSON(t, res.Experiments)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("workers=%d cache=%v diverges from reference run",
+					workers, withCache)
+			}
+			if withCache {
+				// Every cell re-queried the cache it just filled... or
+				// was served by it; traffic must account for all cells.
+				if res.CacheHits+res.CacheMisses != res.ExecutedCells {
+					t.Fatalf("cache traffic %d+%d != executed %d",
+						res.CacheHits, res.CacheMisses, res.ExecutedCells)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,589 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/driver"
+	"repro/internal/dynld"
+	"repro/internal/elfimg"
+	"repro/internal/fsim"
+	"repro/internal/memsim"
+	"repro/internal/pygen"
+	"repro/internal/pyvm"
+	"repro/internal/runner"
+	"repro/internal/simtime"
+	"repro/internal/toolsim"
+	"repro/internal/xrand"
+)
+
+// Catalog returns the scenario catalog in presentation order. Each
+// entry extends the paper's fixed S/A studies with a workload shape
+// the original benchmark never measured.
+func Catalog() []*Scenario {
+	return []*Scenario{
+		startupStorm(),
+		reimportChurn(),
+		mixedBuilds(),
+		importShuffle(),
+		nfsColdWarm(),
+		symbolCollision(),
+	}
+}
+
+// defaultShape is the standard workload reduction for catalog cells:
+// small enough for CI matrices, large enough that loader effects
+// dominate noise.
+func defaultShape() runner.Params {
+	return runner.Params{"scale_div": 20, "funcs_div": 8}
+}
+
+func withShape(extra runner.Params) runner.Params {
+	p := defaultShape()
+	for k, v := range extra {
+		p[k] = v
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+// scenario:startup-storm — every task of a large job attaches a tool at
+// once (the §II.B "tool startup problem" pushed past the paper's 32
+// tasks), cold then warm.
+func startupStorm() *Scenario {
+	return &Scenario{
+		Name: "startup-storm",
+		Description: "tool-startup storm at scale: cold vs warm debugger attach " +
+			"across job sizes",
+		Knobs: func() []runner.Params {
+			var grid []runner.Params
+			for _, tasks := range []int{32, 128, 512} {
+				grid = append(grid, withShape(runner.Params{"tasks": tasks}))
+			}
+			return grid
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			tasks := p.Int("tasks")
+			if tasks < 1 {
+				return nil, fmt.Errorf("tasks must be >= 1, got %d", tasks)
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			place, err := cluster.Place(cluster.Zeus(), tasks)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+			if err != nil {
+				return nil, err
+			}
+			tc := toolsim.Config{Workload: w, Tasks: tasks, FS: fs}
+			cold, err := toolsim.Attach(tc)
+			if err != nil {
+				return nil, err
+			}
+			warm, err := toolsim.Attach(tc)
+			if err != nil {
+				return nil, err
+			}
+			return runner.Metrics{
+				"cold_phase1_sec": cold.Phase1,
+				"cold_phase2_sec": cold.Phase2,
+				"warm_phase1_sec": warm.Phase1,
+				"warm_phase2_sec": warm.Phase2,
+				"cold_total_sec":  cold.Total(),
+				"warm_total_sec":  warm.Total(),
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "cold_phase1_sec", "cold_phase2_sec",
+					"warm_phase1_sec", "warm_phase2_sec"),
+				// The first attach leaves every DSO in the node buffer
+				// caches; the warm attach can only be cheaper.
+				wantLE(m, "warm_phase1_sec", "cold_phase1_sec"),
+				wantLE(m, "warm_total_sec", "cold_total_sec"),
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:reimport-churn — rolling re-import / dlclose churn: a
+// long-lived process (an interactive session, a plugin host) repeatedly
+// imports and drops the module set. Round 1 pays fresh loads; every
+// later round pays the paper's §IV.A cached-dlopen re-verification
+// walk.
+func reimportChurn() *Scenario {
+	return &Scenario{
+		Name: "reimport-churn",
+		Description: "rolling re-import/dlclose churn: fresh first round vs " +
+			"cached steady-state rounds",
+		Knobs: func() []runner.Params {
+			return []runner.Params{withShape(runner.Params{"rounds": 4})}
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			rounds := p.Int("rounds")
+			if rounds < 2 {
+				return nil, fmt.Errorf("rounds must be >= 2, got %d", rounds)
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			h, err := newHarness(w, 1, seed)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := h.ld.StartupExecutable(w.Exe); err != nil {
+				return nil, err
+			}
+			var first, steady float64
+			for r := 0; r < rounds; r++ {
+				mk := h.mark()
+				for _, img := range w.Modules {
+					if _, err := h.ld.Dlopen(img.Name, dynld.RTLDNow); err != nil {
+						return nil, err
+					}
+				}
+				secs := h.since(mk)
+				if r == 0 {
+					first = secs
+				} else {
+					steady += secs
+				}
+				for _, img := range w.Modules {
+					if err := h.ld.Dlclose(h.ld.Lookup(img.Name)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			st := h.ld.Stats()
+			steady /= float64(rounds - 1)
+			return runner.Metrics{
+				"first_round_sec":  first,
+				"steady_round_sec": steady,
+				"churn_speedup_x":  first / steady,
+				"fresh_loads":      float64(st.FreshLoads),
+				"cached_opens":     float64(st.CachedOpens),
+				"dlcloses":         float64(st.Dlcloses),
+				"modules":          float64(len(w.Modules)),
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			rounds := float64(p.Int("rounds"))
+			return checkAll(
+				wantPositive(m, "first_round_sec", "steady_round_sec", "modules"),
+				// Steady-state rounds serve every dlopen from the link
+				// map; they can't exceed the fresh round.
+				wantLE(m, "steady_round_sec", "first_round_sec"),
+				func() error {
+					if want := m["modules"] * (rounds - 1); m["cached_opens"] != want {
+						return fmt.Errorf("cached_opens = %g, want %g", m["cached_opens"], want)
+					}
+					if want := m["modules"] * rounds; m["dlcloses"] != want {
+						return fmt.Errorf("dlcloses = %g, want %g", m["dlcloses"], want)
+					}
+					if m["fresh_loads"] < m["modules"] {
+						return fmt.Errorf("fresh_loads = %g < modules = %g",
+							m["fresh_loads"], m["modules"])
+					}
+					return nil
+				},
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:mixed-builds — multi-tenant mixed builds: three tenants of
+// one node run the same workload as Vanilla (cold), Link (warm), and
+// Link+Bind (warm), sharing the node's buffer cache. Measures how the
+// paper's Table I redistributes cost when builds coexist.
+func mixedBuilds() *Scenario {
+	return &Scenario{
+		Name: "mixed-builds",
+		Description: "multi-tenant mixed builds sharing one buffer cache: " +
+			"vanilla cold, link + link-bind warm",
+		Knobs: func() []runner.Params {
+			return []runner.Params{withShape(runner.Params{"tasks": 8})}
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			tasks := p.Int("tasks")
+			if tasks < 1 {
+				return nil, fmt.Errorf("tasks must be >= 1, got %d", tasks)
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			place, err := cluster.Place(cluster.Zeus(), tasks)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+			if err != nil {
+				return nil, err
+			}
+			run := func(mode driver.BuildMode, warm bool) (*driver.Metrics, error) {
+				return driver.Run(driver.Config{
+					Mode: mode, Workload: w, NTasks: tasks,
+					SharedFS: fs, WarmFS: warm, Seed: cfg.Seed,
+				})
+			}
+			van, err := run(driver.Vanilla, false) // cold tenant
+			if err != nil {
+				return nil, err
+			}
+			link, err := run(driver.Link, true) // warm tenants
+			if err != nil {
+				return nil, err
+			}
+			bind, err := run(driver.LinkBind, true)
+			if err != nil {
+				return nil, err
+			}
+			return runner.Metrics{
+				"vanilla_total_sec":  van.TotalSec(),
+				"link_total_sec":     link.TotalSec(),
+				"linkbind_total_sec": bind.TotalSec(),
+				"vanilla_visit_sec":  van.VisitSec,
+				"link_visit_sec":     link.VisitSec,
+				"cold_io_sec":        van.Loader.IOSeconds,
+				"warm_io_sec":        link.Loader.IOSeconds,
+				"makespan_sec":       van.TotalSec() + link.TotalSec() + bind.TotalSec(),
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "vanilla_total_sec", "link_total_sec",
+					"linkbind_total_sec", "makespan_sec"),
+				// The cold tenant primed the cache: warm tenants map the
+				// same bytes with less I/O.
+				wantLE(m, "warm_io_sec", "cold_io_sec"),
+				// The paper's core result: lazy binding moves resolution
+				// cost into the visit phase.
+				wantLE(m, "vanilla_visit_sec", "link_visit_sec"),
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:import-shuffle — import-order shuffle: the same workload
+// imported in canonical versus seed-shuffled order. Link-map positions
+// (hence scope-walk traffic) shift, but resolution counts and executed
+// functions must not.
+func importShuffle() *Scenario {
+	return &Scenario{
+		Name: "import-shuffle",
+		Description: "import-order shuffle: scope positions move, resolution " +
+			"counts must not",
+		Knobs: func() []runner.Params {
+			return []runner.Params{defaultShape()}
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			run := func(order []string) (float64, dynld.Stats, pyvm.Stats, error) {
+				h, err := newHarness(w, 1, seed)
+				if err != nil {
+					return 0, dynld.Stats{}, pyvm.Stats{}, err
+				}
+				if _, err := h.ld.StartupExecutable(w.Exe); err != nil {
+					return 0, dynld.Stats{}, pyvm.Stats{}, err
+				}
+				interp := pyvm.New(h.mem, h.ld, w.Find, pyvm.Options{})
+				mk := h.mark()
+				mods := make([]*pyvm.Module, 0, len(order))
+				for _, name := range order {
+					m, err := interp.Import(name)
+					if err != nil {
+						return 0, dynld.Stats{}, pyvm.Stats{}, err
+					}
+					mods = append(mods, m)
+				}
+				for _, m := range mods {
+					if err := interp.VisitEntry(m); err != nil {
+						return 0, dynld.Stats{}, pyvm.Stats{}, err
+					}
+				}
+				return h.since(mk), h.ld.Stats(), interp.Stats(), nil
+			}
+
+			canonical := w.ModuleNames()
+			shuffled := append([]string(nil), canonical...)
+			rng := xrand.New(cfg.Seed ^ 0x5f0f)
+			for i, j := range rng.Perm(len(shuffled)) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			}
+
+			inSec, inLD, inVM, err := run(canonical)
+			if err != nil {
+				return nil, err
+			}
+			shSec, shLD, shVM, err := run(shuffled)
+			if err != nil {
+				return nil, err
+			}
+			return runner.Metrics{
+				"inorder_total_sec":  inSec,
+				"shuffled_total_sec": shSec,
+				"order_delta_x":      shSec / inSec,
+				"inorder_lookups":    float64(inLD.Lookups),
+				"shuffled_lookups":   float64(shLD.Lookups),
+				"inorder_calls":      float64(inVM.Calls),
+				"shuffled_calls":     float64(shVM.Calls),
+				"inorder_probes":     float64(inLD.ScopeProbes),
+				"shuffled_probes":    float64(shLD.ScopeProbes),
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "inorder_total_sec", "shuffled_total_sec",
+					"inorder_lookups", "inorder_calls", "inorder_probes"),
+				// Both orders load and relocate the identical object
+				// set: the number of resolutions and of executed
+				// function bodies is order-invariant.
+				wantEqual(m, "inorder_lookups", "shuffled_lookups"),
+				wantEqual(m, "inorder_calls", "shuffled_calls"),
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:nfs-cold-warm — the same job started twice on one node set:
+// first against dropped buffer caches (cold NFS staging), then again
+// warm. Separates the driver's I/O-bound startup share from its
+// CPU-bound share.
+func nfsColdWarm() *Scenario {
+	return &Scenario{
+		Name: "nfs-cold-warm",
+		Description: "cold vs warm NFS buffer cache for the same driver run: " +
+			"I/O share of startup",
+		Knobs: func() []runner.Params {
+			return []runner.Params{withShape(runner.Params{"tasks": 16})}
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			tasks := p.Int("tasks")
+			if tasks < 1 {
+				return nil, fmt.Errorf("tasks must be >= 1, got %d", tasks)
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			place, err := cluster.Place(cluster.Zeus(), tasks)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+			if err != nil {
+				return nil, err
+			}
+			run := func(warm bool) (*driver.Metrics, error) {
+				return driver.Run(driver.Config{
+					Mode: driver.Vanilla, Workload: w, NTasks: tasks,
+					SharedFS: fs, WarmFS: warm, Seed: cfg.Seed,
+				})
+			}
+			cold, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			warm, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			return runner.Metrics{
+				"cold_total_sec":  cold.TotalSec(),
+				"warm_total_sec":  warm.TotalSec(),
+				"cold_io_sec":     cold.Loader.IOSeconds,
+				"warm_io_sec":     warm.Loader.IOSeconds,
+				"warm_speedup_x":  cold.TotalSec() / warm.TotalSec(),
+				"cold_import_sec": cold.ImportSec,
+				"warm_import_sec": warm.ImportSec,
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "cold_total_sec", "warm_total_sec", "cold_io_sec"),
+				// The warm run's CPU work is identical; only I/O can
+				// shrink, so both I/O seconds and the total must not
+				// grow.
+				wantLE(m, "warm_io_sec", "cold_io_sec"),
+				wantLE(m, "warm_total_sec", "cold_total_sec"),
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:symbol-collision — symbol-collision stress: a consumer whose
+// relocations all resolve to a provider at the END of a deliberately
+// deep search scope, with every provider symbol crammed into one SysV
+// hash bucket (IDs congruent modulo the bucket count). The worst case
+// of the paper's scope-walk cost model, unreachable with the stock
+// generator.
+func symbolCollision() *Scenario {
+	return &Scenario{
+		Name: "symbol-collision",
+		Description: "worst-case scope walk: decoy-deep search scope plus " +
+			"single-bucket hash chains",
+		Knobs: func() []runner.Params {
+			var grid []runner.Params
+			for _, decoys := range []int{32, 128} {
+				grid = append(grid, runner.Params{"decoys": decoys, "provider_syms": 64})
+			}
+			return grid
+		},
+		Run:   runSymbolCollision,
+		Check: checkSymbolCollision,
+	}
+}
+
+// collisionStride keeps crafted symbol IDs congruent modulo any SysV
+// bucket count the builder can choose (buckets are a power of two no
+// larger than 1<<16 at these symbol counts), so every provider symbol
+// lands on one chain.
+const collisionStride = 1 << 16
+
+func runSymbolCollision(p runner.Params, seed uint64) (runner.Metrics, error) {
+	decoys := p.Int("decoys")
+	nsyms := p.Int("provider_syms")
+	if decoys < 1 || nsyms < 2 {
+		return nil, fmt.Errorf("need decoys >= 1 and provider_syms >= 2, got %d/%d",
+			decoys, nsyms)
+	}
+	// Seed shifts the crafted ID ranges without changing their
+	// congruence structure (seed 0 = fixed default, as elsewhere).
+	pbase := uint64(1)<<40 + (seed%1024)*uint64(collisionStride)*uint64(nsyms+1)
+
+	provider := elfimg.NewBuilder("libprovider.so")
+	providerIDs := make([]elfimg.SymID, nsyms)
+	for i := 0; i < nsyms; i++ {
+		providerIDs[i] = elfimg.SymID(pbase + uint64(i)*collisionStride)
+		provider.AddSymbol(providerIDs[i], 220, 8, false)
+	}
+	providerImg, err := provider.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	decoyImgs := make([]*elfimg.Image, decoys)
+	for d := 0; d < decoys; d++ {
+		b := elfimg.NewBuilder(fmt.Sprintf("libdecoy%03d.so", d))
+		for s := 0; s < 32; s++ {
+			id := elfimg.SymID(uint64(1)<<50 + uint64(d)<<24 + uint64(s)*8 + 1)
+			b.AddSymbol(id, 200, 8, false)
+		}
+		img, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		decoyImgs[d] = img
+	}
+
+	consumer := elfimg.NewBuilder("libconsumer.so")
+	consumer.AddFunc(elfimg.SymID(uint64(1)<<52+uint64(seed%1024)), 180, 64, 120, 32, false)
+	for d := range decoyImgs {
+		consumer.AddDep(decoyImgs[d].Name)
+	}
+	consumer.AddDep(providerImg.Name)
+	for _, id := range providerIDs {
+		consumer.AddGOTReloc(id)
+	}
+	consumerImg, err := consumer.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	mem := memsim.NewAnalytic(memsim.ZeusConfig())
+	fs, err := fsim.New(fsim.Defaults(), 1)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.Zeus()
+	clock := simtime.NewClock(cl.CoreHz)
+	ld := dynld.New(mem, fs, clock, dynld.Options{Seed: seed, Clients: 1})
+	for _, img := range decoyImgs {
+		ld.Install(img)
+	}
+	ld.Install(providerImg)
+	ld.Install(consumerImg)
+	fs.DropCaches()
+
+	startCycles := mem.Cycles()
+	startMark := clock.Mark()
+	if _, err := ld.Dlopen(consumerImg.Name, dynld.RTLDNow); err != nil {
+		return nil, err
+	}
+	resolveSec := clock.Since(startMark) + float64(mem.Cycles()-startCycles)/cl.CoreHz
+
+	st := ld.Stats()
+	var chainSum float64
+	for i := range providerIDs {
+		chainSum += float64(providerImg.ChainLen(providerImg.LookupDef(providerIDs[i])))
+	}
+	return runner.Metrics{
+		"lookups":           float64(st.Lookups),
+		"scope_probes":      float64(st.ScopeProbes),
+		"probes_per_lookup": float64(st.ScopeProbes) / float64(st.Lookups),
+		"avg_chain_len":     chainSum / float64(nsyms),
+		"resolve_sec":       resolveSec,
+	}, nil
+}
+
+func checkSymbolCollision(p runner.Params, m runner.Metrics) error {
+	decoys := float64(p.Int("decoys"))
+	nsyms := float64(p.Int("provider_syms"))
+	return checkAll(
+		wantPositive(m, "lookups", "scope_probes", "resolve_sec"),
+		func() error {
+			if m["lookups"] != nsyms {
+				return fmt.Errorf("lookups = %g, want %g (one per consumer reloc)",
+					m["lookups"], nsyms)
+			}
+			// Every lookup probes the whole decoy scope before reaching
+			// the provider: consumer + decoys ahead of it, plus the
+			// definer probe.
+			ppl := m["probes_per_lookup"]
+			if ppl < decoys+1 || ppl > decoys+3 {
+				return fmt.Errorf("probes_per_lookup = %g outside [%g, %g]",
+					ppl, decoys+1, decoys+3)
+			}
+			// The crafted IDs share one bucket: the mean successful
+			// chain walk is (n+1)/2, far above a healthy table's ~2.
+			if m["avg_chain_len"] < nsyms/4 {
+				return fmt.Errorf("avg_chain_len = %g, want >= %g (collisions not happening)",
+					m["avg_chain_len"], nsyms/4)
+			}
+			return nil
+		},
+	)
+}
