@@ -6,6 +6,7 @@
 //	pynamic-runner -list
 //	pynamic-runner -experiments dllcount,dllsize -repeats 3 -workers 8 -seed 42
 //	pynamic-runner -experiments 'scenario:*' -workers 8 -seed 7
+//	pynamic-runner -experiments jobdist -seed 42   # per-rank distribution columns
 //	pynamic-runner -experiments all -cache -out runs
 //
 // A trailing '*' in an -experiments entry expands to every registered

@@ -6,16 +6,33 @@
 //
 // It prints the generated workload's footprint and the driver's
 // per-phase simulated times and cache counters.
+//
+// With -ranks (or any heterogeneity knob) it runs the per-rank job
+// engine instead of the rank-0 extrapolation: every simulated rank gets
+// its own substrate bundle on its real placement node, and the output
+// reports per-rank phase-time distributions (min/mean/p99/max, job
+// phase = slowest rank):
+//
+//	pynamic -scale 20 -tasks 64 -ranks 0 -placement round-robin \
+//	        -rank-skew 0.3 -straggler-frac 0.25
+//
+// -rank-json writes the full per-rank result as JSON; at a fixed seed
+// the bytes are identical for any -rank-workers value (the CI
+// determinism smoke relies on this).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/pygen"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
@@ -38,6 +55,15 @@ func main() {
 		scale     = flag.Int("scale", 1, "divide DSO counts by this factor")
 		manifest  = flag.String("manifest", "", "write the workload manifest (JSON) to this file")
 		scenarios = flag.Bool("scenarios", false, "list the scenario catalog and exit")
+
+		ranks       = flag.Int("ranks", 1, "simulated ranks: 1 = legacy rank-0 extrapolation, 0 = every task, N = first N tasks")
+		placement   = flag.String("placement", "block", "task placement policy: block or round-robin")
+		rankSkew    = flag.Float64("rank-skew", 0, "max fractional per-rank CPU slowdown (seeded)")
+		stragglers  = flag.Float64("straggler-frac", 0, "fraction of nodes with degraded I/O (seeded)")
+		stragglerIO = flag.Float64("straggler-io-scale", 4, "I/O time multiplier on straggler nodes")
+		warmNodes   = flag.Float64("warm-node-frac", 0, "fraction of nodes starting with warm buffer caches (seeded)")
+		rankWorkers = flag.Int("rank-workers", 0, "goroutines simulating ranks (0 = GOMAXPROCS; never affects results)")
+		rankJSON    = flag.String("rank-json", "", "write the full per-rank job result (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -95,6 +121,36 @@ func main() {
 	if *detailed {
 		backend = driver.Detailed
 	}
+	policy, err := cluster.ParsePolicy(*placement)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Any multi-rank or heterogeneity request goes through the per-rank
+	// job engine; the plain single-rank case keeps the legacy driver
+	// facade and output.
+	if *ranks != 1 || policy != cluster.Block || *rankSkew > 0 ||
+		*stragglers > 0 || *warmNodes > 0 || *rankJSON != "" {
+		runJob(job.Config{
+			Mode:             bm,
+			Backend:          backend,
+			Workload:         w,
+			NTasks:           *tasks,
+			Ranks:            *ranks,
+			Placement:        policy,
+			RunMPITest:       *mpiTest,
+			Coverage:         *coverage,
+			ASLR:             *aslr,
+			RankSkew:         *rankSkew,
+			StragglerFrac:    *stragglers,
+			StragglerIOScale: *stragglerIO,
+			WarmNodeFrac:     *warmNodes,
+			Workers:          *rankWorkers,
+			Seed:             cfg.Seed,
+		}, *mpiTest, *rankJSON)
+		return
+	}
+
 	fmt.Printf("running driver: %s build, %d tasks...\n", bm, *tasks)
 	m, err := driver.Run(driver.Config{
 		Mode:       bm,
@@ -128,6 +184,62 @@ func main() {
 		m.Loader.Lookups, m.Loader.LazyResolutions)
 	fmt.Printf("fs: %d NFS reads (%.0f MB), %d cache hits\n",
 		m.FS.NFSReads, mb(m.FS.NFSBytes), m.FS.CacheHits)
+}
+
+// runJob executes the per-rank job engine and prints the per-rank
+// distribution table.
+func runJob(cfg job.Config, mpiTest bool, rankJSON string) {
+	nRanks := cfg.Ranks
+	if nRanks == 0 {
+		nRanks = cfg.NTasks
+	}
+	fmt.Printf("running job engine: %s build, %d tasks (%d simulated ranks, %s placement)...\n",
+		cfg.Mode, cfg.NTasks, nRanks, cfg.Placement)
+	res, err := job.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title:  "per-rank phase times (simulated seconds, min/mean/p99/max)",
+		Header: []string{"phase", "distribution", "job (slowest rank)"},
+	}
+	row := func(name string, d job.Dist, jobSec float64) {
+		t.AddRow(name, report.Dist(d.Min, d.Mean, d.P99, d.Max),
+			simtime.Seconds(jobSec))
+	}
+	row("startup", res.Startup, res.StartupSec)
+	row("import", res.Import, res.ImportSec)
+	row("visit", res.Visit, res.VisitSec)
+	row("total", res.Total, res.TotalSec())
+	t.AddNote("%d ranks over %d nodes; job phase time is the slowest rank's (MPI barrier semantics)",
+		len(res.Ranks), res.NodesUsed)
+	if len(res.StragglerNodes) > 0 {
+		t.AddNote("straggler nodes: %v", res.StragglerNodes)
+	}
+	if len(res.WarmNodes) > 0 {
+		t.AddNote("warm nodes: %v", res.WarmNodes)
+	}
+	fmt.Print(t.Render())
+	if mpiTest {
+		fmt.Printf("  mpi test %.4fs\n", res.MPISec)
+	}
+
+	if rankJSON != "" {
+		f, err := os.Create(rankJSON)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  per-rank result written to %s\n", rankJSON)
+	}
 }
 
 func mb(b uint64) float64 { return float64(b) / 1e6 }

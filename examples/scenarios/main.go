@@ -34,6 +34,8 @@ func main() {
 		scenario.Prefix + "import-shuffle":   "order_delta_x",
 		scenario.Prefix + "nfs-cold-warm":    "warm_speedup_x",
 		scenario.Prefix + "symbol-collision": "probes_per_lookup",
+		scenario.Prefix + "straggler-node":   "startup_slowdown_x",
+		scenario.Prefix + "rank-skew":        "tail_stretch_x",
 	}
 	for _, er := range res.Experiments {
 		key := headline[er.Name]

@@ -52,9 +52,46 @@ func (c Config) Validate() error {
 // TotalCores returns the machine's core count.
 func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
 
+// Policy selects how tasks are distributed across nodes.
+type Policy int
+
+// Placement policies.
+const (
+	// Block fills a node's cores before moving to the next — the
+	// default scheduler behaviour on CHAOS-era SLURM.
+	Block Policy = iota
+	// RoundRobin deals tasks across nodes cyclically, spreading a job
+	// over as many nodes as possible (SLURM's cyclic distribution).
+	// Task counts per used node never differ by more than one.
+	RoundRobin
+)
+
+// String returns the SLURM-style distribution name.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return "invalid"
+}
+
+// ParsePolicy maps a CLI spelling to a placement policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block", "":
+		return Block, nil
+	case "round-robin", "rr", "cyclic":
+		return RoundRobin, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown placement policy %q (want block or round-robin)", s)
+}
+
 // Placement maps MPI tasks to nodes.
 type Placement struct {
 	cfg      Config
+	policy   Policy
 	taskNode []int
 	nodeUsed []int
 }
@@ -63,6 +100,12 @@ type Placement struct {
 // node before moving to the next), the default scheduler behaviour on
 // CHAOS-era SLURM. It returns an error if the job doesn't fit.
 func Place(cfg Config, nTasks int) (*Placement, error) {
+	return PlaceWith(cfg, nTasks, Block)
+}
+
+// PlaceWith distributes nTasks across the cluster under the given
+// policy. It returns an error if the job doesn't fit.
+func PlaceWith(cfg Config, nTasks int, policy Policy) (*Placement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,10 +115,16 @@ func Place(cfg Config, nTasks int) (*Placement, error) {
 	if nTasks > cfg.TotalCores() {
 		return nil, fmt.Errorf("cluster: %d tasks exceed %d cores", nTasks, cfg.TotalCores())
 	}
-	p := &Placement{cfg: cfg, taskNode: make([]int, nTasks)}
+	p := &Placement{cfg: cfg, policy: policy, taskNode: make([]int, nTasks)}
 	maxNode := 0
 	for t := 0; t < nTasks; t++ {
-		n := t / cfg.CoresPerNode
+		var n int
+		switch policy {
+		case RoundRobin:
+			n = t % cfg.Nodes
+		default:
+			n = t / cfg.CoresPerNode
+		}
 		p.taskNode[t] = n
 		if n > maxNode {
 			maxNode = n
@@ -87,6 +136,9 @@ func Place(cfg Config, nTasks int) (*Placement, error) {
 	}
 	return p, nil
 }
+
+// Policy returns the distribution policy this placement used.
+func (p *Placement) Policy() Policy { return p.policy }
 
 // NTasks returns the job size.
 func (p *Placement) NTasks() int { return len(p.taskNode) }

@@ -83,6 +83,130 @@ func TestPlaceErrors(t *testing.T) {
 	}
 }
 
+// TestPlaceExactCoreFill covers the last-core boundary: a job that
+// exactly fills a whole number of nodes must not spill onto an extra
+// node, and one more task must.
+func TestPlaceExactCoreFill(t *testing.T) {
+	z := Zeus()
+	p, err := Place(z, 3*z.CoresPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodesUsed() != 3 {
+		t.Fatalf("exact fill used %d nodes, want 3", p.NodesUsed())
+	}
+	for n := 0; n < 3; n++ {
+		if p.TasksOn(n) != z.CoresPerNode {
+			t.Fatalf("node %d hosts %d tasks, want %d", n, p.TasksOn(n), z.CoresPerNode)
+		}
+	}
+	p, err = Place(z, 3*z.CoresPerNode+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodesUsed() != 4 || p.TasksOn(3) != 1 {
+		t.Fatalf("spill placement wrong: used=%d on3=%d", p.NodesUsed(), p.TasksOn(3))
+	}
+}
+
+// TestPlaceWholeMachine runs nTasks == TotalCores: every core of every
+// node occupied, under both policies.
+func TestPlaceWholeMachine(t *testing.T) {
+	z := Zeus()
+	for _, policy := range []Policy{Block, RoundRobin} {
+		p, err := PlaceWith(z, z.TotalCores(), policy)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if p.NodesUsed() != z.Nodes {
+			t.Fatalf("%v: used %d nodes, want %d", policy, p.NodesUsed(), z.Nodes)
+		}
+		for n := 0; n < z.Nodes; n++ {
+			if p.TasksOn(n) != z.CoresPerNode {
+				t.Fatalf("%v: node %d hosts %d tasks, want %d",
+					policy, n, p.TasksOn(n), z.CoresPerNode)
+			}
+		}
+	}
+	if _, err := PlaceWith(z, z.TotalCores()+1, RoundRobin); err == nil {
+		t.Fatal("round-robin oversubscription accepted")
+	}
+}
+
+// TestPlaceSingleCoreNodes degenerates to one task per node: block and
+// round-robin must agree.
+func TestPlaceSingleCoreNodes(t *testing.T) {
+	cfg := Config{Nodes: 16, CoresPerNode: 1, CoreHz: 1e9, LinkBandwidth: 1}
+	for _, policy := range []Policy{Block, RoundRobin} {
+		p, err := PlaceWith(cfg, 16, policy)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		for task := 0; task < 16; task++ {
+			if p.NodeOf(task) != task {
+				t.Fatalf("%v: task %d on node %d, want %d",
+					policy, task, p.NodeOf(task), task)
+			}
+		}
+	}
+}
+
+// TestRoundRobinSpread is the policy's node-spread invariant: tasks go
+// to as many nodes as possible, and per-node counts never differ by
+// more than one.
+func TestRoundRobinSpread(t *testing.T) {
+	z := Zeus()
+	for _, nTasks := range []int{1, 7, z.Nodes - 1, z.Nodes, z.Nodes + 1, 1000, z.TotalCores()} {
+		p, err := PlaceWith(z, nTasks, RoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNodes := nTasks
+		if wantNodes > z.Nodes {
+			wantNodes = z.Nodes
+		}
+		if p.NodesUsed() != wantNodes {
+			t.Fatalf("%d tasks spread over %d nodes, want %d",
+				nTasks, p.NodesUsed(), wantNodes)
+		}
+		min, max := nTasks, 0
+		for n := 0; n < p.NodesUsed(); n++ {
+			c := p.TasksOn(n)
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("%d tasks: per-node counts range [%d, %d]", nTasks, min, max)
+		}
+		if p.Policy() != RoundRobin {
+			t.Fatal("policy not echoed")
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for spelling, want := range map[string]Policy{
+		"block": Block, "": Block, "round-robin": RoundRobin, "rr": RoundRobin,
+		"cyclic": RoundRobin,
+	} {
+		got, err := ParsePolicy(spelling)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", spelling, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("hilbert"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if Block.String() != "block" || RoundRobin.String() != "round-robin" ||
+		Policy(9).String() != "invalid" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
 func TestPlacementConfigEcho(t *testing.T) {
 	p, err := Place(Zeus(), 1)
 	if err != nil {

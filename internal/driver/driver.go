@@ -20,6 +20,13 @@
 // Phase times are simulated seconds: CPU cycles from the memory model
 // (instructions + cache-miss penalties at the Zeus core's 2.4 GHz) plus
 // simulated file I/O, plus simulated network time for the MPI test.
+//
+// Run is a thin compatibility facade over the per-rank job engine
+// (internal/job): it executes a 1-rank job — the paper's "simulate
+// rank 0 of a symmetric job and extrapolate" methodology — and reports
+// that rank's metrics in the legacy shape. Multi-rank simulations with
+// real placements, per-rank distributions, and heterogeneity knobs go
+// through job.Run directly.
 package driver
 
 import (
@@ -28,48 +35,32 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dynld"
 	"repro/internal/fsim"
+	"repro/internal/job"
 	"repro/internal/memsim"
-	"repro/internal/mpisim"
-	"repro/internal/papisim"
 	"repro/internal/pygen"
-	"repro/internal/pympi"
 	"repro/internal/pyvm"
-	"repro/internal/simtime"
-	"repro/internal/xrand"
 )
 
-// BuildMode selects the paper's build/run configuration.
-type BuildMode int
+// BuildMode selects the paper's build/run configuration. It aliases the
+// job engine's Mode, so the two vocabularies interoperate.
+type BuildMode = job.Mode
 
 // Build modes, in Table I row order.
 const (
-	Vanilla BuildMode = iota
-	Link
-	LinkBind
+	Vanilla  = job.Vanilla
+	Link     = job.Link
+	LinkBind = job.LinkBind
 )
 
-// String returns the Table I row label.
-func (m BuildMode) String() string {
-	switch m {
-	case Vanilla:
-		return "Vanilla"
-	case Link:
-		return "Link"
-	case LinkBind:
-		return "Link+Bind"
-	}
-	return "invalid"
-}
-
 // MemBackend selects the memory-model fidelity.
-type MemBackend int
+type MemBackend = job.Backend
 
 // Memory backends.
 const (
 	// Analytic is the fast model; required for paper-scale workloads.
-	Analytic MemBackend = iota
+	Analytic = job.Analytic
 	// Detailed is the line-accurate model; use at reduced scale.
-	Detailed
+	Detailed = job.Detailed
 )
 
 // Config configures a driver run.
@@ -105,39 +96,8 @@ type Config struct {
 	Seed uint64
 }
 
-// Defaults fills unset fields with the paper's environment.
-func (c Config) withDefaults() Config {
-	if c.NTasks == 0 {
-		c.NTasks = 1
-	}
-	if c.Cluster.Nodes == 0 {
-		c.Cluster = cluster.Zeus()
-	}
-	if c.Mem.LineSize == 0 {
-		c.Mem = memsim.ZeusConfig()
-	}
-	if c.FS.NFSConcurrency == 0 {
-		c.FS = fsim.Defaults()
-	}
-	return c
-}
-
 // PhaseCounters is a Table II cell pair: memory activity in one phase.
-type PhaseCounters struct {
-	L1DMissM float64 // millions, as Table II reports
-	L1IMissM float64
-	L2MissM  float64
-	InstrM   float64
-}
-
-func toPhase(vals []uint64) PhaseCounters {
-	return PhaseCounters{
-		L1DMissM: float64(vals[0]) / 1e6,
-		L1IMissM: float64(vals[1]) / 1e6,
-		L2MissM:  float64(vals[2]) / 1e6,
-		InstrM:   float64(vals[3]) / 1e6,
-	}
-}
+type PhaseCounters = job.PhaseCounters
 
 // Metrics is one driver run's report: the Table I row and the Table II
 // cells, plus substrate statistics.
@@ -169,166 +129,45 @@ func (m *Metrics) TotalSec() float64 {
 	return m.StartupSec + m.ImportSec + m.VisitSec
 }
 
-// phaseTimer measures simulated seconds across a phase: I/O seconds
-// from the clock plus CPU cycles from the memory model.
-type phaseTimer struct {
-	clock *simtime.Clock
-	mem   memsim.Memory
-	hz    float64
-
-	mark   simtime.Mark
-	cycles uint64
-}
-
-func (p *phaseTimer) start() {
-	p.mark = p.clock.Mark()
-	p.cycles = p.mem.Cycles()
-}
-
-func (p *phaseTimer) elapsed() float64 {
-	return p.clock.Since(p.mark) + float64(p.mem.Cycles()-p.cycles)/p.hz
-}
-
-// Run executes the driver and returns its metrics.
+// Run executes the driver — a 1-rank job — and returns its metrics.
 func Run(cfg Config) (*Metrics, error) {
-	cfg = cfg.withDefaults()
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("driver: no workload")
 	}
-	if err := cfg.Cluster.Validate(); err != nil {
-		return nil, err
-	}
-	place, err := cluster.Place(cfg.Cluster, cfg.NTasks)
-	if err != nil {
-		return nil, err
-	}
-
-	// Substrates for the simulated task (rank 0; all ranks perform
-	// identical loading work, as in the paper's symmetric jobs).
-	var mem memsim.Memory
-	switch cfg.Backend {
-	case Detailed:
-		mem = memsim.NewDetailed(cfg.Mem, xrand.New(cfg.Seed^0xdeadbeef))
-	default:
-		mem = memsim.NewAnalytic(cfg.Mem)
-	}
-	fs := cfg.SharedFS
-	if fs == nil {
-		fs, err = fsim.New(cfg.FS, place.NodesUsed())
-		if err != nil {
-			return nil, err
-		}
-	}
-	clock := simtime.NewClock(cfg.Cluster.CoreHz)
-	ld := dynld.New(mem, fs, clock, dynld.Options{
-		BindNow:    cfg.Mode == LinkBind,
+	res, err := job.Run(job.Config{
+		Mode:       cfg.Mode,
+		Backend:    cfg.Backend,
+		Workload:   cfg.Workload,
+		NTasks:     cfg.NTasks,
+		Ranks:      1,
+		Cluster:    cfg.Cluster,
+		Mem:        cfg.Mem,
+		FS:         cfg.FS,
+		RunMPITest: cfg.RunMPITest,
+		Coverage:   cfg.Coverage,
 		ASLR:       cfg.ASLR,
-		Seed:       cfg.Seed,
-		NodeID:     0,
-		Clients:    place.NodesUsed(),
+		WarmFS:     cfg.WarmFS,
+		SharedFS:   cfg.SharedFS,
 		NoFastPath: cfg.NoFastPath,
+		Seed:       cfg.Seed,
 	})
-	w := cfg.Workload
-	for _, img := range w.AllImages() {
-		ld.Install(img)
-	}
-	ld.Install(w.Exe)
-	if !cfg.WarmFS {
-		fs.DropCaches()
-	}
-
-	interp := pyvm.New(mem, ld, w.Find, pyvm.Options{Coverage: cfg.Coverage})
-
-	es, err := papisim.NewEventSet(mem,
-		papisim.L1DCM, papisim.L1ICM, papisim.L2TCM, papisim.TOTINS)
 	if err != nil {
 		return nil, err
 	}
-
-	metrics := &Metrics{Mode: cfg.Mode}
-	timer := &phaseTimer{clock: clock, mem: mem, hz: cfg.Cluster.CoreHz}
-
-	// --- Startup phase: process launch to first driver line. ---
-	timer.start()
-	if err := es.Start(); err != nil {
-		return nil, err
-	}
-	if _, err := ld.StartupExecutable(w.Exe); err != nil {
-		return nil, fmt.Errorf("driver startup: %w", err)
-	}
-	if cfg.Mode != Vanilla {
-		if err := ld.StartupPrelinked(w.Sonames()); err != nil {
-			return nil, fmt.Errorf("driver startup (prelinked): %w", err)
-		}
-	}
-	mem.Instructions(20e6) // interpreter boot: site init, codecs, etc.
-	vals, err := es.Stop()
-	if err != nil {
-		return nil, err
-	}
-	metrics.Startup = toPhase(vals)
-	metrics.StartupSec = timer.elapsed()
-
-	// --- Import phase: import every generated module. ---
-	timer.start()
-	if err := es.Start(); err != nil {
-		return nil, err
-	}
-	modules := make([]*pyvm.Module, 0, len(w.ModuleNames()))
-	for _, name := range w.ModuleNames() {
-		m, err := interp.Import(name)
-		if err != nil {
-			return nil, fmt.Errorf("driver import: %w", err)
-		}
-		modules = append(modules, m)
-	}
-	vals, err = es.Stop()
-	if err != nil {
-		return nil, err
-	}
-	metrics.Import = toPhase(vals)
-	metrics.ImportSec = timer.elapsed()
-	metrics.ModulesImported = len(modules)
-
-	// --- Visit phase: run every module's entry function. ---
-	timer.start()
-	if err := es.Start(); err != nil {
-		return nil, err
-	}
-	for _, m := range modules {
-		if err := interp.VisitEntry(m); err != nil {
-			return nil, fmt.Errorf("driver visit: %w", err)
-		}
-	}
-	vals, err = es.Stop()
-	if err != nil {
-		return nil, err
-	}
-	metrics.Visit = toPhase(vals)
-	metrics.VisitSec = timer.elapsed()
-
-	// --- MPI test phase (pyMPI builds only). ---
-	if cfg.RunMPITest {
-		world, err := mpisim.NewWorld(cfg.NTasks, mpisim.Config{
-			Latency:   cfg.Cluster.LinkLatency,
-			Bandwidth: cfg.Cluster.LinkBandwidth,
-			ChanDepth: 64,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := world.Run(func(c *mpisim.Comm) error {
-			_, err := pympi.MPITest(c)
-			return err
-		}); err != nil {
-			return nil, fmt.Errorf("driver MPI test: %w", err)
-		}
-		metrics.MPISec = world.MaxSeconds()
-	}
-
-	metrics.Loader = ld.Stats()
-	metrics.VM = interp.Stats()
-	metrics.FS = fs.Stats()
-	metrics.FuncsVisited = interp.Stats().Calls
-	return metrics, nil
+	r := res.Ranks[0]
+	return &Metrics{
+		Mode:            cfg.Mode,
+		StartupSec:      r.StartupSec,
+		ImportSec:       r.ImportSec,
+		VisitSec:        r.VisitSec,
+		MPISec:          res.MPISec,
+		Startup:         r.Startup,
+		Import:          r.Import,
+		Visit:           r.Visit,
+		Loader:          r.Loader,
+		VM:              r.VM,
+		FS:              r.FS,
+		ModulesImported: r.ModulesImported,
+		FuncsVisited:    r.FuncsVisited,
+	}, nil
 }

@@ -54,6 +54,9 @@
 //     the link map gains an object (a generation counter guards
 //     staleness; dlclose keeps objects resident, so it cannot change
 //     walk order and does not invalidate).
+//   - Multi-rank jobs build the first-definer index ONCE per workload
+//     (SharedIndex) and share it read-only across every rank's loader,
+//     so an N-rank job costs O(work), not O(N × index-build).
 //
 // The fast path never changes simulated outcomes: memory traffic,
 // clock time, and Stats are byte-identical with Options.NoFastPath
@@ -100,7 +103,14 @@ type Options struct {
 	// NoFastPath disables the host-side symbol-lookup fast path (see
 	// the package comment). Simulated results are identical either
 	// way; the toggle exists for equivalence tests and benchmarks.
+	// Setting it also disables a configured SharedIndex, so the
+	// NoFastPath baseline exercises the full per-loader paths.
 	NoFastPath bool
+	// Shared, when non-nil, serves first-definer resolution from a
+	// read-only index built once per workload (see SharedIndex) instead
+	// of a per-loader definition map. The loader must map objects in
+	// the index's canonical load order.
+	Shared *SharedIndex
 }
 
 // Stats counts loader activity.
@@ -234,6 +244,9 @@ func New(mem memsim.Memory, fs *fsim.FS, clock *simtime.Clock, opts Options) *Lo
 	if opts.Clients < 1 {
 		opts.Clients = 1
 	}
+	if opts.NoFastPath {
+		opts.Shared = nil
+	}
 	return &Loader{
 		mem:      mem,
 		fs:       fs,
@@ -340,20 +353,24 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 	// Register definitions (first definer in scope wins, SysV rules).
 	// The fast path presizes the index for every installed image's
 	// symbols up front, so the registration loop never pays an
-	// incremental rehash of a table with 10^5+ entries.
-	if ld.defs == nil {
-		hint := 0
-		if !ld.opts.NoFastPath {
-			hint = ld.installedSyms
+	// incremental rehash of a table with 10^5+ entries. With a shared
+	// index the loop is skipped entirely — the job built the index once
+	// and every rank resolves against it read-only.
+	if ld.opts.Shared == nil {
+		if ld.defs == nil {
+			hint := 0
+			if !ld.opts.NoFastPath {
+				hint = ld.installedSyms
+			}
+			ld.defs = make(map[elfimg.SymID]DefSite, hint)
 		}
-		ld.defs = make(map[elfimg.SymID]DefSite, hint)
-	}
-	for i, s := range img.Syms {
-		if s.Local {
-			continue
-		}
-		if _, exists := ld.defs[s.ID]; !exists {
-			ld.defs[s.ID] = DefSite{Entry: le, SymIndex: i}
+		for i, s := range img.Syms {
+			if s.Local {
+				continue
+			}
+			if _, exists := ld.defs[s.ID]; !exists {
+				ld.defs[s.ID] = DefSite{Entry: le, SymIndex: i}
+			}
 		}
 	}
 	ld.totalSymtab += img.Layout.SymTab.Size
@@ -376,6 +393,30 @@ func (ld *Loader) avgChain() float64 {
 	return c
 }
 
+// defSite resolves symbol id to its first-in-scope definition: through
+// the shared read-only index when the job configured one (turning the
+// sharedDef into this loader's DefSite via the link map), else through
+// the per-loader definition map. Host-side only; issues no simulated
+// traffic.
+func (ld *Loader) defSite(id elfimg.SymID) (DefSite, bool) {
+	if sh := ld.opts.Shared; sh != nil {
+		sd, ok := sh.defs[id]
+		if !ok {
+			return DefSite{}, false
+		}
+		le, ok := ld.bySoname[sd.soname]
+		if !ok {
+			// The canonical definer isn't mapped yet. Under the
+			// load-order invariant no earlier-in-scope definer can be
+			// mapped either, so the symbol is unresolved here and now.
+			return DefSite{}, false
+		}
+		return DefSite{Entry: le, SymIndex: sd.symIndex}, true
+	}
+	def, ok := ld.defs[id]
+	return def, ok
+}
+
 // lookup resolves symbol id as referenced from object `from`, modelling
 // the scope walk's memory traffic. Traffic against the objects probed
 // *before* the definer is issued as batched random probes into the
@@ -384,7 +425,7 @@ func (ld *Loader) avgChain() float64 {
 // walk and name compare are issued against its real addresses.
 func (ld *Loader) lookup(from *LinkEntry, id elfimg.SymID) (DefSite, error) {
 	ld.stats.Lookups++
-	def, ok := ld.defs[id]
+	def, ok := ld.defSite(id)
 	if !ok {
 		// Unsuccessful lookup walks the *entire* scope before failing.
 		ld.probeScope(len(ld.linkMap), 0)
@@ -711,7 +752,7 @@ func (ld *Loader) ResolvePLT(le *LinkEntry, relocIdx int) (DefSite, error) {
 				return def, nil
 			}
 		}
-		def, ok := ld.defs[r.Sym]
+		def, ok := ld.defSite(r.Sym)
 		if !ok {
 			return DefSite{}, &UndefinedSymbolError{Sym: r.Sym, From: img.Name}
 		}
@@ -765,7 +806,7 @@ func (ld *Loader) ResolveData(le *LinkEntry, relocIdx int) (DefSite, error) {
 			return def, nil
 		}
 	}
-	def, ok := ld.defs[r.Sym]
+	def, ok := ld.defSite(r.Sym)
 	if !ok {
 		return DefSite{}, &UndefinedSymbolError{Sym: r.Sym, From: le.Image.Name}
 	}

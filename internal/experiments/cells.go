@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/fsim"
+	"repro/internal/job"
 	"repro/internal/pygen"
 	"repro/internal/runner"
 	"repro/internal/toolsim"
@@ -64,16 +65,38 @@ func driverMetrics(m *driver.Metrics) runner.Metrics {
 	}
 }
 
+// cellMode reads the required "mode" parameter of a cell.
+func cellMode(cell string, p runner.Params) (driver.BuildMode, error) {
+	s, ok := p.LookupStr("mode")
+	if !ok {
+		return 0, fmt.Errorf("%s: missing parameter %q", cell, "mode")
+	}
+	return ParseMode(s)
+}
+
+// cellInt reads a required integer cell parameter: a grid point without
+// it is malformed, so absence is an error, never a zero default.
+func cellInt(cell, key string, p runner.Params, min int) (int, error) {
+	v, ok := p.LookupInt(key)
+	if !ok {
+		return 0, fmt.Errorf("%s: missing parameter %q", cell, key)
+	}
+	if v < min {
+		return 0, fmt.Errorf("%s: %s must be >= %d, got %d", cell, key, min, v)
+	}
+	return v, nil
+}
+
 // dllCountCell is one S1 point: DSO count p["dsos"] at fixed per-DSO
 // size, run in build mode p["mode"].
 func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	mode, err := ParseMode(p.Str("mode"))
+	mode, err := cellMode("dllcount", p)
 	if err != nil {
 		return nil, err
 	}
-	n := p.Int("dsos")
-	if n < 1 {
-		return nil, fmt.Errorf("dllcount: dsos must be >= 1, got %d", n)
+	n, err := cellInt("dllcount", "dsos", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed)
 	cfg.NumModules = (n*57 + 50) / 100 // keep the 57% module fraction
@@ -97,13 +120,13 @@ func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 // dllSizeCell is one S2 point: p["funcs"] functions per DSO at fixed
 // DSO count, run in build mode p["mode"].
 func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	mode, err := ParseMode(p.Str("mode"))
+	mode, err := cellMode("dllsize", p)
 	if err != nil {
 		return nil, err
 	}
-	nf := p.Int("funcs")
-	if nf < 1 {
-		return nil, fmt.Errorf("dllsize: funcs must be >= 1, got %d", nf)
+	nf, err := cellInt("dllsize", "funcs", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed)
 	cfg.NumModules = 16
@@ -124,13 +147,13 @@ func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 // nfsCell is one S3 point: p["nodes"] nodes staging the generated DSO
 // set independently from NFS versus via collective open.
 func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	nodes := p.Int("nodes")
-	if nodes < 1 {
-		return nil, fmt.Errorf("nfs: nodes must be >= 1, got %d", nodes)
+	nodes, err := cellInt("nfs", "nodes", p, 1)
+	if err != nil {
+		return nil, err
 	}
-	scaleDiv := p.Int("scale_div")
-	if scaleDiv < 1 {
-		return nil, fmt.Errorf("nfs: scale_div must be >= 1, got %d", scaleDiv)
+	scaleDiv, err := cellInt("nfs", "scale_div", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
 	w, err := pygen.Generate(cfg)
@@ -185,12 +208,75 @@ func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 	}, nil
 }
 
+// jobDistCell is one J1 point: an N-rank job through the per-rank job
+// engine, reporting per-rank phase-time distribution columns
+// (min/mean/p99/max) instead of a single extrapolated rank. The
+// optional rank_skew and straggler_frac knobs inject the heterogeneity
+// whose tails the distributions exist to expose.
+func jobDistCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+	tasks, err := cellInt("jobdist", "tasks", p, 1)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := cellMode("jobdist", p)
+	if err != nil {
+		return nil, err
+	}
+	scaleDiv, err := cellInt("jobdist", "scale_div", p, 1)
+	if err != nil {
+		return nil, err
+	}
+	funcsDiv, err := cellInt("jobdist", "funcs_div", p, 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := seededLLNL(seed).Scaled(scaleDiv).ScaledFuncs(funcsDiv)
+	w, err := pygen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Run(job.Config{
+		Mode:          mode,
+		Workload:      w,
+		NTasks:        tasks,
+		RankSkew:      p.Float("rank_skew"),
+		StragglerFrac: p.Float("straggler_frac"),
+		// The runner's pool already runs cells in parallel; nesting a
+		// GOMAXPROCS-wide rank pool inside it would multiply concurrent
+		// substrate bundles without adding throughput.
+		Workers: 1,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runner.Metrics{
+		"startup_min_sec":  res.Startup.Min,
+		"startup_mean_sec": res.Startup.Mean,
+		"startup_p99_sec":  res.Startup.P99,
+		"startup_max_sec":  res.Startup.Max,
+		"visit_min_sec":    res.Visit.Min,
+		"visit_mean_sec":   res.Visit.Mean,
+		"visit_p99_sec":    res.Visit.P99,
+		"visit_max_sec":    res.Visit.Max,
+		// total_max_sec follows the *_max_sec pattern (max per-rank
+		// total); total_job_sec is the barrier-gated job total (sum of
+		// per-phase maxima), which exceeds it when different ranks are
+		// slowest in different phases.
+		"total_max_sec":   res.Total.Max,
+		"total_job_sec":   res.TotalSec(),
+		"ranks":           float64(len(res.Ranks)),
+		"nodes_used":      float64(res.NodesUsed),
+		"straggler_nodes": float64(len(res.StragglerNodes)),
+	}, nil
+}
+
 // bindingCell is A1: the same workload's visit phase under lazy and
 // eager binding.
 func bindingCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	scaleDiv := p.Int("scale_div")
-	if scaleDiv < 1 {
-		return nil, fmt.Errorf("binding: scale_div must be >= 1, got %d", scaleDiv)
+	scaleDiv, err := cellInt("binding", "scale_div", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
 	w, err := pygen.Generate(cfg)
@@ -219,13 +305,16 @@ func bindingCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 // coverageCell is one A2 point: the Link-build visit phase at code
 // coverage p["coverage"].
 func coverageCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	frac := p.Float("coverage")
+	frac, ok := p.LookupFloat("coverage")
+	if !ok {
+		return nil, fmt.Errorf("coverage: missing parameter %q", "coverage")
+	}
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("coverage: fraction %v outside (0, 1]", frac)
 	}
-	scaleDiv := p.Int("scale_div")
-	if scaleDiv < 1 {
-		return nil, fmt.Errorf("coverage: scale_div must be >= 1, got %d", scaleDiv)
+	scaleDiv, err := cellInt("coverage", "scale_div", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
 	w, err := pygen.Generate(cfg)
@@ -247,13 +336,13 @@ func coverageCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 // aslrCell is A3: tool-attach phase 1 with homogeneous versus
 // randomized (heterogeneous) link maps.
 func aslrCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	tasks := p.Int("tasks")
-	if tasks < 1 {
-		return nil, fmt.Errorf("aslr: tasks must be >= 1, got %d", tasks)
+	tasks, err := cellInt("aslr", "tasks", p, 1)
+	if err != nil {
+		return nil, err
 	}
-	scaleDiv := p.Int("scale_div")
-	if scaleDiv < 1 {
-		return nil, fmt.Errorf("aslr: scale_div must be >= 1, got %d", scaleDiv)
+	scaleDiv, err := cellInt("aslr", "scale_div", p, 1)
+	if err != nil {
+		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
 	w, err := pygen.Generate(cfg)

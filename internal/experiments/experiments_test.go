@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func TestTableIReducedScale(t *testing.T) {
@@ -151,5 +152,41 @@ func TestAblationsReducedScale(t *testing.T) {
 	}
 	if a.HeterogeneousPhase1 <= a.HomogeneousPhase1 {
 		t.Fatal("ASLR ablation inverted")
+	}
+}
+
+// TestJobDistCell covers the J1 cell: distribution columns are ordered
+// (min ≤ mean ≤ p99 ≤ max), heterogeneity spreads them, and missing
+// grid keys are an error rather than a silent zero default.
+func TestJobDistCell(t *testing.T) {
+	p := runner.Params{
+		"tasks": 8, "mode": "vanilla", "scale_div": 40, "funcs_div": 10,
+		"rank_skew": 0.4, "straggler_frac": 0.5,
+	}
+	m, err := jobDistCell(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["ranks"] != 8 || m["nodes_used"] != 1 || m["straggler_nodes"] != 1 {
+		t.Fatalf("job shape: %+v", m)
+	}
+	if !(m["visit_min_sec"] > 0 && m["visit_min_sec"] <= m["visit_mean_sec"] &&
+		m["visit_mean_sec"] <= m["visit_p99_sec"] &&
+		m["visit_p99_sec"] <= m["visit_max_sec"]) {
+		t.Fatalf("visit distribution disordered: %+v", m)
+	}
+	if m["visit_max_sec"] <= m["visit_min_sec"] {
+		t.Fatalf("skew produced a flat distribution: %+v", m)
+	}
+	for _, key := range []string{"tasks", "mode", "scale_div", "funcs_div"} {
+		broken := runner.Params{}
+		for k, v := range p {
+			if k != key {
+				broken[k] = v
+			}
+		}
+		if _, err := jobDistCell(broken, 0); err == nil {
+			t.Fatalf("missing %q accepted", key)
+		}
 	}
 }

@@ -94,6 +94,7 @@ var (
 //	dllcount        S1 — scaling vs number of DLLs
 //	dllsize         S2 — scaling vs DLL size
 //	nfs             S3 — NFS loading vs collective open
+//	jobdist         J1 — per-rank phase-time distributions (job engine)
 //	ablate-binding  A1 — lazy vs eager binding
 //	ablate-coverage A2 — the code-coverage extension
 //	ablate-aslr     A3 — homogeneous vs randomized link maps
@@ -125,6 +126,23 @@ func RunnerRegistry() *runner.Registry {
 				return nfsGrid(nil, 0)
 			},
 			Run: nfsCell,
+		})
+		registry.MustRegister(&runner.Experiment{
+			Name: "jobdist",
+			Description: "J1: per-rank phase-time distributions from the job engine " +
+				"(skewed + straggler heterogeneity)",
+			Grid: func() []runner.Params {
+				var grid []runner.Params
+				for _, tasks := range []int{16, 64} {
+					grid = append(grid, runner.Params{
+						"tasks": tasks, "mode": "vanilla",
+						"scale_div": 20, "funcs_div": 8,
+						"rank_skew": 0.3, "straggler_frac": 0.25,
+					})
+				}
+				return grid
+			},
+			Run: jobDistCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "ablate-binding",

@@ -11,7 +11,7 @@ import (
 
 func TestRunnerRegistryNames(t *testing.T) {
 	reg := RunnerRegistry()
-	want := []string{"dllcount", "dllsize", "nfs", "ablate-binding",
+	want := []string{"dllcount", "dllsize", "nfs", "jobdist", "ablate-binding",
 		"ablate-coverage", "ablate-aslr"}
 	want = append(want, scenario.Names()...)
 	got := reg.Names()

@@ -83,12 +83,16 @@ type Stats struct {
 
 // FS is the simulated filesystem: a file namespace on one NFS server
 // plus a disk buffer cache per node. It is not safe for concurrent use;
-// the simulation is sequential.
+// the simulation is sequential. For goroutine-parallel simulated ranks,
+// give each rank its own Fork and Absorb the forks back at a barrier.
 type FS struct {
 	cfg   Config
 	files map[string]uint64 // path -> size
 	nodes []*nodeCache
-	stats Stats
+	// ioScale scales I/O seconds per node (straggler-node model); nil
+	// means every node at 1.0.
+	ioScale []float64
+	stats   Stats
 }
 
 // New creates a filesystem serving nNodes client nodes.
@@ -167,7 +171,8 @@ func (fs *FS) ReadBytes(nodeID int, path string, maxBytes uint64, clients int) (
 	if cached := node.lookup(path); cached >= size {
 		fs.stats.CacheHits++
 		fs.stats.HitBytes += size
-		return fs.cfg.LocalLatency + float64(size)/fs.cfg.LocalBandwidth, true, nil
+		secs := fs.cfg.LocalLatency + float64(size)/fs.cfg.LocalBandwidth
+		return secs * fs.nodeIOScale(nodeID), true, nil
 	}
 	fs.stats.NFSReads++
 	fs.stats.NFSBytes += size
@@ -177,7 +182,105 @@ func (fs *FS) ReadBytes(nodeID int, path string, maxBytes uint64, clients int) (
 	// concurrent clients.
 	queue := 1 + (clients-1)/fs.cfg.NFSConcurrency
 	perClientBW := fs.cfg.NFSBandwidth / float64(clients)
-	return fs.cfg.NFSLatency*float64(queue) + float64(size)/perClientBW, false, nil
+	secs := fs.cfg.NFSLatency*float64(queue) + float64(size)/perClientBW
+	return secs * fs.nodeIOScale(nodeID), false, nil
+}
+
+// nodeIOScale returns the I/O time multiplier for a node (1.0 unless
+// SetNodeIOScale marked it degraded).
+func (fs *FS) nodeIOScale(nodeID int) float64 {
+	if fs.ioScale == nil {
+		return 1
+	}
+	return fs.ioScale[nodeID]
+}
+
+// SetNodeIOScale marks a node's I/O path as degraded: every read by
+// that node takes scale× the healthy time (an overloaded NIC, a sick
+// local disk driver, a flaky IB link — the "straggler node" of large-
+// job folklore). scale must be >= 1; Fork propagates the setting.
+func (fs *FS) SetNodeIOScale(nodeID int, scale float64) error {
+	if nodeID < 0 || nodeID >= len(fs.nodes) {
+		return fmt.Errorf("fsim: node %d out of range", nodeID)
+	}
+	if scale < 1 {
+		return fmt.Errorf("fsim: I/O scale %g < 1", scale)
+	}
+	if fs.ioScale == nil {
+		fs.ioScale = make([]float64, len(fs.nodes))
+		for i := range fs.ioScale {
+			fs.ioScale[i] = 1
+		}
+	}
+	fs.ioScale[nodeID] = scale
+	return nil
+}
+
+// WarmNodes pre-populates the given nodes' buffer caches with every
+// installed file, in deterministic path order — the state a node is in
+// after a previous job of the same workload ran there (Table IV's warm
+// rows, but selectable per node).
+func (fs *FS) WarmNodes(nodeIDs ...int) error {
+	paths := fs.Paths()
+	for _, n := range nodeIDs {
+		if n < 0 || n >= len(fs.nodes) {
+			return fmt.Errorf("fsim: node %d out of range", n)
+		}
+		for _, p := range paths {
+			fs.nodes[n].insert(p, fs.files[p])
+		}
+	}
+	return nil
+}
+
+// Fork returns an independent view of the filesystem for one simulated
+// process: a copy of the file namespace, deep-copied per-node cache
+// state, the same per-node I/O scaling, and zero stats. Reads through
+// the fork never touch the parent; Absorb folds a fork's cache state
+// and stats back at a barrier.
+func (fs *FS) Fork() *FS {
+	f := &FS{
+		cfg:   fs.cfg,
+		files: make(map[string]uint64, len(fs.files)),
+		nodes: make([]*nodeCache, len(fs.nodes)),
+	}
+	for p, sz := range fs.files {
+		f.files[p] = sz
+	}
+	for i, n := range fs.nodes {
+		f.nodes[i] = n.clone()
+	}
+	if fs.ioScale != nil {
+		f.ioScale = append([]float64(nil), fs.ioScale...)
+	}
+	return f
+}
+
+// Absorb merges a fork back into fs: stats are added, the file
+// namespace is unioned, and each node's cache gains the fork's entries
+// (inserted LRU→MRU, so the fork's recency ordering wins for entries
+// it touched). Merging forks in a fixed order keeps the combined state
+// deterministic regardless of how the forks themselves were scheduled.
+func (fs *FS) Absorb(other *FS) error {
+	if len(other.nodes) != len(fs.nodes) {
+		return fmt.Errorf("fsim: absorb across node counts (%d vs %d)",
+			len(other.nodes), len(fs.nodes))
+	}
+	for p, sz := range other.files {
+		if sz > fs.files[p] {
+			fs.files[p] = sz
+		}
+	}
+	for i, n := range other.nodes {
+		for e := n.tail; e != nil; e = e.prev {
+			fs.nodes[i].insert(e.path, e.size)
+		}
+	}
+	fs.stats.NFSReads += other.stats.NFSReads
+	fs.stats.NFSBytes += other.stats.NFSBytes
+	fs.stats.CacheHits += other.stats.CacheHits
+	fs.stats.HitBytes += other.stats.HitBytes
+	return nil
 }
 
 // CollectiveRead models the §V "collective opening of DLLs" extension:
@@ -258,6 +361,16 @@ type cacheEntry struct {
 
 func newNodeCache(capacity uint64) *nodeCache {
 	return &nodeCache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// clone deep-copies the cache, preserving recency order (re-inserting
+// LRU→MRU reproduces both the list order and the byte accounting).
+func (c *nodeCache) clone() *nodeCache {
+	out := newNodeCache(c.capacity)
+	for e := c.tail; e != nil; e = e.prev {
+		out.insert(e.path, e.size)
+	}
+	return out
 }
 
 // lookup returns the cached byte count for path (0 if absent) and

@@ -319,3 +319,179 @@ func TestCacheNeverExceedsCapacity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPerNodeCacheIsolation is load-bearing for the job engine: once
+// ranks read through their *real* node IDs, a read by node A must warm
+// only node A's buffer cache, never node B's.
+func TestPerNodeCacheIsolation(t *testing.T) {
+	fs := newFS(t, 3)
+	fs.Create("/stage/libmod.so", 8<<20)
+	if _, hit, err := fs.Read(0, "/stage/libmod.so", 1); err != nil || hit {
+		t.Fatalf("first read via node 0: hit=%v err=%v", hit, err)
+	}
+	// Node 0 is warm; nodes 1 and 2 must still be cold.
+	if _, hit, _ := fs.Read(0, "/stage/libmod.so", 1); !hit {
+		t.Fatal("node 0 not warmed by its own read")
+	}
+	if _, hit, _ := fs.Read(1, "/stage/libmod.so", 1); hit {
+		t.Fatal("node 0's read warmed node 1's cache")
+	}
+	if _, hit, _ := fs.Read(2, "/stage/libmod.so", 1); hit {
+		t.Fatal("reads through nodes 0 and 1 warmed node 2's cache")
+	}
+	if fs.CachedBytes(0) == 0 || fs.CachedBytes(1) == 0 || fs.CachedBytes(2) == 0 {
+		t.Fatal("per-node cache accounting missing")
+	}
+}
+
+// TestForkIsolatesAndAbsorbMerges covers the job engine's rank-FS
+// lifecycle: forks never leak reads into the parent (or each other),
+// and Absorb folds cache state and stats back deterministically.
+func TestForkIsolatesAndAbsorbMerges(t *testing.T) {
+	base := newFS(t, 2)
+	base.Create("/stage/a.so", 4<<20)
+	base.Create("/stage/b.so", 4<<20)
+
+	f0, f1 := base.Fork(), base.Fork()
+	if _, hit, err := f0.Read(0, "/stage/a.so", 1); err != nil || hit {
+		t.Fatalf("fork0 cold read: hit=%v err=%v", hit, err)
+	}
+	if _, hit, _ := f1.Read(0, "/stage/a.so", 1); hit {
+		t.Fatal("fork0's read warmed fork1")
+	}
+	if base.CachedBytes(0) != 0 {
+		t.Fatal("fork read mutated parent cache")
+	}
+	if base.Stats().NFSReads != 0 {
+		t.Fatal("fork read mutated parent stats")
+	}
+	if _, hit, _ := f0.Read(0, "/stage/a.so", 1); !hit {
+		t.Fatal("fork did not keep its own cache")
+	}
+
+	if err := base.Absorb(f0); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Absorb(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Post-merge the parent is warm for /stage/a.so on node 0 ...
+	if _, hit, _ := base.Read(0, "/stage/a.so", 1); !hit {
+		t.Fatal("absorb did not warm parent cache")
+	}
+	// ... and carries the forks' traffic: 2 cold NFS reads, 1 fork hit,
+	// plus the parent's own post-merge hit.
+	st := base.Stats()
+	if st.NFSReads != 2 || st.CacheHits != 2 {
+		t.Fatalf("merged stats = %+v, want 2 NFS reads and 2 hits", st)
+	}
+
+	other := newFS(t, 5)
+	if err := base.Absorb(other); err == nil {
+		t.Fatal("absorb across node counts accepted")
+	}
+}
+
+// TestForkCachePreservesRecency: cloning must keep LRU order, or forked
+// ranks would evict different victims than the parent would have.
+func TestForkCachePreservesRecency(t *testing.T) {
+	cfg := Defaults()
+	cfg.NodeCacheBytes = 10 << 20
+	fs, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		fs.Create(p, 4<<20)
+		if _, _, err := fs.Read(0, p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cache holds f1, f2 (f0 evicted). Touch f1 so f2 is LRU.
+	if _, hit, _ := fs.Read(0, "/f1", 1); !hit {
+		t.Fatal("setup: f1 not cached")
+	}
+	fork := fs.Fork()
+	fork.Create("/f3", 4<<20)
+	if _, _, err := fork.Read(0, "/f3", 1); err != nil {
+		t.Fatal(err)
+	}
+	// The clone must evict f2 (its LRU), keeping f1 — as the parent
+	// would have.
+	if _, hit, _ := fork.Read(0, "/f1", 1); !hit {
+		t.Fatal("fork evicted the MRU entry: recency order lost in clone")
+	}
+	if _, hit, _ := fork.Read(0, "/f2", 1); hit {
+		t.Fatal("fork kept its LRU entry past capacity")
+	}
+}
+
+// TestWarmNodesSelective warms only the listed nodes.
+func TestWarmNodesSelective(t *testing.T) {
+	fs := newFS(t, 3)
+	fs.Create("/stage/a.so", 1<<20)
+	fs.Create("/stage/b.so", 2<<20)
+	if err := fs.WarmNodes(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		node int
+		warm bool
+	}{{0, true}, {1, false}, {2, true}} {
+		_, hit, err := fs.Read(tc.node, "/stage/a.so", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != tc.warm {
+			t.Fatalf("node %d: hit=%v, want %v", tc.node, hit, tc.warm)
+		}
+	}
+	if err := fs.WarmNodes(7); err == nil {
+		t.Fatal("out-of-range warm node accepted")
+	}
+}
+
+// TestNodeIOScale: a degraded node's reads take scale× the healthy
+// time, cold and warm, and other nodes are unaffected.
+func TestNodeIOScale(t *testing.T) {
+	fs := newFS(t, 2)
+	fs.Create("/stage/a.so", 8<<20)
+	healthyCold, _, err := fs.Read(0, "/stage/a.so", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetNodeIOScale(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	slowCold, _, err := fs.Read(1, "/stage/a.so", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowCold != 4*healthyCold {
+		t.Fatalf("degraded cold read %g, want %g", slowCold, 4*healthyCold)
+	}
+	healthyWarm, hit, _ := fs.Read(0, "/stage/a.so", 1)
+	slowWarm, hit2, _ := fs.Read(1, "/stage/a.so", 1)
+	if !hit || !hit2 {
+		t.Fatal("warm reads missed")
+	}
+	if slowWarm != 4*healthyWarm {
+		t.Fatalf("degraded warm read %g, want %g", slowWarm, 4*healthyWarm)
+	}
+	// The setting survives forking.
+	fork := fs.Fork()
+	forkSlow, _, err := fork.Read(1, "/stage/a.so", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forkSlow != slowWarm {
+		t.Fatalf("fork lost I/O scale: %g vs %g", forkSlow, slowWarm)
+	}
+	if err := fs.SetNodeIOScale(0, 0.5); err == nil {
+		t.Fatal("speed-up scale accepted")
+	}
+	if err := fs.SetNodeIOScale(9, 2); err == nil {
+		t.Fatal("out-of-range scale node accepted")
+	}
+}

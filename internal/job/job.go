@@ -1,0 +1,375 @@
+// Package job is the per-rank job engine: it runs the Pynamic driver's
+// phase pipeline (startup → import → visit → MPI test) for N simulated
+// MPI ranks instead of extrapolating from rank 0.
+//
+// Each Rank carries its own substrate bundle — memory model, simulated
+// clock, dynamic linker wired to the rank's *real* node from the
+// cluster placement, interpreter — over shared immutable state: the
+// workload images, the dynld first-definer index (built once per job,
+// shared read-only), and a forked view of the job filesystem. Because
+// ranks share nothing mutable, they execute goroutine-parallel and the
+// results are byte-identical regardless of worker count or GOMAXPROCS;
+// per-rank randomness (detailed-model placement, ASLR, skew) derives
+// from deterministic per-rank seeds.
+//
+// The engine reports per-rank metric distributions (min/mean/max/p99)
+// and job phase times gated by the slowest rank, matching MPI barrier
+// semantics. Heterogeneity knobs make the ranks differ: RankSkew gives
+// each rank a seeded CPU slowdown, StragglerFrac degrades the I/O of a
+// seeded subset of nodes, and WarmNodeFrac starts a seeded subset of
+// nodes with warm buffer caches.
+//
+// Cache semantics within one job: ranks storm concurrently, so a rank
+// never benefits from a co-located rank's reads during the same run
+// (each rank's filesystem fork starts from the job's initial state).
+// Cache reuse across *jobs* works as before — forks are absorbed back
+// into the job filesystem at the end, so a second run over the same
+// SharedFS sees warm caches.
+//
+// driver.Run remains as a thin compatibility facade over a 1-rank job.
+package job
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dynld"
+	"repro/internal/fsim"
+	"repro/internal/memsim"
+	"repro/internal/mpisim"
+	"repro/internal/pygen"
+	"repro/internal/pympi"
+	"repro/internal/xrand"
+)
+
+// Mode selects the paper's build/run configuration. internal/driver
+// aliases its BuildMode to this type.
+type Mode int
+
+// Build modes, in Table I row order.
+const (
+	Vanilla Mode = iota
+	Link
+	LinkBind
+)
+
+// String returns the Table I row label.
+func (m Mode) String() string {
+	switch m {
+	case Vanilla:
+		return "Vanilla"
+	case Link:
+		return "Link"
+	case LinkBind:
+		return "Link+Bind"
+	}
+	return "invalid"
+}
+
+// Backend selects the memory-model fidelity.
+type Backend int
+
+// Memory backends.
+const (
+	// Analytic is the fast model; required for paper-scale workloads.
+	Analytic Backend = iota
+	// Detailed is the line-accurate model; use at reduced scale.
+	Detailed
+)
+
+// Config configures a job run.
+type Config struct {
+	Mode     Mode
+	Backend  Backend
+	Workload *pygen.Workload
+
+	// NTasks is the MPI job size; it drives filesystem contention (all
+	// tasks start and load concurrently) and the MPI test world size.
+	NTasks int
+	// Ranks is how many of the job's tasks to actually simulate
+	// (ranks 0..Ranks-1 of the placement). 0 means all NTasks; 1 is
+	// the legacy driver's rank-0 extrapolation.
+	Ranks int
+	// Placement distributes tasks across nodes (block or round-robin).
+	Placement cluster.Policy
+
+	Cluster cluster.Config
+	Mem     memsim.Config
+	FS      fsim.Config
+
+	// RunMPITest enables the pyMPI functionality test phase.
+	RunMPITest bool
+	// Coverage is the fraction of entry chains visited (§V extension).
+	Coverage float64
+	// ASLR randomizes load addresses (§II.B.2 exec-shield discussion).
+	ASLR bool
+	// WarmFS skips dropping node buffer caches before the run.
+	WarmFS bool
+	// SharedFS reuses a caller-provided filesystem (for cold/warm
+	// sequences); when nil a fresh one is created.
+	SharedFS *fsim.FS
+	// NoFastPath disables the loader's host-side symbol-lookup fast
+	// path AND the shared first-definer index; simulated results are
+	// unchanged. Used by equivalence tests and before/after benchmarks.
+	NoFastPath bool
+
+	// RankSkew is the maximum fractional CPU slowdown per rank: rank r
+	// runs at CoreHz / (1 + RankSkew·u_r) with u_r seeded uniform in
+	// [0, 1). 0 means homogeneous ranks.
+	RankSkew float64
+	// StragglerFrac selects that fraction of the job's nodes (seeded,
+	// at least one when > 0) as I/O-degraded stragglers.
+	StragglerFrac float64
+	// StragglerIOScale is the I/O time multiplier on straggler nodes
+	// (default 4).
+	StragglerIOScale float64
+	// WarmNodeFrac starts that fraction of the job's nodes (seeded, at
+	// least one when > 0) with the workload already in their buffer
+	// caches — the mixed cold/warm state of a partially recycled
+	// allocation.
+	WarmNodeFrac float64
+
+	// Workers bounds goroutine parallelism across ranks (≤0 =
+	// GOMAXPROCS). It never affects results, only host wall time.
+	Workers int
+
+	Seed uint64
+}
+
+// withDefaults fills unset fields with the paper's environment.
+func (c Config) withDefaults() Config {
+	if c.NTasks == 0 {
+		c.NTasks = 1
+	}
+	if c.Ranks == 0 {
+		c.Ranks = c.NTasks
+	}
+	if c.Cluster.Nodes == 0 {
+		c.Cluster = cluster.Zeus()
+	}
+	if c.Mem.LineSize == 0 {
+		c.Mem = memsim.ZeusConfig()
+	}
+	if c.FS.NFSConcurrency == 0 {
+		c.FS = fsim.Defaults()
+	}
+	if c.StragglerIOScale == 0 {
+		c.StragglerIOScale = 4
+	}
+	return c
+}
+
+// rankSeed derives rank r's seed from the job seed. Rank 0 keeps the
+// job seed itself, so a 1-rank job is bit-identical to the legacy
+// single-rank driver at the same seed.
+func rankSeed(base uint64, r int) uint64 {
+	if r == 0 {
+		return base
+	}
+	x := base ^ (uint64(r) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pickNodes deterministically selects round(frac·nodes) node IDs (at
+// least one when frac > 0), in ascending order.
+func pickNodes(seed uint64, nodes int, frac float64, salt uint64) []int {
+	if frac <= 0 || nodes <= 0 {
+		return nil
+	}
+	n := int(frac*float64(nodes) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > nodes {
+		n = nodes
+	}
+	perm := xrand.New(seed ^ salt).Perm(nodes)
+	picked := append([]int(nil), perm[:n]...)
+	sort.Ints(picked)
+	return picked
+}
+
+// Run executes the job and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("job: no workload")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	place, err := cluster.PlaceWith(cfg.Cluster, cfg.NTasks, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ranks < 0 || cfg.Ranks > cfg.NTasks {
+		return nil, fmt.Errorf("job: %d simulated ranks outside [1, %d tasks]",
+			cfg.Ranks, cfg.NTasks)
+	}
+
+	// Job-shared immutable state: the filesystem's initial snapshot and
+	// the loader's first-definer index.
+	base := cfg.SharedFS
+	if base == nil {
+		base, err = fsim.New(cfg.FS, place.NodesUsed())
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := cfg.Workload
+	for _, img := range w.AllImages() {
+		base.Create(img.Path, img.FileSize())
+	}
+	base.Create(w.Exe.Path, w.Exe.FileSize())
+	if !cfg.WarmFS {
+		base.DropCaches()
+	}
+	res := &Result{
+		Mode:      cfg.Mode,
+		NTasks:    cfg.NTasks,
+		NodesUsed: place.NodesUsed(),
+	}
+	res.WarmNodes = pickNodes(cfg.Seed, place.NodesUsed(), cfg.WarmNodeFrac, 0x77a7)
+	if err := base.WarmNodes(res.WarmNodes...); err != nil {
+		return nil, err
+	}
+	res.StragglerNodes = pickNodes(cfg.Seed, place.NodesUsed(), cfg.StragglerFrac, 0x57a6)
+	for _, n := range res.StragglerNodes {
+		if err := base.SetNodeIOScale(n, cfg.StragglerIOScale); err != nil {
+			return nil, err
+		}
+	}
+
+	var shared *dynld.SharedIndex
+	if !cfg.NoFastPath {
+		shared, err = buildSharedIndex(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build the rank set. A 1-rank job runs directly against the job
+	// filesystem — the legacy driver's semantics, which cold/warm
+	// SharedFS sequences rely on; multi-rank jobs fork per rank and
+	// absorb the forks back below.
+	ranks := make([]*Rank, cfg.Ranks)
+	isStraggler := make(map[int]bool, len(res.StragglerNodes))
+	for _, n := range res.StragglerNodes {
+		isStraggler[n] = true
+	}
+	for r := range ranks {
+		rfs := base
+		if cfg.Ranks > 1 {
+			rfs = base.Fork()
+		}
+		ranks[r] = newRank(rankCtx{
+			id:        r,
+			node:      place.NodeOf(r),
+			seed:      rankSeed(cfg.Seed, r),
+			fs:        rfs,
+			clients:   place.NodesUsed(),
+			shared:    shared,
+			straggler: isStraggler[place.NodeOf(r)],
+		})
+	}
+
+	// Phase pipeline, ranks goroutine-parallel. Ranks share nothing
+	// mutable, so scheduling cannot change any result.
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ranks) {
+		workers = len(ranks)
+	}
+	errs := make([]error, len(ranks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range idx {
+				errs[r] = ranks[r].runPipeline(cfg, w)
+			}
+		}()
+	}
+	for r := range ranks {
+		idx <- r
+	}
+	close(idx)
+	wg.Wait()
+	for r, err := range errs { // first failure in rank order
+		if err != nil {
+			return nil, fmt.Errorf("job: rank %d: %w", r, err)
+		}
+	}
+
+	// Barrier: fold the forks' cache state and stats back into the job
+	// filesystem, in rank order for determinism.
+	if cfg.Ranks > 1 {
+		for _, rk := range ranks {
+			if err := base.Absorb(rk.fs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res.Ranks = make([]RankMetrics, len(ranks))
+	for r, rk := range ranks {
+		res.Ranks[r] = rk.metrics
+	}
+	res.aggregate()
+
+	// --- MPI test phase (pyMPI builds only): job-level, all NTasks. ---
+	if cfg.RunMPITest {
+		world, err := mpisim.NewWorld(cfg.NTasks, mpisim.Config{
+			Latency:   cfg.Cluster.LinkLatency,
+			Bandwidth: cfg.Cluster.LinkBandwidth,
+			ChanDepth: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := world.Run(func(c *mpisim.Comm) error {
+			_, err := pympi.MPITest(c)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("job: MPI test: %w", err)
+		}
+		res.MPISec = world.MaxSeconds()
+	}
+	return res, nil
+}
+
+// buildSharedIndex replays the phase pipeline's canonical load order —
+// executable, then (Link builds) the prelinked link line, then every
+// module import — once, for all ranks to share.
+func buildSharedIndex(cfg Config, w *pygen.Workload) (*dynld.SharedIndex, error) {
+	b := dynld.NewIndexBuilder(append(w.AllImages(), w.Exe)...)
+	if err := b.Load(w.Exe.Name); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != Vanilla {
+		if err := b.Load(w.Sonames()...); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range w.ModuleNames() {
+		soname, ok := w.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("job: no extension DSO for module %s", name)
+		}
+		if err := b.Load(soname); err != nil {
+			return nil, err
+		}
+	}
+	return b.Index(), nil
+}

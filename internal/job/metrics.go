@@ -1,0 +1,160 @@
+package job
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dynld"
+	"repro/internal/fsim"
+	"repro/internal/pyvm"
+)
+
+// PhaseCounters is a Table II cell pair: memory activity in one phase.
+type PhaseCounters struct {
+	L1DMissM float64 // millions, as Table II reports
+	L1IMissM float64
+	L2MissM  float64
+	InstrM   float64
+}
+
+func toPhase(vals []uint64) PhaseCounters {
+	return PhaseCounters{
+		L1DMissM: float64(vals[0]) / 1e6,
+		L1IMissM: float64(vals[1]) / 1e6,
+		L2MissM:  float64(vals[2]) / 1e6,
+		InstrM:   float64(vals[3]) / 1e6,
+	}
+}
+
+// RankMetrics is one simulated rank's full report: where it ran, what
+// drove its randomness, and its per-phase times, counters and substrate
+// statistics.
+type RankMetrics struct {
+	Rank int
+	Node int
+	Seed uint64
+	// Skew is the rank's CPU slowdown factor (1 = nominal speed).
+	Skew float64
+	// StragglerNode marks a rank placed on an I/O-degraded node.
+	StragglerNode bool
+
+	StartupSec float64
+	ImportSec  float64
+	VisitSec   float64
+
+	Startup PhaseCounters
+	Import  PhaseCounters
+	Visit   PhaseCounters
+
+	Loader dynld.Stats
+	VM     pyvm.Stats
+	FS     fsim.Stats
+
+	ModulesImported int
+	FuncsVisited    uint64
+}
+
+// TotalSec returns the rank's startup+import+visit time (the paper's
+// total excludes the MPI test).
+func (m *RankMetrics) TotalSec() float64 {
+	return m.StartupSec + m.ImportSec + m.VisitSec
+}
+
+// Dist summarizes a per-rank metric distribution. P99 uses the
+// nearest-rank method, so for small jobs it degenerates to Max — the
+// right bias for tail-latency reporting.
+type Dist struct {
+	Min  float64
+	Mean float64
+	Max  float64
+	P99  float64
+	Std  float64
+}
+
+// NewDist computes the distribution of xs. An empty slice yields zeros.
+func NewDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, x := range sorted {
+		d := x - mean
+		sq += d * d
+	}
+	rank := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	return Dist{
+		Min:  sorted[0],
+		Mean: mean,
+		Max:  sorted[len(sorted)-1],
+		P99:  sorted[rank],
+		Std:  math.Sqrt(sq / float64(len(sorted))),
+	}
+}
+
+// Result is a completed job: every simulated rank's metrics plus the
+// job-level phase times and distributions.
+type Result struct {
+	Mode   Mode
+	NTasks int
+	// NodesUsed is how many distinct nodes the full NTasks-task job
+	// occupies under the placement policy.
+	NodesUsed int
+
+	// Ranks holds the simulated ranks' metrics, in rank order.
+	Ranks []RankMetrics
+
+	// Job phase times: the slowest simulated rank per phase, matching
+	// MPI barrier semantics (a phase is over when the last rank
+	// finishes it). MPISec is the MPI test's own job-level maximum.
+	StartupSec float64
+	ImportSec  float64
+	VisitSec   float64
+	MPISec     float64
+
+	// Per-rank phase-time distributions.
+	Startup Dist
+	Import  Dist
+	Visit   Dist
+	Total   Dist
+
+	// StragglerNodes and WarmNodes record which node IDs the
+	// heterogeneity knobs selected (deterministic in the job seed).
+	StragglerNodes []int
+	WarmNodes      []int
+}
+
+// TotalSec returns the job's startup+import+visit time — each phase
+// gated by its slowest rank.
+func (r *Result) TotalSec() float64 {
+	return r.StartupSec + r.ImportSec + r.VisitSec
+}
+
+// aggregate fills the job-level phase times and distributions from the
+// per-rank metrics.
+func (r *Result) aggregate() {
+	n := len(r.Ranks)
+	startup := make([]float64, n)
+	imp := make([]float64, n)
+	visit := make([]float64, n)
+	total := make([]float64, n)
+	for i := range r.Ranks {
+		startup[i] = r.Ranks[i].StartupSec
+		imp[i] = r.Ranks[i].ImportSec
+		visit[i] = r.Ranks[i].VisitSec
+		total[i] = r.Ranks[i].TotalSec()
+	}
+	r.Startup = NewDist(startup)
+	r.Import = NewDist(imp)
+	r.Visit = NewDist(visit)
+	r.Total = NewDist(total)
+	r.StartupSec = r.Startup.Max
+	r.ImportSec = r.Import.Max
+	r.VisitSec = r.Visit.Max
+}

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -82,6 +83,21 @@ func Ratio(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// Dist renders a per-rank metric distribution as the compact
+// "min/mean/p99/max" cell the job-engine tables use.
+func Dist(min, mean, p99, max float64) string {
+	return fmt.Sprintf("%s/%s/%s/%s",
+		trimFloat(min), trimFloat(mean), trimFloat(p99), trimFloat(max))
+}
+
+// trimFloat formats a seconds value at table precision without
+// trailing zeros ("0.5", not "0.500").
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
 }
 
 // ShapeCheck is one verifiable property of a reproduced result ("Link

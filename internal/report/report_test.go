@@ -91,3 +91,12 @@ func TestPaperValuesInternallyConsistent(t *testing.T) {
 		}
 	}
 }
+
+func TestDist(t *testing.T) {
+	if got := Dist(0.5, 0.75, 1.25, 2); got != "0.5/0.75/1.25/2" {
+		t.Fatalf("Dist = %q", got)
+	}
+	if got := Dist(0, 0.001, 0.0004, 3.14159); got != "0/0.001/0/3.142" {
+		t.Fatalf("Dist = %q", got)
+	}
+}

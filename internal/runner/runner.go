@@ -53,6 +53,39 @@ func (p Params) Str(key string) string {
 	return s
 }
 
+// LookupInt is Int with presence reporting: ok is false when the key is
+// absent, not numeric, or (for float64 storage, which JSON round-trips
+// produce) not integral. Cell functions use it for parameters where a
+// malformed grid point is a bug, not a default to paper over.
+func (p Params) LookupInt(key string) (int, bool) {
+	switch v := p[key].(type) {
+	case int:
+		return v, true
+	case float64:
+		if i := int(v); float64(i) == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// LookupFloat is Float with presence reporting.
+func (p Params) LookupFloat(key string) (float64, bool) {
+	switch v := p[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// LookupStr is Str with presence reporting.
+func (p Params) LookupStr(key string) (string, bool) {
+	s, ok := p[key].(string)
+	return s, ok
+}
+
 // Canonical returns the canonical encoding of the grid point: compact
 // JSON with sorted keys. It is the config component of cache keys and
 // of per-cell seed derivation.

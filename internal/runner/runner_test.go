@@ -469,3 +469,37 @@ func TestWriteRunArtifacts(t *testing.T) {
 		}
 	}
 }
+
+func TestParamsLookupVariants(t *testing.T) {
+	p := Params{"i": 3, "f": 2.5, "jf": float64(7), "s": "link"}
+	if v, ok := p.LookupInt("i"); !ok || v != 3 {
+		t.Fatalf("LookupInt(i) = %d, %v", v, ok)
+	}
+	// JSON round-trips store ints as float64; Lookup must accept both.
+	if v, ok := p.LookupInt("jf"); !ok || v != 7 {
+		t.Fatalf("LookupInt(jf) = %d, %v", v, ok)
+	}
+	if v, ok := p.LookupFloat("f"); !ok || v != 2.5 {
+		t.Fatalf("LookupFloat(f) = %g, %v", v, ok)
+	}
+	if v, ok := p.LookupFloat("i"); !ok || v != 3 {
+		t.Fatalf("LookupFloat(i) = %g, %v", v, ok)
+	}
+	if v, ok := p.LookupStr("s"); !ok || v != "link" {
+		t.Fatalf("LookupStr(s) = %q, %v", v, ok)
+	}
+	// Absent and mistyped keys report !ok instead of a silent zero.
+	if _, ok := p.LookupInt("missing"); ok {
+		t.Fatal("LookupInt reported a missing key present")
+	}
+	// A non-integral float is a malformed grid point, not an int.
+	if _, ok := p.LookupInt("f"); ok {
+		t.Fatal("LookupInt truncated a non-integral float")
+	}
+	if _, ok := p.LookupFloat("s"); ok {
+		t.Fatal("LookupFloat accepted a string")
+	}
+	if _, ok := p.LookupStr("i"); ok {
+		t.Fatal("LookupStr accepted an int")
+	}
+}

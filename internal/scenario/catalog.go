@@ -8,6 +8,7 @@ import (
 	"repro/internal/dynld"
 	"repro/internal/elfimg"
 	"repro/internal/fsim"
+	"repro/internal/job"
 	"repro/internal/memsim"
 	"repro/internal/pygen"
 	"repro/internal/pyvm"
@@ -28,6 +29,8 @@ func Catalog() []*Scenario {
 		importShuffle(),
 		nfsColdWarm(),
 		symbolCollision(),
+		stragglerNode(),
+		rankSkew(),
 	}
 }
 
@@ -464,6 +467,203 @@ func symbolCollision() *Scenario {
 		},
 		Run:   runSymbolCollision,
 		Check: checkSymbolCollision,
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:straggler-node — one node of the allocation has a degraded
+// I/O path (sick disk driver, overloaded NIC). The per-rank job engine
+// shows what rank-0 extrapolation structurally cannot: the job's phase
+// times are gated by the straggler's ranks while every healthy rank is
+// bit-identical to a clean run.
+func stragglerNode() *Scenario {
+	return &Scenario{
+		Name: "straggler-node",
+		Description: "I/O-degraded straggler node: job gated by its ranks, " +
+			"healthy ranks untouched",
+		Knobs: func() []runner.Params {
+			var grid []runner.Params
+			for _, ioScale := range []float64{4, 16} {
+				grid = append(grid, withShape(runner.Params{
+					"tasks": 32, "straggler_frac": 0.25, "io_scale": ioScale,
+				}))
+			}
+			return grid
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			tasks := p.Int("tasks")
+			if tasks < 1 {
+				return nil, fmt.Errorf("tasks must be >= 1, got %d", tasks)
+			}
+			frac, ok := p.LookupFloat("straggler_frac")
+			if !ok {
+				return nil, fmt.Errorf("missing parameter %q", "straggler_frac")
+			}
+			ioScale, ok := p.LookupFloat("io_scale")
+			if !ok {
+				return nil, fmt.Errorf("missing parameter %q", "io_scale")
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Workers 1: scenario cells already run in the runner's pool.
+			base := job.Config{Mode: job.Vanilla, Workload: w, NTasks: tasks,
+				Workers: 1, Seed: cfg.Seed}
+			clean, err := job.Run(base)
+			if err != nil {
+				return nil, err
+			}
+			degraded := base
+			degraded.StragglerFrac = frac
+			degraded.StragglerIOScale = ioScale
+			slow, err := job.Run(degraded)
+			if err != nil {
+				return nil, err
+			}
+			// The strongest isolation claim as a metric: the largest
+			// per-rank startup delta across healthy ranks (must be 0).
+			var healthyDrift, stragglerRanks float64
+			for r := range slow.Ranks {
+				if slow.Ranks[r].StragglerNode {
+					stragglerRanks++
+					continue
+				}
+				d := slow.Ranks[r].StartupSec - clean.Ranks[r].StartupSec
+				if d < 0 {
+					d = -d
+				}
+				if d > healthyDrift {
+					healthyDrift = d
+				}
+			}
+			return runner.Metrics{
+				"clean_startup_sec":     clean.StartupSec,
+				"straggler_startup_sec": slow.StartupSec,
+				"startup_slowdown_x":    slow.StartupSec / clean.StartupSec,
+				"startup_p99_sec":       slow.Startup.P99,
+				"startup_mean_sec":      slow.Startup.Mean,
+				"healthy_drift_sec":     healthyDrift,
+				"straggler_nodes":       float64(len(slow.StragglerNodes)),
+				"straggler_ranks":       stragglerRanks,
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "clean_startup_sec", "straggler_startup_sec",
+					"straggler_nodes", "straggler_ranks"),
+				// The job is gated by its slowest rank: degrading any
+				// node can only push the job phase time up.
+				wantLE(m, "clean_startup_sec", "straggler_startup_sec"),
+				// Tail structure: mean ≤ p99 ≤ max(= job startup).
+				wantLE(m, "startup_mean_sec", "startup_p99_sec"),
+				wantLE(m, "startup_p99_sec", "straggler_startup_sec"),
+				func() error {
+					// Per-rank isolation: healthy ranks bit-identical.
+					if m["healthy_drift_sec"] != 0 {
+						return fmt.Errorf("healthy ranks drifted by %g s",
+							m["healthy_drift_sec"])
+					}
+					return nil
+				},
+			)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// scenario:rank-skew — per-rank CPU speed jitter (clock throttling, OS
+// noise). Homogeneous jobs have perfectly flat per-rank distributions;
+// skew widens them and the job time tracks the slowest rank, the
+// tail-latency mechanism of real job startup.
+func rankSkew() *Scenario {
+	return &Scenario{
+		Name: "rank-skew",
+		Description: "seeded per-rank CPU skew: flat homogeneous baseline vs " +
+			"widened tail, job gated by slowest rank",
+		Knobs: func() []runner.Params {
+			var grid []runner.Params
+			for _, skew := range []float64{0.2, 0.5} {
+				grid = append(grid, withShape(runner.Params{
+					"tasks": 16, "skew": skew,
+				}))
+			}
+			return grid
+		},
+		Run: func(p runner.Params, seed uint64) (runner.Metrics, error) {
+			tasks := p.Int("tasks")
+			if tasks < 1 {
+				return nil, fmt.Errorf("tasks must be >= 1, got %d", tasks)
+			}
+			skew, ok := p.LookupFloat("skew")
+			if !ok {
+				return nil, fmt.Errorf("missing parameter %q", "skew")
+			}
+			cfg, err := seededConfig(seed, p)
+			if err != nil {
+				return nil, err
+			}
+			w, err := pygen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Workers 1: scenario cells already run in the runner's pool.
+			base := job.Config{Mode: job.Vanilla, Workload: w, NTasks: tasks,
+				Workers: 1, Seed: cfg.Seed}
+			flat, err := job.Run(base)
+			if err != nil {
+				return nil, err
+			}
+			skewed := base
+			skewed.RankSkew = skew
+			res, err := job.Run(skewed)
+			if err != nil {
+				return nil, err
+			}
+			return runner.Metrics{
+				"flat_total_sec":    flat.TotalSec(),
+				"flat_total_spread": flat.Total.Max - flat.Total.Min,
+				"skew_total_sec":    res.TotalSec(),
+				"skew_total_min":    res.Total.Min,
+				"skew_total_mean":   res.Total.Mean,
+				"skew_total_p99":    res.Total.P99,
+				"skew_total_max":    res.Total.Max,
+				"tail_stretch_x":    res.TotalSec() / flat.TotalSec(),
+			}, nil
+		},
+		Check: func(p runner.Params, m runner.Metrics) error {
+			return checkAll(
+				wantPositive(m, "flat_total_sec", "skew_total_sec", "skew_total_min"),
+				func() error {
+					// Homogeneous ranks are exactly identical.
+					if m["flat_total_spread"] != 0 {
+						return fmt.Errorf("homogeneous spread = %g, want 0",
+							m["flat_total_spread"])
+					}
+					return nil
+				},
+				// Skew only ever slows ranks: the fastest skewed rank is
+				// no faster than the flat baseline, and the distribution
+				// is genuinely widened and ordered.
+				wantLE(m, "flat_total_sec", "skew_total_sec"),
+				func() error {
+					if m["skew_total_min"] < m["flat_total_sec"]*(1-1e-9) {
+						return fmt.Errorf("skew sped a rank up: %g < %g",
+							m["skew_total_min"], m["flat_total_sec"])
+					}
+					if m["skew_total_max"] <= m["skew_total_min"] {
+						return fmt.Errorf("skew did not widen the distribution")
+					}
+					return nil
+				},
+				wantLE(m, "skew_total_mean", "skew_total_p99"),
+				wantLE(m, "skew_total_p99", "skew_total_max"),
+			)
+		},
 	}
 }
 

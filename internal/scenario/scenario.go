@@ -98,11 +98,17 @@ func Names() []string {
 // model at reduced DSO count (scale_div) and per-DSO function count
 // (funcs_div), reseeded per the runner's sentinel convention.
 func seededConfig(seed uint64, p runner.Params) (pygen.Config, error) {
-	scaleDiv := p.Int("scale_div")
+	scaleDiv, ok := p.LookupInt("scale_div")
+	if !ok {
+		return pygen.Config{}, fmt.Errorf("missing parameter %q", "scale_div")
+	}
 	if scaleDiv < 1 {
 		return pygen.Config{}, fmt.Errorf("scale_div must be >= 1, got %d", scaleDiv)
 	}
-	funcsDiv := p.Int("funcs_div")
+	funcsDiv, ok := p.LookupInt("funcs_div")
+	if !ok {
+		return pygen.Config{}, fmt.Errorf("missing parameter %q", "funcs_div")
+	}
 	if funcsDiv < 1 {
 		return pygen.Config{}, fmt.Errorf("funcs_div must be >= 1, got %d", funcsDiv)
 	}

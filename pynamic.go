@@ -14,7 +14,10 @@
 //   - the generator (Config, Generate, the paper's LLNLModel and
 //     RealAppModel configurations) — internal/pygen;
 //   - the driver and its build modes (Vanilla, Link, LinkBind) —
-//     internal/driver;
+//     internal/driver, a facade over a 1-rank job;
+//   - the per-rank job engine (N simulated ranks on their real
+//     placement nodes, per-rank distributions, heterogeneity knobs) —
+//     internal/job;
 //   - the tool-startup model and the §II.B.3 cost model —
 //     internal/toolsim;
 //   - the experiment harnesses that regenerate every table and figure
@@ -41,6 +44,7 @@ package pynamic
 import (
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/pygen"
 	"repro/internal/toolsim"
 )
@@ -105,8 +109,26 @@ type RunConfig = driver.Config
 // cache-miss counts, plus substrate statistics.
 type Metrics = driver.Metrics
 
-// Run executes the Pynamic driver over a workload.
+// Run executes the Pynamic driver over a workload. It is a
+// compatibility facade over a 1-rank job (see RunJob): rank 0's
+// metrics in the legacy shape.
 func Run(cfg RunConfig) (*Metrics, error) { return driver.Run(cfg) }
+
+// JobConfig configures a per-rank job-engine run: N simulated ranks on
+// their real placement nodes, with per-rank distributions and
+// heterogeneity knobs (rank skew, straggler nodes, warm nodes).
+type JobConfig = job.Config
+
+// JobResult is a completed job: per-rank metrics plus job phase times
+// gated by the slowest rank (MPI barrier semantics).
+type JobResult = job.Result
+
+// RankMetrics is one simulated rank's per-phase report.
+type RankMetrics = job.RankMetrics
+
+// RunJob executes the per-rank job engine over a workload. Results are
+// byte-identical for any Workers value and GOMAXPROCS.
+func RunJob(cfg JobConfig) (*JobResult, error) { return job.Run(cfg) }
 
 // ToolCostModel is the §II.B.3 closed form M×N×(T1 + B×T2).
 type ToolCostModel = toolsim.CostModel

@@ -240,3 +240,32 @@ func TestDeterministicMetrics(t *testing.T) {
 }
 
 var _ = report.AllPass // keep report linked for docs examples
+
+// TestRunJobFacade exercises the public job-engine facade and the
+// driver-facade contract: rank 0 of a homogeneous job reports exactly
+// what the legacy Run reports.
+func TestRunJobFacade(t *testing.T) {
+	w, err := Generate(LLNLModel().Scaled(40).ScaledFuncs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunJob(JobConfig{Mode: Link, Workload: w, NTasks: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 8 {
+		t.Fatalf("simulated %d ranks, want 8", len(res.Ranks))
+	}
+	m, err := Run(RunConfig{Mode: Link, Workload: w, NTasks: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := res.Ranks[0]
+	if r0.StartupSec != m.StartupSec || r0.ImportSec != m.ImportSec ||
+		r0.VisitSec != m.VisitSec || r0.Loader != m.Loader {
+		t.Fatalf("job rank 0 diverges from driver facade:\nrank0:  %+v\ndriver: %+v", r0, m)
+	}
+	if res.TotalSec() != m.TotalSec() {
+		t.Fatalf("homogeneous job total %g != driver total %g", res.TotalSec(), m.TotalSec())
+	}
+}
