@@ -1,0 +1,86 @@
+package pynamic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apisurface"
+)
+
+// TestAPISurface is the API-compatibility gate: the exported surface
+// of this package must match the committed golden listing exactly.
+// An unintended public-surface change (renamed method, drifted
+// signature, accidentally exported helper) fails here; a deliberate
+// API change is recorded by regenerating the golden:
+//
+//	PYNAMIC_UPDATE_API=1 go test -run TestAPISurface .
+//
+// and reviewing the golden diff alongside the code change.
+func TestAPISurface(t *testing.T) {
+	got, err := apisurface.Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if os.Getenv("PYNAMIC_UPDATE_API") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with PYNAMIC_UPDATE_API=1)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed (review, then regenerate with "+
+			"PYNAMIC_UPDATE_API=1 if intended)\n%s", diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal set-diff of the two listings (order is
+// already canonical).
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range splitLines(want) {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range splitLines(got) {
+		gotSet[l] = true
+	}
+	out := ""
+	for _, l := range splitLines(want) {
+		if !gotSet[l] {
+			out += "- " + l + "\n"
+		}
+	}
+	for _, l := range splitLines(got) {
+		if !wantSet[l] {
+			out += "+ " + l + "\n"
+		}
+	}
+	if out == "" {
+		out = "(same declarations, different order or duplication)\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -18,6 +18,7 @@
 package pynamic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -404,3 +405,35 @@ func BenchmarkMPITest(b *testing.B) {
 		}
 	}
 }
+
+// benchRepeatedConfig measures the host cost of the acceptance
+// scenario for the Engine's workload cache: a 3-run sequence
+// (generate + drive) over one repeated Config. The cached/uncached
+// pair quantifies the cache's speedup; the equivalence suite proves
+// the cached results are byte-identical.
+func benchRepeatedConfig(b *testing.B, cacheSize int) {
+	cfg := LLNLModel().Scaled(10)
+	cfg.Seed = 2024
+	eng, err := New(WithWorkloadCacheSize(cacheSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < 3; run++ {
+			w, err := eng.GenerateCtx(ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.RunCtx(ctx, RunConfig{
+				Mode: Vanilla, Workload: w, NTasks: 2, Coverage: 0.05, Seed: cfg.Seed,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineRepeatedConfig_Cached(b *testing.B)   { benchRepeatedConfig(b, 8) }
+func BenchmarkEngineRepeatedConfig_Uncached(b *testing.B) { benchRepeatedConfig(b, 0) }

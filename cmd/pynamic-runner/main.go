@@ -17,17 +17,24 @@
 // results.json, results.csv, and cells.json per experiment. The
 // aggregated results.json is byte-identical for any -workers value at
 // a fixed seed.
+//
+// The command drives the v1 Engine API (Engine.RunMatrixCtx), so
+// Ctrl-C cancels the matrix mid-flight: completed cells are still
+// written as partial artifacts and the exit status is 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	pynamic "repro"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -45,20 +52,19 @@ func main() {
 	)
 	flag.Parse()
 
-	reg := experiments.RunnerRegistry()
+	eng, err := pynamic.New()
+	if err != nil {
+		fatal(err)
+	}
+	infos := eng.Experiments()
 	if *list {
-		for _, name := range reg.Names() {
-			e := reg.Get(name)
-			points := 0
-			if e.Grid != nil {
-				points = len(e.Grid())
-			}
-			fmt.Printf("%-16s %s (%d grid points)\n", e.Name, e.Description, points)
+		for _, e := range infos {
+			fmt.Printf("%-16s %s (%d grid points)\n", e.Name, e.Description, e.GridPoints)
 		}
 		return
 	}
 
-	spec := runner.MatrixSpec{
+	spec := pynamic.MatrixSpec{
 		Repeats: *repeats,
 		Seed:    *seed,
 		Workers: *workers,
@@ -66,7 +72,7 @@ func main() {
 	if *expFlag != "" && *expFlag != "all" {
 		for _, name := range strings.Split(*expFlag, ",") {
 			if name = strings.TrimSpace(name); name != "" {
-				expanded, err := expandPattern(reg, name)
+				expanded, err := expandPattern(infos, name)
 				if err != nil {
 					fatal(err)
 				}
@@ -75,15 +81,18 @@ func main() {
 		}
 	}
 	if *cache {
-		c, err := runner.NewDiskCache(*cacheDir)
+		c, err := pynamic.NewDiskResultCache(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
 		spec.Cache = c
 	}
 
-	res, err := runner.RunMatrix(reg, spec)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := eng.RunMatrixCtx(ctx, spec)
+	canceled := errors.Is(err, pynamic.ErrCanceled)
+	if err != nil && !canceled {
 		fatal(err)
 	}
 
@@ -106,21 +115,25 @@ func main() {
 		fmt.Printf("cache: %d hits, %d misses (%s)\n", res.CacheHits, res.CacheMisses, *cacheDir)
 	}
 	fmt.Printf("artifacts: %d files under %s\n", len(files), dir)
+	if canceled {
+		fmt.Println("matrix canceled: artifacts cover completed cells only")
+		os.Exit(130)
+	}
 }
 
 // expandPattern resolves one -experiments entry: a literal name passes
-// through (RunMatrix validates it); a trailing '*' selects every
+// through (RunMatrixCtx validates it); a trailing '*' selects every
 // registered experiment with the preceding prefix, in registration
 // order.
-func expandPattern(reg *runner.Registry, pattern string) ([]string, error) {
+func expandPattern(infos []pynamic.ExperimentInfo, pattern string) ([]string, error) {
 	if !strings.HasSuffix(pattern, "*") {
 		return []string{pattern}, nil
 	}
 	prefix := strings.TrimSuffix(pattern, "*")
 	var out []string
-	for _, name := range reg.Names() {
-		if strings.HasPrefix(name, prefix) {
-			out = append(out, name)
+	for _, e := range infos {
+		if strings.HasPrefix(e.Name, prefix) {
+			out = append(out, e.Name)
 		}
 	}
 	if len(out) == 0 {
@@ -131,7 +144,7 @@ func expandPattern(reg *runner.Registry, pattern string) ([]string, error) {
 
 // renderExperiment formats one experiment's aggregates: sorted param
 // columns, then mean±std per sorted metric.
-func renderExperiment(er runner.ExperimentResult) string {
+func renderExperiment(er pynamic.ExperimentResult) string {
 	if len(er.Aggregates) == 0 {
 		return ""
 	}

@@ -1,0 +1,76 @@
+// Command pynamic-serve exposes the Pynamic Engine over HTTP: a
+// long-lived service that accepts benchmark jobs, runs them through
+// the per-rank job engine on a shared workload cache, and serves
+// status, results, and the experiment/scenario catalogs as JSON.
+//
+//	pynamic-serve -addr :8080 -max-concurrent 4 -cache-size 16
+//
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"mode":"link","tasks":16,"ranks":2,"scale":40,"funcs_div":10,"seed":42}'
+//	curl localhost:8080/v1/jobs/j0001           # poll status → result
+//	curl localhost:8080/v1/jobs/j0001/result    # canonical result JSON
+//	curl localhost:8080/v1/experiments
+//	curl localhost:8080/v1/scenarios
+//
+// SIGINT/SIGTERM shut the server down gracefully, canceling in-flight
+// jobs through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pynamic "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxConc   = flag.Int("max-concurrent", 2, "jobs simulating concurrently (others queue)")
+		cacheSize = flag.Int("cache-size", 16, "workload cache capacity (0 disables)")
+	)
+	flag.Parse()
+
+	eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(*cacheSize))
+	if err != nil {
+		fatal(err)
+	}
+	sv := serve.New(eng, serve.Options{MaxConcurrent: *maxConc})
+	defer sv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("pynamic-serve: listening on %s (max-concurrent %d, cache %d)\n",
+		*addr, *maxConc, *cacheSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("pynamic-serve: shutting down")
+		sv.Close() // cancel in-flight jobs before draining connections
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-serve:", err)
+	os.Exit(1)
+}

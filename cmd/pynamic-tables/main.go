@@ -6,15 +6,22 @@
 //	pynamic-tables              # all tables at full paper scale
 //	pynamic-tables -table 1     # just Table I/II
 //	pynamic-tables -scale 10    # reduced scale (faster, weaker ratios)
+//
+// The command drives one pynamic.Engine, so the tables share its
+// workload cache (Table I's three build modes and Table III reuse one
+// generated workload at full scale) and Ctrl-C cancels a long
+// full-scale run cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/driver"
-	"repro/internal/experiments"
+	pynamic "repro"
 	"repro/internal/report"
 )
 
@@ -28,13 +35,20 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiments.Options{
+	opts := pynamic.ExperimentOptions{
 		ScaleDiv: *scale,
 		Tasks:    *tasks,
 		Seed:     *seed,
 	}
 	if *detailed {
-		opts.Backend = driver.Detailed
+		opts.Backend = pynamic.Detailed
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng, err := pynamic.New()
+	if err != nil {
+		fatal(err)
 	}
 
 	failed := false
@@ -47,7 +61,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 1 || *table == 2 {
-		r, err := experiments.RunTableI(opts)
+		r, err := eng.TableICtx(ctx, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,7 +80,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 3 {
-		r, err := experiments.RunTableIII(*seed)
+		r, err := eng.TableIIICtx(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +89,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 4 {
-		r, err := experiments.RunTableIV(opts)
+		r, err := eng.TableIVCtx(ctx, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +98,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 5 {
-		r := experiments.RunCostModel()
+		r := eng.CostModel()
 		fmt.Println(r.Render())
 		runChecks(r.Checks())
 	}
@@ -97,6 +111,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, pynamic.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "pynamic-tables: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "pynamic-tables:", err)
 	os.Exit(1)
 }

@@ -19,19 +19,22 @@
 // -rank-json writes the full per-rank result as JSON; at a fixed seed
 // the bytes are identical for any -rank-workers value (the CI
 // determinism smoke relies on this).
+//
+// The command is a thin client of the v1 Engine API: one
+// pynamic.Engine per invocation, context-aware calls throughout, so
+// Ctrl-C cancels the simulation cleanly (exit status 130).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/cluster"
-	"repro/internal/driver"
-	"repro/internal/experiments"
-	"repro/internal/job"
-	"repro/internal/pygen"
+	pynamic "repro"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
@@ -55,6 +58,7 @@ func main() {
 		scale     = flag.Int("scale", 1, "divide DSO counts by this factor")
 		manifest  = flag.String("manifest", "", "write the workload manifest (JSON) to this file")
 		scenarios = flag.Bool("scenarios", false, "list the scenario catalog and exit")
+		events    = flag.Bool("events", false, "stream engine progress events to stderr")
 
 		ranks       = flag.Int("ranks", 1, "simulated ranks: 1 = legacy rank-0 extrapolation, 0 = every task, N = first N tasks")
 		placement   = flag.String("placement", "block", "task placement policy: block or round-robin")
@@ -76,13 +80,28 @@ func main() {
 		return
 	}
 
-	bm, err := experiments.ParseMode(*mode)
+	bm, err := pynamic.ParseBuildMode(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pynamic:", err)
 		os.Exit(2)
 	}
 
-	cfg := pygen.LLNLModel()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []pynamic.Option
+	if *events {
+		opts = append(opts, pynamic.WithEvents(func(ev pynamic.Event) {
+			fmt.Fprintf(os.Stderr, "event %s[%d] %s phase=%q rank=%d sec=%.4f\n",
+				ev.Op, ev.Seq, ev.Kind, ev.Phase, ev.Rank, ev.Sec)
+		}))
+	}
+	eng, err := pynamic.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := pynamic.LLNLModel()
 	cfg.NumModules = *modules
 	cfg.AvgFuncsPerModule = *avgFuncs
 	cfg.NumUtils = *utils
@@ -96,7 +115,7 @@ func main() {
 
 	fmt.Printf("generating %d modules + %d utility libraries (avg %d functions, seed %d)...\n",
 		cfg.NumModules, cfg.NumUtils, cfg.AvgFuncsPerModule, cfg.Seed)
-	w, err := pygen.Generate(cfg)
+	w, err := eng.GenerateCtx(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,11 +136,11 @@ func main() {
 		fmt.Printf("  manifest written to %s\n", *manifest)
 	}
 
-	backend := driver.Analytic
+	backend := pynamic.Analytic
 	if *detailed {
-		backend = driver.Detailed
+		backend = pynamic.Detailed
 	}
-	policy, err := cluster.ParsePolicy(*placement)
+	policy, err := pynamic.ParsePlacement(*placement)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,9 +148,9 @@ func main() {
 	// Any multi-rank or heterogeneity request goes through the per-rank
 	// job engine; the plain single-rank case keeps the legacy driver
 	// facade and output.
-	if *ranks != 1 || policy != cluster.Block || *rankSkew > 0 ||
+	if *ranks != 1 || policy != pynamic.PlacementBlock || *rankSkew > 0 ||
 		*stragglers > 0 || *warmNodes > 0 || *rankJSON != "" {
-		runJob(job.Config{
+		runJob(ctx, eng, pynamic.JobConfig{
 			Mode:             bm,
 			Backend:          backend,
 			Workload:         w,
@@ -152,7 +171,7 @@ func main() {
 	}
 
 	fmt.Printf("running driver: %s build, %d tasks...\n", bm, *tasks)
-	m, err := driver.Run(driver.Config{
+	m, err := eng.RunCtx(ctx, pynamic.RunConfig{
 		Mode:       bm,
 		Backend:    backend,
 		Workload:   w,
@@ -188,14 +207,14 @@ func main() {
 
 // runJob executes the per-rank job engine and prints the per-rank
 // distribution table.
-func runJob(cfg job.Config, mpiTest bool, rankJSON string) {
+func runJob(ctx context.Context, eng *pynamic.Engine, cfg pynamic.JobConfig, mpiTest bool, rankJSON string) {
 	nRanks := cfg.Ranks
 	if nRanks == 0 {
 		nRanks = cfg.NTasks
 	}
 	fmt.Printf("running job engine: %s build, %d tasks (%d simulated ranks, %s placement)...\n",
 		cfg.Mode, cfg.NTasks, nRanks, cfg.Placement)
-	res, err := job.Run(cfg)
+	res, err := eng.RunJobCtx(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -204,7 +223,7 @@ func runJob(cfg job.Config, mpiTest bool, rankJSON string) {
 		Title:  "per-rank phase times (simulated seconds, min/mean/p99/max)",
 		Header: []string{"phase", "distribution", "job (slowest rank)"},
 	}
-	row := func(name string, d job.Dist, jobSec float64) {
+	row := func(name string, d pynamic.RankDist, jobSec float64) {
 		t.AddRow(name, report.Dist(d.Min, d.Mean, d.P99, d.Max),
 			simtime.Seconds(jobSec))
 	}
@@ -245,6 +264,10 @@ func runJob(cfg job.Config, mpiTest bool, rankJSON string) {
 func mb(b uint64) float64 { return float64(b) / 1e6 }
 
 func fatal(err error) {
+	if errors.Is(err, pynamic.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "pynamic: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "pynamic:", err)
 	os.Exit(1)
 }

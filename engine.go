@@ -1,0 +1,487 @@
+package pynamic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/driver"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/pygen"
+	"repro/internal/runner"
+	"repro/internal/toolsim"
+)
+
+// Engine is the long-lived entry point of the v1 API: one Engine
+// amortizes setup across many runs. It owns a content-hash-keyed
+// workload cache (repeated runs over the same Config skip
+// regeneration), an optional streaming event sink, and default
+// policies (seed, memory backend, cluster shape) applied to requests
+// that leave those fields zero. An Engine is safe for concurrent use;
+// cmd/pynamic-serve drives one shared Engine from concurrent HTTP
+// requests.
+//
+// Every method takes a context.Context and honors cancellation down
+// through the job engine's rank workers and the experiment runner's
+// cell pool; a canceled call returns an error wrapping ErrCanceled.
+// All failures are *Error values carrying Op and Stage.
+type Engine struct {
+	seed       uint64
+	backend    MemBackend
+	backendSet bool
+	clust      ClusterConfig
+	cacheSize  int
+	events     func(Event)
+	cache      *workloadCache
+	reg        *runner.Registry
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine) error
+
+// WithSeed sets the engine's default seed policy: any RunConfig,
+// JobConfig or generator Config submitted with Seed == 0 receives this
+// seed instead. The zero default keeps the per-call seeds untouched.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) error {
+		e.seed = seed
+		return nil
+	}
+}
+
+// WithBackend sets the engine's default memory backend, substituted
+// into runs that leave Backend at its zero value (Analytic). Configure
+// it on engines dedicated to line-accurate studies.
+func WithBackend(b MemBackend) Option {
+	return func(e *Engine) error {
+		if b != Analytic && b != Detailed {
+			return badConfig(fmt.Sprintf("unknown memory backend %d", b))
+		}
+		e.backend = b
+		e.backendSet = true
+		return nil
+	}
+}
+
+// WithCluster sets the engine's default cluster shape, substituted
+// into runs that leave Cluster zero (which would otherwise default to
+// the paper's Zeus cluster).
+func WithCluster(c ClusterConfig) Option {
+	return func(e *Engine) error {
+		if err := c.Validate(); err != nil {
+			return badConfig(err.Error())
+		}
+		e.clust = c
+		return nil
+	}
+}
+
+// WithWorkloadCacheSize bounds the workload cache to n generated
+// workloads (LRU-evicted). n == 0 disables caching; n < 0 is an
+// error. The default is 8.
+func WithWorkloadCacheSize(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return badConfig(fmt.Sprintf("workload cache size %d < 0", n))
+		}
+		e.cacheSize = n
+		return nil
+	}
+}
+
+// WithEvents registers a streaming event sink. Events are delivered
+// sequentially (never concurrently) per operation, in an order that is
+// deterministic for a given configuration regardless of worker counts:
+// serial sections emit live, and events produced inside a parallel
+// section are delivered at that section's barrier in canonical order.
+// See DESIGN.md, "Event-ordering determinism". The sink must not
+// block: it runs on the simulation's path.
+func WithEvents(fn func(Event)) Option {
+	return func(e *Engine) error {
+		e.events = fn
+		return nil
+	}
+}
+
+// New constructs an Engine. Option validation failures return an error
+// wrapping ErrBadConfig.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{cacheSize: 8, reg: experiments.RunnerRegistry()}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, wrapErr("New", "config", err)
+		}
+	}
+	e.cache = newWorkloadCache(e.cacheSize)
+	return e, nil
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide default Engine backing the
+// deprecated package-level functions (Generate, Run, RunJob, TableI,
+// ...). It is constructed with no options on first use.
+func Default() *Engine {
+	defaultOnce.Do(func() {
+		defaultEngine, _ = New() // New without options cannot fail
+	})
+	return defaultEngine
+}
+
+// emitter returns the per-operation event sink: it stamps Op and a
+// 0-based Seq onto every event and serializes delivery. A nil sink is
+// returned when the engine has no event callback, which internal
+// layers treat as "emission disabled".
+func (e *Engine) emitter(op string) api.Sink {
+	if e.events == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	seq := 0
+	return func(ev api.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		ev.Op = op
+		ev.Seq = seq
+		seq++
+		e.events(ev)
+	}
+}
+
+// WorkloadCacheStats reports the engine's workload-cache counters.
+func (e *Engine) WorkloadCacheStats() WorkloadCacheStats { return e.cache.stats() }
+
+// GenerateCtx builds (or retrieves from the workload cache) the
+// workload for cfg. Identical configurations — compared by content
+// hash, not by caller identity — share one immutable *Workload, so a
+// repeated-config run sequence pays for generation once. Treat the
+// result as read-only.
+func (e *Engine) GenerateCtx(ctx context.Context, cfg Config) (*Workload, error) {
+	const op = "Generate"
+	if cfg.Seed == 0 && e.seed != 0 {
+		cfg.Seed = e.seed
+	}
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 10
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, wrapErr(op, "config", badConfig(err.Error()))
+	}
+	if err := api.Checkpoint(ctx); err != nil {
+		return nil, wrapErr(op, "generate", err)
+	}
+	emit := e.emitter("generate")
+	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "generate"})
+	w, hit, err := e.cache.getOrGenerate(ctx, workloadKey(cfg), func() (*Workload, error) {
+		return pygen.GenerateCtx(ctx, cfg)
+	})
+	if err != nil {
+		return nil, wrapErr(op, "generate", err)
+	}
+	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "generate", CacheHit: hit})
+	return w, nil
+}
+
+// runDefaults applies the engine's default policies to a driver run.
+func (e *Engine) runDefaults(cfg RunConfig) RunConfig {
+	if cfg.Seed == 0 && e.seed != 0 {
+		cfg.Seed = e.seed
+	}
+	if e.backendSet && cfg.Backend == Analytic {
+		cfg.Backend = e.backend
+	}
+	if cfg.Cluster.Nodes == 0 && e.clust.Nodes != 0 {
+		cfg.Cluster = e.clust
+	}
+	return cfg
+}
+
+// jobDefaults applies the engine's default policies to a job run.
+func (e *Engine) jobDefaults(cfg JobConfig) JobConfig {
+	if cfg.Seed == 0 && e.seed != 0 {
+		cfg.Seed = e.seed
+	}
+	if e.backendSet && cfg.Backend == Analytic {
+		cfg.Backend = e.backend
+	}
+	if cfg.Cluster.Nodes == 0 && e.clust.Nodes != 0 {
+		cfg.Cluster = e.clust
+	}
+	return cfg
+}
+
+// RunCtx executes the Pynamic driver (the legacy single-rank
+// extrapolation) over a workload. Cancellation reaches the rank
+// pipeline's import and visit loops, so a canceled run aborts within a
+// few modules' simulated work.
+func (e *Engine) RunCtx(ctx context.Context, cfg RunConfig) (*Metrics, error) {
+	const op = "Run"
+	if cfg.Workload == nil {
+		return nil, wrapErr(op, "config", badConfig("no workload"))
+	}
+	cfg = e.runDefaults(cfg)
+	emit := e.emitter("run")
+	if cfg.Events == nil {
+		cfg.Events = emit
+	}
+	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "job"})
+	m, err := driver.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, wrapErr(op, "run", err)
+	}
+	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "job", Sec: m.TotalSec()})
+	return m, nil
+}
+
+// RunJobCtx executes the per-rank job engine over a workload. With an
+// event sink configured, the stream carries one RankDone per simulated
+// rank plus the job phase times, in an order independent of
+// JobConfig.Workers.
+func (e *Engine) RunJobCtx(ctx context.Context, cfg JobConfig) (*JobResult, error) {
+	const op = "RunJob"
+	if cfg.Workload == nil {
+		return nil, wrapErr(op, "config", badConfig("no workload"))
+	}
+	cfg = e.jobDefaults(cfg)
+	emit := e.emitter("run-job")
+	if cfg.Events == nil {
+		cfg.Events = emit
+	}
+	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "job"})
+	res, err := job.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, wrapErr(op, "run", err)
+	}
+	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "job", Sec: res.TotalSec()})
+	return res, nil
+}
+
+// ToolAttachCtx simulates one debugger startup (Table IV). Run it
+// twice against the same ToolStartupConfig.FS for the cold/warm pair.
+func (e *Engine) ToolAttachCtx(ctx context.Context, cfg ToolStartupConfig) (ToolStartupPhases, error) {
+	const op = "ToolAttach"
+	if cfg.Cluster.Nodes == 0 && e.clust.Nodes != 0 {
+		cfg.Cluster = e.clust
+	}
+	emit := e.emitter("tool-attach")
+	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "attach"})
+	ph, err := toolsim.AttachCtx(ctx, cfg)
+	if err != nil {
+		return ph, wrapErr(op, "attach", err)
+	}
+	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "attach", Sec: ph.Total()})
+	return ph, nil
+}
+
+// ExperimentInfo describes one registered experiment (paper sweeps,
+// ablations, and the scenario catalog).
+type ExperimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// GridPoints is the size of the experiment's default grid.
+	GridPoints int `json:"grid_points"`
+}
+
+// Experiments lists every registered experiment in registration order.
+func (e *Engine) Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, name := range e.reg.Names() {
+		exp := e.reg.Get(name)
+		info := ExperimentInfo{Name: exp.Name, Description: exp.Description}
+		if exp.Grid != nil {
+			info.GridPoints = len(exp.Grid())
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ExperimentSpec configures one RunExperimentCtx call.
+type ExperimentSpec struct {
+	// Grid overrides the experiment's default parameter grid.
+	Grid []Params
+	// Repeats per grid point (min 1).
+	Repeats int
+	// Seed is the base seed for per-cell seed derivation (0 =
+	// paper-default workload seeds).
+	Seed uint64
+	// Workers bounds cell-pool concurrency (≤0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, serves repeated cells from content-keyed
+	// results.
+	Cache ResultCache
+}
+
+// RunExperimentCtx runs one registered experiment through the cell
+// pool. An unrecognized name returns ErrUnknownExperiment; a canceled
+// context returns the partial result alongside ErrCanceled.
+func (e *Engine) RunExperimentCtx(ctx context.Context, name string, spec ExperimentSpec) (*ExperimentResult, error) {
+	ms := MatrixSpec{
+		Experiments: []string{name},
+		Repeats:     spec.Repeats,
+		Seed:        spec.Seed,
+		Workers:     spec.Workers,
+		Cache:       spec.Cache,
+	}
+	if spec.Grid != nil {
+		ms.Grids = map[string][]Params{name: spec.Grid}
+	}
+	res, err := e.RunMatrixCtx(ctx, ms)
+	if res == nil || len(res.Experiments) != 1 {
+		return nil, err
+	}
+	return &res.Experiments[0], err
+}
+
+// RunMatrixCtx executes an experiment matrix (experiments × grids ×
+// repeats) through the runner's worker pool. Results are byte-identical
+// for any Workers value. On cancellation the partial MatrixResult
+// (completed cells, Canceled set) is returned together with an error
+// wrapping ErrCanceled.
+func (e *Engine) RunMatrixCtx(ctx context.Context, spec MatrixSpec) (*MatrixResult, error) {
+	const op = "RunMatrix"
+	for _, name := range spec.Experiments {
+		if e.reg.Get(name) == nil {
+			return nil, wrapErr(op, "config",
+				fmt.Errorf("%q (have %v): %w", name, e.reg.Names(), ErrUnknownExperiment))
+		}
+	}
+	emit := e.emitter("run-matrix")
+	if spec.Events == nil {
+		spec.Events = emit
+	}
+	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "matrix"})
+	res, err := runner.RunMatrixCtx(ctx, e.reg, spec)
+	if err != nil {
+		return res, wrapErr(op, "matrix", err)
+	}
+	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "matrix"})
+	return res, nil
+}
+
+// generator adapts the engine's cached GenerateCtx to the experiments
+// layer, so Table runs share the workload cache.
+func (e *Engine) generator() experiments.Generator {
+	return func(ctx context.Context, cfg pygen.Config) (*pygen.Workload, error) {
+		return e.GenerateCtx(ctx, cfg)
+	}
+}
+
+// TableICtx reproduces Tables I and II (three build-mode driver runs
+// over one workload, served from the workload cache).
+func (e *Engine) TableICtx(ctx context.Context, opts ExperimentOptions) (*TableIResult, error) {
+	r, err := experiments.RunTableICtx(ctx, opts, e.generator())
+	return r, wrapErr("TableI", "run", err)
+}
+
+// TableIIICtx reproduces Table III (full-scale section-size
+// accounting).
+func (e *Engine) TableIIICtx(ctx context.Context, seed uint64) (*TableIIIResult, error) {
+	r, err := experiments.RunTableIIICtx(ctx, seed, e.generator())
+	return r, wrapErr("TableIII", "run", err)
+}
+
+// TableIVCtx reproduces Table IV (tool startup, cold/warm, both
+// workload models).
+func (e *Engine) TableIVCtx(ctx context.Context, opts ExperimentOptions) (*TableIVResult, error) {
+	r, err := experiments.RunTableIVCtx(ctx, opts, e.generator())
+	return r, wrapErr("TableIV", "run", err)
+}
+
+// CostModel reproduces the §II.B.3 closed-form example (pure
+// computation; no context needed).
+func (e *Engine) CostModel() *CostModelResult { return experiments.RunCostModel() }
+
+// ---------- v1 vocabulary re-exported from internal layers ----------
+
+// Event is one streaming progress event (see WithEvents).
+type Event = api.Event
+
+// EventKind classifies an Event.
+type EventKind = api.EventKind
+
+// Event kinds.
+const (
+	PhaseStart = api.PhaseStart
+	PhaseDone  = api.PhaseDone
+	RankDone   = api.RankDone
+	CellDone   = api.CellDone
+)
+
+// ClusterConfig describes a simulated cluster (node count, cores,
+// link characteristics); see WithCluster and JobConfig.Cluster.
+type ClusterConfig = cluster.Config
+
+// ZeusCluster returns the paper's Zeus cluster configuration.
+func ZeusCluster() ClusterConfig { return cluster.Zeus() }
+
+// PlacementPolicy distributes a job's tasks across nodes.
+type PlacementPolicy = cluster.Policy
+
+// Placement policies.
+const (
+	// PlacementBlock fills a node's cores before moving on (the
+	// default).
+	PlacementBlock = cluster.Block
+	// PlacementRoundRobin deals tasks across nodes cyclically.
+	PlacementRoundRobin = cluster.RoundRobin
+)
+
+// ParsePlacement maps "block" or "round-robin" to a policy.
+func ParsePlacement(s string) (PlacementPolicy, error) { return cluster.ParsePolicy(s) }
+
+// ParseBuildMode maps a CLI-style mode key ("vanilla", "link",
+// "link-bind") or Table I row label to a build mode.
+func ParseBuildMode(s string) (BuildMode, error) { return experiments.ParseMode(s) }
+
+// Params is one experiment grid point (JSON-scalar values only).
+type Params = runner.Params
+
+// CellMetrics is one experiment cell's output: named scalar
+// measurements.
+type CellMetrics = runner.Metrics
+
+// CellResult is one executed (or cache-served) matrix cell.
+type CellResult = runner.CellResult
+
+// Aggregate is the repeat summary for one grid point.
+type Aggregate = runner.Aggregate
+
+// MatrixSpec describes one RunMatrixCtx invocation.
+type MatrixSpec = runner.MatrixSpec
+
+// MatrixResult is the full outcome of RunMatrixCtx.
+type MatrixResult = runner.MatrixResult
+
+// ExperimentResult groups one experiment's cells and aggregates.
+type ExperimentResult = runner.ExperimentResult
+
+// ResultCache stores experiment cell results keyed by content
+// (experiment, canonical grid point, seed).
+type ResultCache = runner.Cache
+
+// NewMemResultCache returns an in-memory ResultCache.
+func NewMemResultCache() ResultCache { return runner.NewMemCache() }
+
+// NewDiskResultCache opens (creating if needed) an on-disk ResultCache
+// rooted at dir.
+func NewDiskResultCache(dir string) (ResultCache, error) { return runner.NewDiskCache(dir) }
+
+// TableIResult carries the three build-mode runs of Tables I and II.
+type TableIResult = experiments.TableIResult
+
+// TableIIIResult compares generated section sizes to the paper.
+type TableIIIResult = experiments.TableIIIResult
+
+// TableIVResult holds both tool-startup workload columns, cold and
+// warm.
+type TableIVResult = experiments.TableIVResult
+
+// CostModelResult holds the §II.B.3 reproduction.
+type CostModelResult = experiments.CostModelResult

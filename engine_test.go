@@ -1,0 +1,321 @@
+package pynamic
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestWorkloadCacheSharing: the same configuration (by content, not by
+// value identity — MaxCallDepth 0 and 10 are the same workload) must
+// be generated once and shared.
+func TestWorkloadCacheSharing(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t)
+	cfg := LLNLModel().Scaled(50).ScaledFuncs(10)
+	w1, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := cfg
+	norm.MaxCallDepth = 0 // normalizes to the default 10
+	w2, err := eng.GenerateCtx(ctx, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("equal configs produced distinct workloads")
+	}
+	s := eng.WorkloadCacheStats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	w3, err := eng.GenerateCtx(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 == w1 {
+		t.Fatal("different seeds shared a workload")
+	}
+}
+
+// TestWorkloadCacheLRU: a capacity-1 cache evicts the older config.
+func TestWorkloadCacheLRU(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t, WithWorkloadCacheSize(1))
+	a := LLNLModel().Scaled(50).ScaledFuncs(20)
+	b := a
+	b.Seed = 99
+	if _, err := eng.GenerateCtx(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.GenerateCtx(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.GenerateCtx(ctx, a); err != nil { // evicted: regenerates
+		t.Fatal(err)
+	}
+	s := eng.WorkloadCacheStats()
+	if s.Hits != 0 || s.Misses != 3 || s.Entries != 1 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+}
+
+// TestWorkloadCacheDisabled: size 0 always regenerates.
+func TestWorkloadCacheDisabled(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t, WithWorkloadCacheSize(0))
+	cfg := LLNLModel().Scaled(50).ScaledFuncs(20)
+	w1, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 == w2 {
+		t.Fatal("disabled cache still shared a workload")
+	}
+	if s := eng.WorkloadCacheStats(); s.Capacity != 0 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+}
+
+// TestRepeatedConfigCacheSpeedup is the acceptance benchmark in test
+// form: a 3-run sequence over one Config must be at least 1.5x faster
+// with the workload cache than without. Generation dominates this
+// configuration, so the real ratio sits near 3x; the 1.5x gate leaves
+// headroom for scheduler noise. Skipped under -short.
+func TestRepeatedConfigCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	cfg := LLNLModel().Scaled(10)
+	cfg.Seed = 2024
+	sequence := func(eng *Engine) {
+		ctx := context.Background()
+		for i := 0; i < 3; i++ {
+			w, err := eng.GenerateCtx(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.RunCtx(ctx, RunConfig{
+				Mode: Vanilla, Workload: w, NTasks: 2, Coverage: 0.05, Seed: cfg.Seed,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	uncached := freshEngine(t, WithWorkloadCacheSize(0))
+	cached := freshEngine(t)
+	sequence(cached) // warm both code paths before timing
+	coldStart := time.Now()
+	sequence(uncached)
+	cold := time.Since(coldStart)
+	warmStart := time.Now()
+	sequence(cached)
+	warm := time.Since(warmStart)
+	if ratio := float64(cold) / float64(warm); ratio < 1.5 {
+		t.Fatalf("workload cache speedup %.2fx < 1.5x (cold %v, warm %v)", ratio, cold, warm)
+	}
+}
+
+// collectEvents runs fn on an engine whose sink appends to the
+// returned slice.
+func collectEvents(t *testing.T, fn func(eng *Engine)) []Event {
+	t.Helper()
+	var events []Event
+	eng := freshEngine(t, WithEvents(func(ev Event) { events = append(events, ev) }))
+	fn(eng)
+	return events
+}
+
+// TestJobEventStreamDeterministic: the event stream of a job is
+// byte-identical across worker counts, carries one RankDone per rank
+// in rank order, and brackets the run with job phase events.
+func TestJobEventStreamDeterministic(t *testing.T) {
+	ctx := context.Background()
+	stream := func(workers int) []Event {
+		return collectEvents(t, func(eng *Engine) {
+			w, err := eng.GenerateCtx(ctx, LLNLModel().Scaled(40).ScaledFuncs(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.RunJobCtx(ctx, JobConfig{
+				Mode: Link, Workload: w, NTasks: 8, Ranks: 8,
+				RankSkew: 0.3, Workers: workers, RunMPITest: true, Seed: 42,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	one, eight := stream(1), stream(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("event stream depends on worker count:\n1: %+v\n8: %+v", one, eight)
+	}
+
+	var rankOrder []int
+	var phases []string
+	for _, ev := range eight {
+		if ev.Op != "run-job" {
+			continue // the generate op contributes its own events
+		}
+		switch ev.Kind {
+		case RankDone:
+			rankOrder = append(rankOrder, ev.Rank)
+		case PhaseDone:
+			phases = append(phases, ev.Phase)
+		}
+	}
+	if len(rankOrder) != 8 {
+		t.Fatalf("want 8 RankDone events, got %d", len(rankOrder))
+	}
+	for i, r := range rankOrder {
+		if r != i {
+			t.Fatalf("RankDone order not canonical: %v", rankOrder)
+		}
+	}
+	wantPhases := []string{"startup", "import", "visit", "mpi", "job"}
+	if !reflect.DeepEqual(phases, wantPhases) {
+		t.Fatalf("PhaseDone order %v, want %v", phases, wantPhases)
+	}
+	for i, ev := range eight {
+		if ev.Seq != i && ev.Op == "run-job" {
+			// Seq restarts per operation; within run-job it must be
+			// contiguous from its own zero.
+			break
+		}
+	}
+}
+
+// TestMatrixEventStreamDeterministic: CellDone events arrive in
+// canonical cell order regardless of worker count.
+func TestMatrixEventStreamDeterministic(t *testing.T) {
+	ctx := context.Background()
+	stream := func(workers int) []Event {
+		return collectEvents(t, func(eng *Engine) {
+			if _, err := eng.RunExperimentCtx(ctx, "dllcount", ExperimentSpec{
+				Grid: []Params{
+					{"dsos": 8, "mode": "vanilla"},
+					{"dsos": 16, "mode": "vanilla"},
+					{"dsos": 24, "mode": "vanilla"},
+				},
+				Repeats: 2,
+				Seed:    42,
+				Workers: workers,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	one, four := stream(1), stream(4)
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("matrix event stream depends on worker count")
+	}
+	var cells []string
+	for _, ev := range four {
+		if ev.Kind == CellDone {
+			cells = append(cells, ev.Cell)
+		}
+	}
+	want := []string{
+		`{"dsos":8,"mode":"vanilla"}`, `{"dsos":8,"mode":"vanilla"}`,
+		`{"dsos":16,"mode":"vanilla"}`, `{"dsos":16,"mode":"vanilla"}`,
+		`{"dsos":24,"mode":"vanilla"}`, `{"dsos":24,"mode":"vanilla"}`,
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("CellDone order %v, want %v", cells, want)
+	}
+}
+
+// TestEngineDefaults: WithSeed and WithCluster fill zero-valued request
+// fields; explicit values win.
+func TestEngineDefaults(t *testing.T) {
+	ctx := context.Background()
+	w, err := freshEngine(t).GenerateCtx(ctx, LLNLModel().Scaled(50).ScaledFuncs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := freshEngine(t, WithSeed(1234))
+	plain := freshEngine(t)
+	a, err := seeded.RunJobCtx(ctx, JobConfig{Mode: Link, Workload: w, NTasks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.RunJobCtx(ctx, JobConfig{Mode: Link, Workload: w, NTasks: 4, Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks[0].Seed != b.Ranks[0].Seed {
+		t.Fatalf("engine seed policy not applied: %d vs %d", a.Ranks[0].Seed, b.Ranks[0].Seed)
+	}
+	c, err := seeded.RunJobCtx(ctx, JobConfig{Mode: Link, Workload: w, NTasks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ranks[0].Seed != 7 {
+		t.Fatal("explicit seed overridden by engine default")
+	}
+
+	small := ZeusCluster()
+	small.Nodes = 2
+	clustered := freshEngine(t, WithCluster(small))
+	r, err := clustered.RunJobCtx(ctx, JobConfig{Mode: Vanilla, Workload: w, NTasks: 16, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodesUsed != 2 {
+		t.Fatalf("engine cluster policy not applied: %d nodes used", r.NodesUsed)
+	}
+}
+
+// TestWorkloadCacheWaiterNotPoisoned: a waiter that joins an in-flight
+// generation must not inherit the originator's cancellation — it
+// drops the poisoned entry and regenerates under its own context.
+func TestWorkloadCacheWaiterNotPoisoned(t *testing.T) {
+	c := newWorkloadCache(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	origDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.getOrGenerate(context.Background(), "k", func() (*Workload, error) {
+			close(started)
+			<-release
+			return nil, ErrCanceled // the originator's ctx was canceled
+		})
+		origDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		w, hit, err := c.getOrGenerate(context.Background(), "k", func() (*Workload, error) {
+			return &Workload{}, nil
+		})
+		if err == nil && (w == nil || hit) {
+			err = errNotRegenerated
+		}
+		waiterDone <- err
+	}()
+	// The waiter has joined once the hit counter ticks; only then may
+	// the originator fail.
+	for c.stats().Hits == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-origDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("originator: %v", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter inherited the originator's failure: %v", err)
+	}
+}
+
+var errNotRegenerated = errors.New("waiter did not regenerate a fresh workload")

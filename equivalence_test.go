@@ -1,0 +1,223 @@
+package pynamic
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fsim"
+)
+
+// This file is the deprecated-wrapper equivalence suite: every legacy
+// package-level function must produce byte-identical JSON to its
+// Engine counterpart, across seeds and build modes. The wrappers run
+// on the package-default Engine (whose workload cache may serve shared
+// workloads), the counterparts on a freshly constructed Engine — so
+// the suite simultaneously proves that cache-served workloads change
+// nothing downstream.
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func freshEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestRunEquivalence: Run vs (*Engine).RunCtx over seeds × modes.
+func TestRunEquivalence(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t)
+	for _, seed := range []uint64{42, 7} {
+		cfg := LLNLModel().Scaled(50).ScaledFuncs(10)
+		cfg.Seed = seed
+		oldW, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newW, err := eng.GenerateCtx(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, oldW.Sizes()), mustJSON(t, newW.Sizes())) {
+			t.Fatalf("seed %d: workload sizes diverge", seed)
+		}
+		for _, mode := range []BuildMode{Vanilla, Link, LinkBind} {
+			rc := RunConfig{Mode: mode, Workload: oldW, NTasks: 8, RunMPITest: true, Seed: seed}
+			oldM, err := Run(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc.Workload = newW
+			newM, err := eng.RunCtx(ctx, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o, n := mustJSON(t, oldM), mustJSON(t, newM); !bytes.Equal(o, n) {
+				t.Fatalf("seed %d mode %s: Run diverges from RunCtx:\nold %s\nnew %s",
+					seed, mode, o, n)
+			}
+		}
+	}
+}
+
+// TestRunJobEquivalence: RunJob vs (*Engine).RunJobCtx, including the
+// heterogeneity knobs and round-robin placement.
+func TestRunJobEquivalence(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t)
+	for _, seed := range []uint64{42, 7} {
+		cfg := LLNLModel().Scaled(40).ScaledFuncs(10)
+		cfg.Seed = seed
+		w, err := eng.GenerateCtx(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc := JobConfig{
+			Mode: Link, Workload: w, NTasks: 16, Ranks: 4,
+			Placement: PlacementRoundRobin,
+			RankSkew:  0.3, StragglerFrac: 0.25, WarmNodeFrac: 0.25,
+			Seed: seed,
+		}
+		oldR, err := RunJob(jc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newR, err := eng.RunJobCtx(ctx, jc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, n := mustJSON(t, oldR), mustJSON(t, newR); !bytes.Equal(o, n) {
+			t.Fatalf("seed %d: RunJob diverges from RunJobCtx", seed)
+		}
+	}
+}
+
+// TestToolAttachEquivalence: ToolAttach vs (*Engine).ToolAttachCtx,
+// cold and warm halves both.
+func TestToolAttachEquivalence(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t)
+	cfg := LLNLModel().Scaled(40).ScaledFuncs(10)
+	w, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFS := func() *fsim.FS {
+		place, err := cluster.Place(cluster.Zeus(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	tcOld := ToolStartupConfig{Workload: w, Tasks: 8, FS: newFS()}
+	tcNew := ToolStartupConfig{Workload: w, Tasks: 8, FS: newFS()}
+	for _, half := range []string{"cold", "warm"} {
+		oldPh, err := ToolAttach(tcOld)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newPh, err := eng.ToolAttachCtx(ctx, tcNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, n := mustJSON(t, oldPh), mustJSON(t, newPh); !bytes.Equal(o, n) {
+			t.Fatalf("%s: ToolAttach diverges from ToolAttachCtx: %s vs %s", half, o, n)
+		}
+	}
+}
+
+// TestTableEquivalence: the table wrappers vs the Engine methods at a
+// reduced scale (full scale is covered by the headline reproduction
+// tests).
+func TestTableEquivalence(t *testing.T) {
+	ctx := context.Background()
+	eng := freshEngine(t)
+	opts := ExperimentOptions{ScaleDiv: 40, Tasks: 8}
+
+	oldI, err := TableI(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newI, err := eng.TableICtx(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, n := mustJSON(t, oldI.Rows), mustJSON(t, newI.Rows); !bytes.Equal(o, n) {
+		t.Fatal("TableI diverges from TableICtx")
+	}
+
+	oldIV, err := TableIV(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newIV, err := eng.TableIVCtx(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, n := mustJSON(t, oldIV), mustJSON(t, newIV); !bytes.Equal(o, n) {
+		t.Fatal("TableIV diverges from TableIVCtx")
+	}
+
+	if o, n := mustJSON(t, CostModel()), mustJSON(t, eng.CostModel()); !bytes.Equal(o, n) {
+		t.Fatal("CostModel diverges")
+	}
+}
+
+// TestTableIIIEquivalence needs a full-scale generation, so it is
+// skipped under -short.
+func TestTableIIIEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation skipped in -short mode")
+	}
+	oldIII, err := TableIII(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newIII, err := freshEngine(t).TableIIICtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, n := mustJSON(t, oldIII), mustJSON(t, newIII); !bytes.Equal(o, n) {
+		t.Fatal("TableIII diverges from TableIIICtx")
+	}
+}
+
+// TestMatrixEquivalence: the Engine's matrix entry point against the
+// aggregated artifacts the legacy experiments entry points produce,
+// and worker-count independence through the Engine path.
+func TestMatrixEquivalence(t *testing.T) {
+	ctx := context.Background()
+	run := func(workers int) *MatrixResult {
+		res, err := freshEngine(t).RunMatrixCtx(ctx, MatrixSpec{
+			Experiments: []string{"dllcount"},
+			Repeats:     2,
+			Seed:        42,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if o, n := mustJSON(t, a.Experiments), mustJSON(t, b.Experiments); !bytes.Equal(o, n) {
+		t.Fatal("matrix results depend on worker count")
+	}
+}

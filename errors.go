@@ -1,0 +1,63 @@
+package pynamic
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+)
+
+// Sentinel errors, matchable with errors.Is through any *Error
+// wrapper the Engine returns.
+var (
+	// ErrCanceled reports that the context passed to an Engine method
+	// was canceled (or timed out) before the operation completed.
+	ErrCanceled = api.ErrCanceled
+	// ErrBadConfig reports a configuration that failed validation
+	// before any simulation ran.
+	ErrBadConfig = api.ErrBadConfig
+	// ErrUnknownExperiment reports a RunExperimentCtx/RunMatrixCtx
+	// request naming an experiment no registry entry matches.
+	ErrUnknownExperiment = api.ErrUnknownExperiment
+)
+
+// Error is the structured error type every Engine method returns: the
+// public operation that failed, the stage it failed in, and the
+// underlying cause. Use errors.As to recover it and errors.Is to test
+// for the sentinel causes:
+//
+//	_, err := eng.RunJobCtx(ctx, cfg)
+//	if errors.Is(err, pynamic.ErrCanceled) { ... }
+//	var pe *pynamic.Error
+//	if errors.As(err, &pe) { log.Printf("%s failed in %s", pe.Op, pe.Stage) }
+type Error struct {
+	// Op is the Engine method, e.g. "Generate", "RunJob".
+	Op string
+	// Stage is the step within the operation that failed: "config",
+	// "generate", "run", "matrix", "attach".
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the error as "pynamic: <op>: <stage>: <cause>".
+func (e *Error) Error() string {
+	return fmt.Sprintf("pynamic: %s: %s: %v", e.Op, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// wrapErr builds the *Error for one failed stage; nil err passes
+// through.
+func wrapErr(op, stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Op: op, Stage: stage, Err: err}
+}
+
+// badConfig marks a validation failure with the ErrBadConfig sentinel,
+// keeping the human-readable cause in the message.
+func badConfig(cause string) error {
+	return fmt.Errorf("%s: %w", cause, ErrBadConfig)
+}

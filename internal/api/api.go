@@ -1,0 +1,120 @@
+// Package api is the shared vocabulary between the public Engine
+// facade (package pynamic, the module root) and the internal
+// simulation layers. The facade imports every internal package, so the
+// internal packages cannot import it back — yet cancellation and event
+// streaming have to speak one set of types on both sides of that
+// boundary. This package holds exactly that set: the sentinel errors
+// the Engine re-exports and the streaming Event the simulation layers
+// emit.
+package api
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors. The root package re-exports these as
+// pynamic.ErrCanceled, pynamic.ErrBadConfig and
+// pynamic.ErrUnknownExperiment; internal layers wrap them with
+// fmt.Errorf("...: %w", ...) so errors.Is works end to end.
+var (
+	// ErrCanceled reports that a context was canceled (or timed out)
+	// before the operation completed.
+	ErrCanceled = errors.New("canceled")
+	// ErrBadConfig reports a configuration that fails validation.
+	ErrBadConfig = errors.New("bad config")
+	// ErrUnknownExperiment reports a request for an experiment name
+	// that no registry entry matches.
+	ErrUnknownExperiment = errors.New("unknown experiment")
+)
+
+// Checkpoint is the cancellation probe the simulation layers call at
+// loop boundaries: it returns ErrCanceled once ctx is done and nil
+// otherwise. It reads ctx.Err() rather than selecting on ctx.Done() so
+// a probe costs one atomic load and stays cheap enough for per-module
+// granularity.
+func Checkpoint(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// EventKind classifies a streaming Event.
+type EventKind int
+
+// Event kinds.
+const (
+	// PhaseStart marks entry into a named phase of an operation.
+	PhaseStart EventKind = iota
+	// PhaseDone marks a phase's completion; Sec carries its simulated
+	// seconds where the phase has one.
+	PhaseDone
+	// RankDone reports one simulated rank's pipeline completing; Sec is
+	// the rank's total simulated seconds.
+	RankDone
+	// CellDone reports one experiment-matrix cell completing; Sec is
+	// the cell's total_sec metric when it reports one.
+	CellDone
+)
+
+// String returns the kind's wire label (used by logs and the serve
+// layer).
+func (k EventKind) String() string {
+	switch k {
+	case PhaseStart:
+		return "phase-start"
+	case PhaseDone:
+		return "phase-done"
+	case RankDone:
+		return "rank-done"
+	case CellDone:
+		return "cell-done"
+	}
+	return "invalid"
+}
+
+// Event is one streaming progress event. Events are delivered in a
+// deterministic order for a given configuration regardless of worker
+// count: serial sections emit live, and events produced inside a
+// parallel section (rank pipelines, matrix cells) are buffered and
+// delivered at that section's barrier in canonical order (rank order,
+// grid-cell order). See DESIGN.md, "Event-ordering determinism".
+type Event struct {
+	// Seq numbers events 0,1,2,... within one Engine operation, in
+	// delivery order.
+	Seq int
+	// Kind classifies the event; the fields below it are populated per
+	// kind.
+	Kind EventKind
+	// Op is the Engine operation emitting the event ("generate", "run",
+	// "run-job", "run-matrix", "tool-attach").
+	Op string
+	// Phase names the phase for PhaseStart/PhaseDone ("generate",
+	// "startup", "import", "visit", "mpi", "matrix", "job", ...).
+	Phase string
+	// Rank and Node identify the simulated rank for RankDone.
+	Rank int
+	Node int
+	// Experiment, Cell and Repeat identify the matrix cell for
+	// CellDone; Cell is the grid point's canonical JSON.
+	Experiment string
+	Cell       string
+	Repeat     int
+	// Sec is the simulated seconds attached to done events (0 when the
+	// event has no simulated duration, e.g. generation).
+	Sec float64
+	// CacheHit marks results served from a cache (workload cache for
+	// generate, result cache for cells).
+	CacheHit bool
+}
+
+// Sink consumes streaming events. A nil Sink disables emission.
+type Sink func(Event)
+
+// Emit calls s with ev when s is non-nil.
+func (s Sink) Emit(ev Event) {
+	if s != nil {
+		s(ev)
+	}
+}

@@ -1,0 +1,206 @@
+// Package apisurface renders a Go package's exported API as a
+// deterministic, sorted, one-line-per-declaration listing. The root
+// package's TestAPISurface diffs that listing against a committed
+// golden file, so any unintended change to the public surface —
+// a renamed method, a drifted signature, an accidentally exported
+// helper — fails CI until the golden is regenerated deliberately.
+//
+// The listing is produced from the AST (go/parser + go/printer), not
+// from `go doc` output, so it is byte-stable across Go toolchain
+// versions.
+package apisurface
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Surface parses the (non-test) Go files of the single package in dir
+// and returns its exported API: one line per exported constant,
+// variable, function, type, method, struct field, and interface
+// method, sorted lexicographically.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return funcLines(fset, d)
+	case *ast.GenDecl:
+		return genLines(fset, d)
+	}
+	return nil
+}
+
+// funcLines renders an exported function or an exported method on an
+// exported receiver type.
+func funcLines(fset *token.FileSet, d *ast.FuncDecl) []string {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	recv := ""
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		name := receiverTypeName(d.Recv.List[0].Type)
+		if name == "" || !ast.IsExported(name) {
+			return nil
+		}
+		recv = "(" + exprString(fset, d.Recv.List[0].Type) + ") "
+	}
+	return []string{fmt.Sprintf("func %s%s%s", recv, d.Name.Name, signature(fset, d.Type))}
+}
+
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					line := kind + " " + name.Name
+					if s.Type != nil {
+						line += " " + exprString(fset, s.Type)
+					}
+					lines = append(lines, line)
+				}
+			}
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			lines = append(lines, typeLines(fset, s)...)
+		}
+	}
+	return lines
+}
+
+// typeLines renders the type header plus one line per exported struct
+// field or interface method, so additions inside a type are caught,
+// not just new top-level names.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	header := "type " + s.Name.Name
+	if s.Assign.IsValid() {
+		return []string{header + " = " + exprString(fset, s.Type)}
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{header + " struct"}
+		for _, f := range t.Fields.List {
+			ft := exprString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				lines = append(lines, header+" struct { "+ft+" }")
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					lines = append(lines, header+" struct { "+name.Name+" "+ft+" }")
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{header + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				lines = append(lines, header+" interface { "+exprString(fset, m.Type)+" }")
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						lines = append(lines, header+" interface { "+name.Name+signature(fset, ft)+" }")
+					}
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{header + " " + exprString(fset, s.Type)}
+	}
+}
+
+// signature renders a FuncType as "(params) (results)".
+func signature(fset *token.FileSet, t *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(fieldList(fset, t.Params))
+	b.WriteString(")")
+	if t.Results != nil && len(t.Results.List) > 0 {
+		res := fieldList(fset, t.Results)
+		if len(t.Results.List) == 1 && len(t.Results.List[0].Names) == 0 {
+			b.WriteString(" " + res)
+		} else {
+			b.WriteString(" (" + res + ")")
+		}
+	}
+	return b.String()
+}
+
+func fieldList(fset *token.FileSet, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		ft := exprString(fset, f.Type)
+		if len(f.Names) == 0 {
+			parts = append(parts, ft)
+			continue
+		}
+		var names []string
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+		parts = append(parts, strings.Join(names, ", ")+" "+ft)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+func exprString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	// Collapse any multi-line rendering (func literals in struct
+	// fields, etc.) to keep one declaration per line.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -30,8 +30,10 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/dynld"
 	"repro/internal/fsim"
@@ -93,6 +95,10 @@ type Config struct {
 	// by equivalence tests and the before/after benchmarks.
 	NoFastPath bool
 
+	// Events, when non-nil, receives the underlying 1-rank job's
+	// streaming progress events (see job.Config.Events).
+	Events api.Sink `json:"-"`
+
 	Seed uint64
 }
 
@@ -131,10 +137,17 @@ func (m *Metrics) TotalSec() float64 {
 
 // Run executes the driver — a 1-rank job — and returns its metrics.
 func Run(cfg Config) (*Metrics, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation, plumbed through the job engine's
+// rank pipeline (see job.RunCtx): canceling ctx mid-run returns an
+// error wrapping api.ErrCanceled.
+func RunCtx(ctx context.Context, cfg Config) (*Metrics, error) {
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("driver: no workload")
 	}
-	res, err := job.Run(job.Config{
+	res, err := job.RunCtx(ctx, job.Config{
 		Mode:       cfg.Mode,
 		Backend:    cfg.Backend,
 		Workload:   cfg.Workload,
@@ -149,6 +162,7 @@ func Run(cfg Config) (*Metrics, error) {
 		WarmFS:     cfg.WarmFS,
 		SharedFS:   cfg.SharedFS,
 		NoFastPath: cfg.NoFastPath,
+		Events:     cfg.Events,
 		Seed:       cfg.Seed,
 	})
 	if err != nil {

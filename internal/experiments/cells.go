@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,31 +66,39 @@ func driverMetrics(m *driver.Metrics) runner.Metrics {
 	}
 }
 
-// cellMode reads the required "mode" parameter of a cell.
+// cellMode reads the required "mode" parameter of a cell. Errors name
+// the experiment and the cell's canonical grid point, so a typo in one
+// grid entry is localized to that entry.
 func cellMode(cell string, p runner.Params) (driver.BuildMode, error) {
-	s, ok := p.LookupStr("mode")
-	if !ok {
-		return 0, fmt.Errorf("%s: missing parameter %q", cell, "mode")
+	s, err := p.RequireStr(cell, "mode")
+	if err != nil {
+		return 0, err
 	}
-	return ParseMode(s)
+	m, err := ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("experiment %q cell %s: %w", cell, p.Canonical(), err)
+	}
+	return m, nil
 }
 
 // cellInt reads a required integer cell parameter: a grid point without
-// it is malformed, so absence is an error, never a zero default.
+// it is malformed, so absence is an error, never a zero default. Like
+// cellMode, errors carry the experiment name and the canonical cell.
 func cellInt(cell, key string, p runner.Params, min int) (int, error) {
-	v, ok := p.LookupInt(key)
-	if !ok {
-		return 0, fmt.Errorf("%s: missing parameter %q", cell, key)
+	v, err := p.RequireInt(cell, key)
+	if err != nil {
+		return 0, err
 	}
 	if v < min {
-		return 0, fmt.Errorf("%s: %s must be >= %d, got %d", cell, key, min, v)
+		return 0, fmt.Errorf("experiment %q cell %s: %s must be >= %d, got %d",
+			cell, p.Canonical(), key, min, v)
 	}
 	return v, nil
 }
 
 // dllCountCell is one S1 point: DSO count p["dsos"] at fixed per-DSO
 // size, run in build mode p["mode"].
-func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func dllCountCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	mode, err := cellMode("dllcount", p)
 	if err != nil {
 		return nil, err
@@ -106,11 +115,11 @@ func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 	cfg.NumUtils = n - cfg.NumModules
 	cfg.AvgFuncsPerModule = 200
 	cfg.AvgFuncsPerUtil = 200
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+	m, err := driver.RunCtx(ctx, driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +128,7 @@ func dllCountCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 
 // dllSizeCell is one S2 point: p["funcs"] functions per DSO at fixed
 // DSO count, run in build mode p["mode"].
-func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func dllSizeCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	mode, err := cellMode("dllsize", p)
 	if err != nil {
 		return nil, err
@@ -133,11 +142,11 @@ func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 	cfg.NumUtils = 12
 	cfg.AvgFuncsPerModule = nf
 	cfg.AvgFuncsPerUtil = nf
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m, err := driver.Run(driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
+	m, err := driver.RunCtx(ctx, driver.Config{Mode: mode, Workload: w, NTasks: 32, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +155,7 @@ func dllSizeCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 
 // nfsCell is one S3 point: p["nodes"] nodes staging the generated DSO
 // set independently from NFS versus via collective open.
-func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func nfsCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	nodes, err := cellInt("nfs", "nodes", p, 1)
 	if err != nil {
 		return nil, err
@@ -156,7 +165,7 @@ func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +222,7 @@ func nfsCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 // (min/mean/p99/max) instead of a single extrapolated rank. The
 // optional rank_skew and straggler_frac knobs inject the heterogeneity
 // whose tails the distributions exist to expose.
-func jobDistCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func jobDistCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	tasks, err := cellInt("jobdist", "tasks", p, 1)
 	if err != nil {
 		return nil, err
@@ -231,11 +240,11 @@ func jobDistCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv).ScaledFuncs(funcsDiv)
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := job.Run(job.Config{
+	res, err := job.RunCtx(ctx, job.Config{
 		Mode:          mode,
 		Workload:      w,
 		NTasks:        tasks,
@@ -273,23 +282,23 @@ func jobDistCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 
 // bindingCell is A1: the same workload's visit phase under lazy and
 // eager binding.
-func bindingCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func bindingCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	scaleDiv, err := cellInt("binding", "scale_div", p, 1)
 	if err != nil {
 		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	lazy, err := driver.Run(driver.Config{
+	lazy, err := driver.RunCtx(ctx, driver.Config{
 		Mode: driver.Link, Workload: w, NTasks: 32, Seed: cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	eager, err := driver.Run(driver.Config{
+	eager, err := driver.RunCtx(ctx, driver.Config{
 		Mode: driver.LinkBind, Workload: w, NTasks: 32, Seed: cfg.Seed,
 	})
 	if err != nil {
@@ -304,24 +313,25 @@ func bindingCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 
 // coverageCell is one A2 point: the Link-build visit phase at code
 // coverage p["coverage"].
-func coverageCell(p runner.Params, seed uint64) (runner.Metrics, error) {
-	frac, ok := p.LookupFloat("coverage")
-	if !ok {
-		return nil, fmt.Errorf("coverage: missing parameter %q", "coverage")
+func coverageCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
+	frac, err := p.RequireFloat("coverage", "coverage")
+	if err != nil {
+		return nil, err
 	}
 	if frac <= 0 || frac > 1 {
-		return nil, fmt.Errorf("coverage: fraction %v outside (0, 1]", frac)
+		return nil, fmt.Errorf("experiment %q cell %s: fraction %v outside (0, 1]",
+			"coverage", p.Canonical(), frac)
 	}
 	scaleDiv, err := cellInt("coverage", "scale_div", p, 1)
 	if err != nil {
 		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m, err := driver.Run(driver.Config{
+	m, err := driver.RunCtx(ctx, driver.Config{
 		Mode: driver.Link, Workload: w, NTasks: 32, Coverage: frac, Seed: cfg.Seed,
 	})
 	if err != nil {
@@ -335,7 +345,7 @@ func coverageCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 
 // aslrCell is A3: tool-attach phase 1 with homogeneous versus
 // randomized (heterogeneous) link maps.
-func aslrCell(p runner.Params, seed uint64) (runner.Metrics, error) {
+func aslrCell(ctx context.Context, p runner.Params, seed uint64) (runner.Metrics, error) {
 	tasks, err := cellInt("aslr", "tasks", p, 1)
 	if err != nil {
 		return nil, err
@@ -345,7 +355,7 @@ func aslrCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 		return nil, err
 	}
 	cfg := seededLLNL(seed).Scaled(scaleDiv)
-	w, err := pygen.Generate(cfg)
+	w, err := pygen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +364,7 @@ func aslrCell(p runner.Params, seed uint64) (runner.Metrics, error) {
 		if err != nil {
 			return 0, err
 		}
-		ph, err := toolsim.Attach(toolsim.Config{
+		ph, err := toolsim.AttachCtx(ctx, toolsim.Config{
 			Workload: w, Tasks: tasks, FS: fs, HeterogeneousLinkMaps: hetero,
 		})
 		if err != nil {

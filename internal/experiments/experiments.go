@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -57,6 +58,19 @@ func (o Options) tasks() int {
 	return o.Tasks
 }
 
+// Generator produces a workload from a configuration. The Engine
+// facade passes its workload-cache-backed GenerateCtx here so Table
+// runs over a repeated configuration skip regeneration; a nil
+// Generator falls back to pygen.GenerateCtx.
+type Generator func(ctx context.Context, cfg pygen.Config) (*pygen.Workload, error)
+
+func orDefault(gen Generator) Generator {
+	if gen != nil {
+		return gen
+	}
+	return pygen.GenerateCtx
+}
+
 // ---------- E1 / E2: Tables I and II ----------
 
 // TableIResult carries the three build-mode runs.
@@ -69,14 +83,20 @@ type TableIResult struct {
 // RunTableI executes the driver in all three build configurations over
 // one generated workload (E1; the same runs provide E2).
 func RunTableI(opts Options) (*TableIResult, error) {
+	return RunTableICtx(context.Background(), opts, nil)
+}
+
+// RunTableICtx is RunTableI with cancellation and a pluggable
+// workload generator.
+func RunTableICtx(ctx context.Context, opts Options, gen Generator) (*TableIResult, error) {
 	cfg := opts.workloadConfig()
-	w, err := pygen.Generate(cfg)
+	w, err := orDefault(gen)(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := &TableIResult{Options: opts, Config: cfg}
 	for _, mode := range []driver.BuildMode{driver.Vanilla, driver.Link, driver.LinkBind} {
-		m, err := driver.Run(driver.Config{
+		m, err := driver.RunCtx(ctx, driver.Config{
 			Mode:       mode,
 			Backend:    opts.Backend,
 			Workload:   w,
@@ -264,11 +284,17 @@ type TableIIIResult struct {
 // RunTableIII generates the full LLNL-model workload (always full
 // scale: size accounting is cheap) and aggregates its section sizes.
 func RunTableIII(seed uint64) (*TableIIIResult, error) {
+	return RunTableIIICtx(context.Background(), seed, nil)
+}
+
+// RunTableIIICtx is RunTableIII with cancellation and a pluggable
+// workload generator.
+func RunTableIIICtx(ctx context.Context, seed uint64, gen Generator) (*TableIIIResult, error) {
 	cfg := pygen.LLNLModel()
 	if seed != 0 {
 		cfg.Seed = seed
 	}
-	w, err := pygen.Generate(cfg)
+	w, err := orDefault(gen)(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -342,12 +368,18 @@ type TableIVResult struct {
 // RunTableIV attaches the simulated debugger to the real-app model and
 // the Pynamic model at 32 tasks, cold then warm (E4).
 func RunTableIV(opts Options) (*TableIVResult, error) {
+	return RunTableIVCtx(context.Background(), opts, nil)
+}
+
+// RunTableIVCtx is RunTableIV with cancellation and a pluggable
+// workload generator.
+func RunTableIVCtx(ctx context.Context, opts Options, gen Generator) (*TableIVResult, error) {
 	res := &TableIVResult{ScaleDiv: opts.ScaleDiv}
 	run := func(cfg pygen.Config) (cold, warm toolsim.Phases, err error) {
 		if opts.ScaleDiv > 1 {
 			cfg = cfg.Scaled(opts.ScaleDiv)
 		}
-		w, err := pygen.Generate(cfg)
+		w, err := orDefault(gen)(ctx, cfg)
 		if err != nil {
 			return cold, warm, err
 		}
@@ -360,10 +392,10 @@ func RunTableIV(opts Options) (*TableIVResult, error) {
 			return cold, warm, err
 		}
 		tc := toolsim.Config{Workload: w, Tasks: opts.tasks(), FS: fs}
-		if cold, err = toolsim.Attach(tc); err != nil {
+		if cold, err = toolsim.AttachCtx(ctx, tc); err != nil {
 			return cold, warm, err
 		}
-		warm, err = toolsim.Attach(tc)
+		warm, err = toolsim.AttachCtx(ctx, tc)
 		return cold, warm, err
 	}
 	var err error

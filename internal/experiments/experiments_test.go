@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -163,7 +164,7 @@ func TestJobDistCell(t *testing.T) {
 		"tasks": 8, "mode": "vanilla", "scale_div": 40, "funcs_div": 10,
 		"rank_skew": 0.4, "straggler_frac": 0.5,
 	}
-	m, err := jobDistCell(p, 0)
+	m, err := jobDistCell(context.Background(), p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestJobDistCell(t *testing.T) {
 				broken[k] = v
 			}
 		}
-		if _, err := jobDistCell(broken, 0); err == nil {
+		if _, err := jobDistCell(context.Background(), broken, 0); err == nil {
 			t.Fatalf("missing %q accepted", key)
 		}
 	}

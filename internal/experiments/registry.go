@@ -109,7 +109,7 @@ func RunnerRegistry() *runner.Registry {
 			Grid: func() []runner.Params {
 				return dllCountGrid(nil, []string{"vanilla", "link"})
 			},
-			Run: dllCountCell,
+			RunCtx: dllCountCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "dllsize",
@@ -117,7 +117,7 @@ func RunnerRegistry() *runner.Registry {
 			Grid: func() []runner.Params {
 				return dllSizeGrid(nil, []string{"vanilla", "link"})
 			},
-			Run: dllSizeCell,
+			RunCtx: dllSizeCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "nfs",
@@ -125,7 +125,7 @@ func RunnerRegistry() *runner.Registry {
 			Grid: func() []runner.Params {
 				return nfsGrid(nil, 0)
 			},
-			Run: nfsCell,
+			RunCtx: nfsCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name: "jobdist",
@@ -142,7 +142,7 @@ func RunnerRegistry() *runner.Registry {
 				}
 				return grid
 			},
-			Run: jobDistCell,
+			RunCtx: jobDistCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "ablate-binding",
@@ -150,7 +150,7 @@ func RunnerRegistry() *runner.Registry {
 			Grid: func() []runner.Params {
 				return []runner.Params{{"scale_div": defaultAblationScaleDiv}}
 			},
-			Run: bindingCell,
+			RunCtx: bindingCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "ablate-coverage",
@@ -158,7 +158,7 @@ func RunnerRegistry() *runner.Registry {
 			Grid: func() []runner.Params {
 				return coverageGrid(nil, 0)
 			},
-			Run: coverageCell,
+			RunCtx: coverageCell,
 		})
 		registry.MustRegister(&runner.Experiment{
 			Name:        "ablate-aslr",
@@ -169,7 +169,7 @@ func RunnerRegistry() *runner.Registry {
 					"scale_div": defaultAblationScaleDiv,
 				}}
 			},
-			Run: aslrCell,
+			RunCtx: aslrCell,
 		})
 		scenario.Register(registry)
 	})

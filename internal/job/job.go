@@ -30,11 +30,14 @@
 package job
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/dynld"
 	"repro/internal/fsim"
@@ -136,6 +139,13 @@ type Config struct {
 	// GOMAXPROCS). It never affects results, only host wall time.
 	Workers int
 
+	// Events, when non-nil, receives streaming progress events:
+	// RankDone per rank (delivered at the pipeline barrier, in rank
+	// order), PhaseDone per pipeline phase with the job phase time, and
+	// PhaseStart/PhaseDone around the MPI test. Delivery order is
+	// deterministic for a given Config regardless of Workers.
+	Events api.Sink `json:"-"`
+
 	Seed uint64
 }
 
@@ -198,6 +208,14 @@ func pickNodes(seed uint64, nodes int, frac float64, salt uint64) []int {
 
 // Run executes the job and returns its result.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: rank workers probe ctx between
+// ranks, between pipeline phases, and inside the per-module import and
+// visit loops, so canceling mid-job abandons the simulation promptly
+// and returns an error wrapping api.ErrCanceled.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("job: no workload")
@@ -297,7 +315,11 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for r := range idx {
-				errs[r] = ranks[r].runPipeline(cfg, w)
+				if err := api.Checkpoint(ctx); err != nil {
+					errs[r] = err
+					continue
+				}
+				errs[r] = ranks[r].runPipeline(ctx, cfg, w)
 			}
 		}()
 	}
@@ -306,6 +328,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	close(idx)
 	wg.Wait()
+	// Report cancellation over individual rank failures — when ctx is
+	// canceled every unstarted rank holds ErrCanceled, and the caller
+	// should see the cancellation, not an arbitrary rank index.
+	for r, err := range errs {
+		if err != nil && errors.Is(err, api.ErrCanceled) {
+			return nil, fmt.Errorf("job: rank %d: %w", r, err)
+		}
+	}
 	for r, err := range errs { // first failure in rank order
 		if err != nil {
 			return nil, fmt.Errorf("job: rank %d: %w", r, err)
@@ -328,8 +358,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.aggregate()
 
+	// Rank events were produced inside the parallel section, so they
+	// are delivered here, at the barrier, in canonical rank order —
+	// followed by the job phase times in pipeline order. This keeps the
+	// event stream byte-identical for any Workers value.
+	for r := range res.Ranks {
+		cfg.Events.Emit(api.Event{Kind: api.RankDone, Rank: res.Ranks[r].Rank,
+			Node: res.Ranks[r].Node, Sec: res.Ranks[r].TotalSec()})
+	}
+	cfg.Events.Emit(api.Event{Kind: api.PhaseDone, Phase: "startup", Sec: res.StartupSec})
+	cfg.Events.Emit(api.Event{Kind: api.PhaseDone, Phase: "import", Sec: res.ImportSec})
+	cfg.Events.Emit(api.Event{Kind: api.PhaseDone, Phase: "visit", Sec: res.VisitSec})
+
 	// --- MPI test phase (pyMPI builds only): job-level, all NTasks. ---
 	if cfg.RunMPITest {
+		if err := api.Checkpoint(ctx); err != nil {
+			return nil, fmt.Errorf("job: MPI test: %w", err)
+		}
+		cfg.Events.Emit(api.Event{Kind: api.PhaseStart, Phase: "mpi"})
 		world, err := mpisim.NewWorld(cfg.NTasks, mpisim.Config{
 			Latency:   cfg.Cluster.LinkLatency,
 			Bandwidth: cfg.Cluster.LinkBandwidth,
@@ -345,6 +391,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("job: MPI test: %w", err)
 		}
 		res.MPISec = world.MaxSeconds()
+		cfg.Events.Emit(api.Event{Kind: api.PhaseDone, Phase: "mpi", Sec: res.MPISec})
 	}
 	return res, nil
 }

@@ -1,8 +1,10 @@
 package job
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/api"
 	"repro/internal/dynld"
 	"repro/internal/fsim"
 	"repro/internal/memsim"
@@ -48,12 +50,20 @@ type phase struct {
 	secs     *float64
 }
 
+// checkEvery is how many modules the import and visit loops process
+// between cancellation probes: frequent enough that a canceled job
+// stops within a few modules' simulated work, rare enough that the
+// probe never shows up in a profile.
+const checkEvery = 32
+
 // runPipeline builds the rank's substrates and executes the phase
 // pipeline (startup → import → visit), recording per-phase simulated
 // seconds and PAPI-style counters into the rank's metrics. Phase time
 // is I/O seconds from the rank's clock plus CPU cycles at the rank's
-// effective (skewed) core frequency.
-func (rk *Rank) runPipeline(cfg Config, w *pygen.Workload) error {
+// effective (skewed) core frequency. Cancellation is probed at each
+// phase boundary and every checkEvery modules within the import and
+// visit loops.
+func (rk *Rank) runPipeline(ctx context.Context, cfg Config, w *pygen.Workload) error {
 	m := &rk.metrics
 	m.Rank = rk.ctx.id
 	m.Node = rk.ctx.node
@@ -118,7 +128,12 @@ func (rk *Rank) runPipeline(cfg Config, w *pygen.Workload) error {
 			// Import: import every generated module.
 			name: "import", counters: &m.Import, secs: &m.ImportSec,
 			work: func() error {
-				for _, name := range w.ModuleNames() {
+				for i, name := range w.ModuleNames() {
+					if i%checkEvery == 0 {
+						if err := api.Checkpoint(ctx); err != nil {
+							return err
+						}
+					}
 					mod, err := interp.Import(name)
 					if err != nil {
 						return err
@@ -132,7 +147,12 @@ func (rk *Rank) runPipeline(cfg Config, w *pygen.Workload) error {
 			// Visit: run every module's entry function.
 			name: "visit", counters: &m.Visit, secs: &m.VisitSec,
 			work: func() error {
-				for _, mod := range modules {
+				for i, mod := range modules {
+					if i%checkEvery == 0 {
+						if err := api.Checkpoint(ctx); err != nil {
+							return err
+						}
+					}
 					if err := interp.VisitEntry(mod); err != nil {
 						return err
 					}
@@ -142,6 +162,9 @@ func (rk *Rank) runPipeline(cfg Config, w *pygen.Workload) error {
 		},
 	}
 	for _, ph := range pipeline {
+		if err := api.Checkpoint(ctx); err != nil {
+			return fmt.Errorf("%s phase: %w", ph.name, err)
+		}
 		mark := clock.Mark()
 		cycles := mem.Cycles()
 		if err := es.Start(); err != nil {

@@ -1,8 +1,10 @@
 package pygen
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/api"
 	"repro/internal/elfimg"
 	"repro/internal/xrand"
 )
@@ -66,6 +68,13 @@ func (g *generator) addFunc(b *elfimg.Builder, r *xrand.RNG) int {
 
 // Generate builds the full workload for cfg.
 func Generate(cfg Config) (*Workload, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with cancellation: the per-DSO generation
+// loops probe ctx, so canceling it abandons the workload within one
+// DSO's work and returns an error wrapping api.ErrCanceled.
+func GenerateCtx(ctx context.Context, cfg Config) (*Workload, error) {
 	if cfg.MaxCallDepth == 0 {
 		cfg.MaxCallDepth = 10
 	}
@@ -85,6 +94,9 @@ func Generate(cfg Config) (*Workload, error) {
 	g.utilFuncSyms = make([][]elfimg.SymID, cfg.NumUtils)
 	g.utilDataSyms = make([]elfimg.SymID, cfg.NumUtils)
 	for i := 0; i < cfg.NumUtils; i++ {
+		if err := api.Checkpoint(ctx); err != nil {
+			return nil, fmt.Errorf("pygen: generate utility %d: %w", i, err)
+		}
 		img, err := g.buildUtil(i)
 		if err != nil {
 			return nil, err
@@ -94,6 +106,9 @@ func Generate(cfg Config) (*Workload, error) {
 
 	g.crossSyms = make([]elfimg.SymID, cfg.NumModules)
 	for i := 0; i < cfg.NumModules; i++ {
+		if err := api.Checkpoint(ctx); err != nil {
+			return nil, fmt.Errorf("pygen: generate module %d: %w", i, err)
+		}
 		img, name, err := g.buildModule(i, w)
 		if err != nil {
 			return nil, err

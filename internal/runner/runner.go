@@ -12,12 +12,16 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/api"
 )
 
 // Params is one grid point: flag-like experiment parameters. Values
@@ -86,6 +90,41 @@ func (p Params) LookupStr(key string) (string, bool) {
 	return s, ok
 }
 
+// RequireInt is LookupInt for parameters whose absence is a bug in the
+// grid, not a default to paper over. The error names the experiment
+// AND the cell's canonical grid point, so a grid-key typo is localized
+// to the exact cell that carries it.
+func (p Params) RequireInt(experiment, key string) (int, error) {
+	v, ok := p.LookupInt(key)
+	if !ok {
+		return 0, p.missing(experiment, key, "integer")
+	}
+	return v, nil
+}
+
+// RequireFloat is LookupFloat with the RequireInt error contract.
+func (p Params) RequireFloat(experiment, key string) (float64, error) {
+	v, ok := p.LookupFloat(key)
+	if !ok {
+		return 0, p.missing(experiment, key, "numeric")
+	}
+	return v, nil
+}
+
+// RequireStr is LookupStr with the RequireInt error contract.
+func (p Params) RequireStr(experiment, key string) (string, error) {
+	s, ok := p.LookupStr(key)
+	if !ok {
+		return "", p.missing(experiment, key, "string")
+	}
+	return s, nil
+}
+
+func (p Params) missing(experiment, key, kind string) error {
+	return fmt.Errorf("experiment %q cell %s: missing or non-%s parameter %q",
+		experiment, p.Canonical(), kind, key)
+}
+
 // Canonical returns the canonical encoding of the grid point: compact
 // JSON with sorted keys. It is the config component of cache keys and
 // of per-cell seed derivation.
@@ -125,6 +164,19 @@ type Experiment struct {
 	// Run executes one cell. seed == 0 means "use the paper-default
 	// workload seed"; a nonzero seed must fully determine the result.
 	Run func(p Params, seed uint64) (Metrics, error)
+	// RunCtx is the cancellation-aware form of Run; when set it is
+	// preferred, letting RunMatrixCtx abandon a cell mid-flight instead
+	// of only between cells. Exactly one of Run and RunCtx must be set.
+	RunCtx func(ctx context.Context, p Params, seed uint64) (Metrics, error)
+}
+
+// run executes one cell through whichever entry point the experiment
+// provides.
+func (e *Experiment) run(ctx context.Context, p Params, seed uint64) (Metrics, error) {
+	if e.RunCtx != nil {
+		return e.RunCtx(ctx, p, seed)
+	}
+	return e.Run(p, seed)
 }
 
 // Registry holds experiments in registration order.
@@ -144,8 +196,8 @@ func (r *Registry) Register(e *Experiment) error {
 	if e == nil || e.Name == "" {
 		return fmt.Errorf("runner: experiment must have a name")
 	}
-	if e.Run == nil {
-		return fmt.Errorf("runner: experiment %q has no Run func", e.Name)
+	if e.Run == nil && e.RunCtx == nil {
+		return fmt.Errorf("runner: experiment %q has no Run or RunCtx func", e.Name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -233,6 +285,11 @@ type MatrixSpec struct {
 	// Cache, when non-nil, is consulted before running a cell and
 	// updated after.
 	Cache Cache
+	// Events, when non-nil, receives one CellDone event per result
+	// cell, delivered at the matrix barrier in canonical cell order
+	// (experiment × grid × repeat), so the event stream is
+	// deterministic for any Workers value.
+	Events api.Sink `json:"-"`
 }
 
 // EffectiveRepeats resolves the repeat count (min 1).
@@ -283,7 +340,11 @@ type MatrixResult struct {
 	// WorkersUsed is the pool size that actually executed (the
 	// configured worker count clamped to the number of cells).
 	WorkersUsed int
-	Elapsed     time.Duration
+	// Canceled marks a matrix abandoned by context cancellation: the
+	// result then holds only the cells that completed, and aggregates
+	// only for grid points whose every repeat completed.
+	Canceled bool
+	Elapsed  time.Duration
 }
 
 // Cells returns the total cell count across experiments, including
@@ -307,6 +368,16 @@ type job struct {
 // the result is grid order × repeat order, independent of scheduling,
 // so aggregated output is byte-identical for any worker count.
 func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
+	return RunMatrixCtx(context.Background(), reg, spec)
+}
+
+// RunMatrixCtx is RunMatrix with cancellation. Workers probe ctx
+// before starting each cell, and ctx flows into every RunCtx-capable
+// cell so a slow cell can be abandoned mid-flight rather than merely
+// skipped. On cancellation it returns the partial MatrixResult —
+// completed cells, aggregates for fully-completed grid points, and
+// Canceled set — together with an error wrapping api.ErrCanceled.
+func RunMatrixCtx(ctx context.Context, reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 	start := time.Now()
 	names := spec.Experiments
 	if len(names) == 0 {
@@ -358,7 +429,7 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 	errs := make([]error, len(jobs))
 	var hits, misses, executed int64
 	var statMu sync.Mutex
-	var failed atomic.Bool
+	var failed, canceled atomic.Bool
 
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
@@ -373,7 +444,14 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 			for ji := range jobCh {
 				// Fail fast: once any cell has errored the matrix
 				// result is discarded anyway, so skip remaining work.
+				// A canceled matrix likewise skips everything not yet
+				// started — completed cells survive as the partial
+				// result.
 				if failed.Load() {
+					continue
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
 					continue
 				}
 				j := jobs[ji]
@@ -394,8 +472,12 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 					}
 				}
 				if !cell.CacheHit {
-					m, err := e.Run(p, seed)
+					m, err := e.run(ctx, p, seed)
 					if err != nil {
+						if errors.Is(err, api.ErrCanceled) {
+							canceled.Store(true)
+							continue
+						}
 						errs[ji] = fmt.Errorf("%s %s repeat %d: %w", e.Name, canon, j.repeat, err)
 						failed.Store(true)
 						continue
@@ -435,6 +517,9 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 		for i := range exps {
 			for g := range grids[i] {
 				base := cells[i][g*repeats]
+				if base.Metrics == nil {
+					continue // grid point never executed (canceled)
+				}
 				for rep := 1; rep < repeats; rep++ {
 					c := base
 					c.Repeat = rep
@@ -450,20 +535,54 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 		CacheMisses:   int(misses),
 		ExecutedCells: int(executed),
 		WorkersUsed:   workers,
+		Canceled:      canceled.Load() || ctx.Err() != nil,
 	}
 	for i, e := range exps {
 		er := ExperimentResult{
 			Name:    e.Name,
 			Repeats: repeats,
 			Seed:    spec.Seed,
-			Cells:   cells[i],
+		}
+		for _, c := range cells[i] {
+			if c.Metrics != nil {
+				er.Cells = append(er.Cells, c)
+			}
 		}
 		for g := range grids[i] {
-			er.Aggregates = append(er.Aggregates,
-				AggregateCells(grids[i][g], cells[i][g*repeats:(g+1)*repeats]))
+			point := cells[i][g*repeats : (g+1)*repeats]
+			complete := true
+			for _, c := range point {
+				if c.Metrics == nil {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				er.Aggregates = append(er.Aggregates, AggregateCells(grids[i][g], point))
+			}
 		}
 		res.Experiments = append(res.Experiments, er)
 	}
 	res.Elapsed = time.Since(start)
+
+	// Cell events were produced inside the pool, so they are delivered
+	// here, at the barrier, in canonical cell order.
+	for _, er := range res.Experiments {
+		for _, c := range er.Cells {
+			spec.Events.Emit(api.Event{
+				Kind:       api.CellDone,
+				Experiment: c.Experiment,
+				Cell:       c.Params.Canonical(),
+				Repeat:     c.Repeat,
+				Sec:        c.Metrics["total_sec"],
+				CacheHit:   c.CacheHit,
+			})
+		}
+	}
+
+	if res.Canceled {
+		return res, fmt.Errorf("runner: matrix canceled after %d of %d executed cells: %w",
+			res.ExecutedCells, len(jobs), api.ErrCanceled)
+	}
 	return res, nil
 }

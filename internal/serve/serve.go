@@ -1,0 +1,460 @@
+// Package serve is the HTTP serving layer over the public Engine API:
+// one shared, long-lived pynamic.Engine handles concurrent requests,
+// amortizing workload generation across them through the engine's
+// content-hash-keyed workload cache.
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST   /v1/jobs          submit a job; returns {"id": ...} immediately
+//	GET    /v1/jobs          list submitted jobs (summaries)
+//	GET    /v1/jobs/{id}     job status, with the result once done
+//	GET    /v1/jobs/{id}/result  canonical result JSON only (golden-diff
+//	                             friendly: stable bytes for a fixed request)
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/experiments   the experiment registry (sweeps, ablations,
+//	                         scenario catalog)
+//	GET    /v1/scenarios     the scenario catalog with knob grids
+//	GET    /healthz          liveness probe
+//
+// Jobs run asynchronously: submission returns 202 with an id, and the
+// client polls GET /v1/jobs/{id} until status is "done" (or "failed" /
+// "canceled"). A bounded semaphore caps concurrently simulating jobs;
+// everything else queues.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	pynamic "repro"
+	"repro/internal/scenario"
+)
+
+// Job status values.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobRequest is the POST /v1/jobs body. The zero value of every field
+// is a usable default; the workload is the paper's LLNL model scaled
+// by Scale (DSO counts) and FuncsDiv (functions per DSO).
+type JobRequest struct {
+	// Mode is the build mode: "vanilla" (default), "link", "link-bind".
+	Mode string `json:"mode"`
+	// Tasks is the MPI job size (default 32).
+	Tasks int `json:"tasks"`
+	// Ranks is how many of the job's tasks to simulate (0/omitted = 1,
+	// the legacy rank-0 extrapolation; set it to Tasks for every rank).
+	Ranks int `json:"ranks"`
+	// Seed is the generator/job seed (default: the model's paper seed).
+	Seed uint64 `json:"seed"`
+	// Scale divides the LLNL model's DSO counts (default 1).
+	Scale int `json:"scale"`
+	// FuncsDiv divides the per-DSO function counts (default 1).
+	FuncsDiv int `json:"funcs_div"`
+	// Placement is "block" (default) or "round-robin".
+	Placement string `json:"placement"`
+	// MPITest enables the pyMPI functionality test phase.
+	MPITest bool `json:"mpi_test"`
+	// Detailed selects the line-accurate memory model (reduce Scale!).
+	Detailed bool `json:"detailed"`
+	// Coverage is the fraction of entry chains visited (0 = all).
+	Coverage float64 `json:"coverage"`
+	// Heterogeneity knobs (see pynamic.JobConfig).
+	RankSkew         float64 `json:"rank_skew"`
+	StragglerFrac    float64 `json:"straggler_frac"`
+	StragglerIOScale float64 `json:"straggler_io_scale"`
+	WarmNodeFrac     float64 `json:"warm_node_frac"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID      string             `json:"id"`
+	Status  string             `json:"status"`
+	Request JobRequest         `json:"request"`
+	Error   string             `json:"error,omitempty"`
+	Result  *pynamic.JobResult `json:"result,omitempty"`
+}
+
+// record is one submitted job's server-side state.
+type record struct {
+	id     string
+	req    JobRequest
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status string
+	err    string
+	result *pynamic.JobResult
+}
+
+func (r *record) snapshot() JobStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return JobStatus{ID: r.id, Status: r.status, Request: r.req, Error: r.err, Result: r.result}
+}
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent caps jobs simulating at once (≤0 = 2). Submission
+	// above the cap queues; the queue drains in submission order per
+	// freed slot.
+	MaxConcurrent int
+	// MaxHistory caps how many finished jobs (done/failed/canceled)
+	// are retained for polling (≤0 = 1000). The oldest finished
+	// records are evicted first; queued and running jobs are never
+	// evicted.
+	MaxHistory int
+}
+
+// Server routes the v1 API onto one shared Engine.
+type Server struct {
+	eng        *pynamic.Engine
+	base       context.Context
+	stop       context.CancelFunc
+	sem        chan struct{}
+	maxHistory int
+
+	mu     sync.Mutex
+	jobs   map[string]*record
+	order  []string
+	nextID int
+}
+
+// New returns a Server over eng. Close releases its background work.
+func New(eng *pynamic.Engine, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2
+	}
+	if opts.MaxHistory <= 0 {
+		opts.MaxHistory = 1000
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Server{
+		eng:        eng,
+		base:       base,
+		stop:       stop,
+		sem:        make(chan struct{}, opts.MaxConcurrent),
+		maxHistory: opts.MaxHistory,
+		jobs:       make(map[string]*record),
+	}
+}
+
+// Close cancels every in-flight job and stops accepting work.
+func (s *Server) Close() { s.stop() }
+
+// Handler returns the HTTP handler for the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.list(w)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+// submit validates the request, registers the job and launches its
+// worker goroutine, then replies 202 with the job id.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	cfg, err := buildJobConfig(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.base)
+	s.mu.Lock()
+	s.nextID++
+	rec := &record{
+		id:     fmt.Sprintf("j%04d", s.nextID),
+		req:    req,
+		cancel: cancel,
+		status: StatusQueued,
+	}
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+	s.mu.Unlock()
+
+	go s.runJob(ctx, rec, req, cfg)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
+}
+
+// runJob is the per-job worker: it waits for a concurrency slot,
+// generates (or cache-hits) the workload through the shared Engine,
+// runs the job engine, and records the outcome.
+func (s *Server) runJob(ctx context.Context, rec *record, req JobRequest, cfg jobConfig) {
+	// Release the job's context registration once it finishes (DELETE
+	// and Close also cancel; CancelFunc is idempotent) and bound the
+	// finished-job history — without this a long-lived server would
+	// leak one context plus one result per job ever submitted.
+	defer rec.cancel()
+	finish := func(status, errMsg string, res *pynamic.JobResult) {
+		rec.mu.Lock()
+		rec.status, rec.err, rec.result = status, errMsg, res
+		rec.mu.Unlock()
+		s.pruneHistory()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		finish(StatusCanceled, "canceled while queued", nil)
+		return
+	}
+	rec.mu.Lock()
+	rec.status = StatusRunning
+	rec.mu.Unlock()
+
+	w, err := s.eng.GenerateCtx(ctx, cfg.gen)
+	if err != nil {
+		s.fail(finish, err)
+		return
+	}
+	jc := cfg.job
+	jc.Workload = w
+	res, err := s.eng.RunJobCtx(ctx, jc)
+	if err != nil {
+		s.fail(finish, err)
+		return
+	}
+	finish(StatusDone, "", res)
+}
+
+func (s *Server) fail(finish func(string, string, *pynamic.JobResult), err error) {
+	if errors.Is(err, pynamic.ErrCanceled) {
+		finish(StatusCanceled, err.Error(), nil)
+		return
+	}
+	finish(StatusFailed, err.Error(), nil)
+}
+
+// jobConfig pairs the generator and job halves of a validated request.
+type jobConfig struct {
+	gen pynamic.Config
+	job pynamic.JobConfig
+}
+
+// buildJobConfig maps a JobRequest onto the Engine vocabulary,
+// rejecting malformed fields with a descriptive error.
+func buildJobConfig(req JobRequest) (jobConfig, error) {
+	var out jobConfig
+	mode := pynamic.Vanilla
+	if req.Mode != "" {
+		var err error
+		if mode, err = pynamic.ParseBuildMode(req.Mode); err != nil {
+			return out, err
+		}
+	}
+	placement := pynamic.PlacementBlock
+	if req.Placement != "" {
+		var err error
+		if placement, err = pynamic.ParsePlacement(req.Placement); err != nil {
+			return out, err
+		}
+	}
+	if req.Tasks < 0 || req.Scale < 0 || req.FuncsDiv < 0 {
+		return out, fmt.Errorf("tasks, scale and funcs_div must be >= 0")
+	}
+	tasks := req.Tasks
+	if tasks == 0 {
+		tasks = 32
+	}
+	ranks := req.Ranks
+	if ranks < 0 || ranks > tasks {
+		return out, fmt.Errorf("ranks %d outside [0, %d tasks]", ranks, tasks)
+	}
+	if ranks == 0 {
+		ranks = 1 // the legacy extrapolation is the cheap default
+	}
+
+	cfg := pynamic.LLNLModel()
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.Scale > 1 {
+		cfg = cfg.Scaled(req.Scale)
+	}
+	if req.FuncsDiv > 1 {
+		cfg = cfg.ScaledFuncs(req.FuncsDiv)
+	}
+	out.gen = cfg
+
+	backend := pynamic.Analytic
+	if req.Detailed {
+		backend = pynamic.Detailed
+	}
+	out.job = pynamic.JobConfig{
+		Mode:             mode,
+		Backend:          backend,
+		NTasks:           tasks,
+		Ranks:            ranks,
+		Placement:        placement,
+		RunMPITest:       req.MPITest,
+		Coverage:         req.Coverage,
+		RankSkew:         req.RankSkew,
+		StragglerFrac:    req.StragglerFrac,
+		StragglerIOScale: req.StragglerIOScale,
+		WarmNodeFrac:     req.WarmNodeFrac,
+		Seed:             cfg.Seed,
+	}
+	return out, nil
+}
+
+// pruneHistory evicts the oldest finished jobs beyond the history
+// cap. Queued and running jobs are never evicted.
+func (s *Server) pruneHistory() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	finished := 0
+	for _, id := range s.order {
+		st := s.jobs[id].snapshot().Status
+		if st != StatusQueued && st != StatusRunning {
+			finished++
+		}
+	}
+	if finished <= s.maxHistory {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id].snapshot().Status
+		if finished > s.maxHistory && st != StatusQueued && st != StatusRunning {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// list writes job summaries in submission order.
+func (s *Server) list(w http.ResponseWriter) {
+	s.mu.Lock()
+	recs := make([]*record, 0, len(s.order))
+	for _, id := range s.order {
+		recs = append(recs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	type summary struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	out := make([]summary, 0, len(recs))
+	for _, rec := range recs {
+		st := rec.snapshot()
+		out = append(out, summary{ID: st.ID, Status: st.Status})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleJob serves /v1/jobs/{id} and /v1/jobs/{id}/result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no job "+id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, rec.snapshot())
+	case sub == "" && r.Method == http.MethodDelete:
+		rec.cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": rec.snapshot().Status})
+	case sub == "result" && r.Method == http.MethodGet:
+		st := rec.snapshot()
+		if st.Status != StatusDone {
+			writeError(w, http.StatusConflict, "job "+id+" is "+st.Status+", not done")
+			return
+		}
+		// Canonical bytes: MarshalIndent over the result struct alone,
+		// so a fixed request diffs cleanly against a golden file (the
+		// CI smoke relies on this).
+		writeJSON(w, http.StatusOK, st.Result)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "unsupported job operation")
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	infos := s.eng.Experiments()
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": infos})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type scenarioInfo struct {
+		Name        string `json:"name"`
+		Experiment  string `json:"experiment"`
+		Description string `json:"description"`
+		KnobPoints  int    `json:"knob_points"`
+	}
+	var out []scenarioInfo
+	for _, sc := range scenario.Catalog() {
+		out = append(out, scenarioInfo{
+			Name:        sc.Name,
+			Experiment:  scenario.Prefix + sc.Name,
+			Description: sc.Description,
+			KnobPoints:  len(sc.Knobs()),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+// writeJSON writes v as two-space-indented JSON with a trailing
+// newline — the same canonical form the golden files store.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -26,8 +26,10 @@
 package toolsim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/fsim"
 	"repro/internal/pygen"
@@ -151,6 +153,14 @@ func (p Phases) Total() float64 { return p.Phase1 + p.Phase2 }
 // cold then warm rows of Table IV, because the first attach leaves
 // every DSO in the nodes' disk buffer caches.
 func Attach(cfg Config) (Phases, error) {
+	return AttachCtx(context.Background(), cfg)
+}
+
+// AttachCtx is Attach with cancellation: the per-image ingest loop of
+// phase 1 and the per-module event loop of phase 2 probe ctx, so
+// canceling it abandons the attach within one image's work and returns
+// an error wrapping api.ErrCanceled.
+func AttachCtx(ctx context.Context, cfg Config) (Phases, error) {
 	var out Phases
 	if cfg.Workload == nil {
 		return out, fmt.Errorf("toolsim: no workload")
@@ -187,6 +197,9 @@ func Attach(cfg Config) (Phases, error) {
 	var worstNode float64
 	var parseBytes float64
 	for _, img := range images {
+		if err := api.Checkpoint(ctx); err != nil {
+			return out, fmt.Errorf("toolsim: phase 1: %w", err)
+		}
 		symBytes := img.Layout.SymTab.Size + img.Layout.StrTab.Size +
 			img.Layout.Hash.Size + img.Layout.Debug.Size
 		parseBytes += float64(symBytes)
@@ -220,6 +233,9 @@ func Attach(cfg Config) (Phases, error) {
 	out.Phase2 = nEvents * (p.LoadEvent + float64(p.Breakpoints)*p.ReinsertTime)
 	var reopen float64
 	for _, img := range w.Modules {
+		if err := api.Checkpoint(ctx); err != nil {
+			return out, fmt.Errorf("toolsim: phase 2: %w", err)
+		}
 		secs, _, err := cfg.FS.ReadBytes(0, img.Path, img.MappedSize(), nodes)
 		if err != nil {
 			return out, err

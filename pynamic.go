@@ -9,39 +9,48 @@
 // module, visits every generated function, and optionally runs a
 // pyMPI-style MPI test, timing each phase.
 //
-// This package is the public facade. It re-exports:
+// # Engine API (v1)
 //
-//   - the generator (Config, Generate, the paper's LLNLModel and
-//     RealAppModel configurations) — internal/pygen;
-//   - the driver and its build modes (Vanilla, Link, LinkBind) —
-//     internal/driver, a facade over a 1-rank job;
-//   - the per-rank job engine (N simulated ranks on their real
-//     placement nodes, per-rank distributions, heterogeneity knobs) —
-//     internal/job;
-//   - the tool-startup model and the §II.B.3 cost model —
-//     internal/toolsim;
-//   - the experiment harnesses that regenerate every table and figure
-//     in the paper — internal/experiments.
+// The package's entry point is the long-lived Engine: construct one
+// with New (functional options configure the seed policy, memory
+// backend, cluster shape, workload-cache size, and event streaming),
+// then drive it with context-aware methods:
+//
+//	eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(16))
+//	if err != nil { ... }
+//	w, err := eng.GenerateCtx(ctx, pynamic.LLNLModel().Scaled(20))
+//	if err != nil { ... }
+//	res, err := eng.RunJobCtx(ctx, pynamic.JobConfig{
+//		Mode:     pynamic.Vanilla,
+//		Workload: w,
+//		NTasks:   32,
+//	})
+//
+// One Engine amortizes setup across runs: its content-hash-keyed
+// workload cache makes repeated runs over the same Config skip
+// regeneration, WithEvents streams deterministic progress events, and
+// every method honors context cancellation (returning ErrCanceled)
+// down through the job engine's rank workers and the experiment
+// runner's cell pool. Failures are structured *Error values usable
+// with errors.Is/As. cmd/pynamic-serve exposes a shared Engine over
+// HTTP (POST /v1/jobs, GET /v1/jobs/{id}, /v1/experiments,
+// /v1/scenarios).
+//
+// The package-level functions below (Generate, Run, RunJob, TableI,
+// ...) are the pre-Engine API, kept as thin wrappers over a
+// package-default Engine; they are deprecated but produce
+// byte-identical results (equivalence-tested) and will keep working.
 //
 // Everything is simulated: the dynamic linker, the caches, the NFS
 // filesystem, the MPI fabric and the debugger are deterministic models
 // of the paper's Zeus cluster, so results are reproducible bit-for-bit
 // from a seed. See DESIGN.md for the substitution table and
 // EXPERIMENTS.md for measured-vs-paper numbers.
-//
-// Quick start:
-//
-//	w, err := pynamic.Generate(pynamic.LLNLModel().Scaled(20))
-//	if err != nil { ... }
-//	m, err := pynamic.Run(pynamic.RunConfig{
-//		Mode:     pynamic.Vanilla,
-//		Workload: w,
-//		NTasks:   32,
-//	})
-//	fmt.Printf("import took %.1fs (simulated)\n", m.ImportSec)
 package pynamic
 
 import (
+	"context"
+
 	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/job"
@@ -58,11 +67,18 @@ type Config = pygen.Config
 type SizeModel = pygen.SizeModel
 
 // Workload is a generated benchmark: the pyMPI executable image plus
-// the module and utility DSOs.
+// the module and utility DSOs. Workloads are immutable once generated;
+// the Engine's workload cache shares them across runs.
 type Workload = pygen.Workload
 
 // Generate builds a workload from a configuration.
-func Generate(cfg Config) (*Workload, error) { return pygen.Generate(cfg) }
+//
+// Deprecated: use New and (*Engine).GenerateCtx, which add
+// cancellation and workload caching. This wrapper runs on the
+// package-default Engine and produces byte-identical results.
+func Generate(cfg Config) (*Workload, error) {
+	return Default().GenerateCtx(context.Background(), cfg)
+}
 
 // LLNLModel returns the paper's flagship configuration: 280 Python
 // modules + 215 utility libraries averaging 1850 functions each,
@@ -112,7 +128,13 @@ type Metrics = driver.Metrics
 // Run executes the Pynamic driver over a workload. It is a
 // compatibility facade over a 1-rank job (see RunJob): rank 0's
 // metrics in the legacy shape.
-func Run(cfg RunConfig) (*Metrics, error) { return driver.Run(cfg) }
+//
+// Deprecated: use New and (*Engine).RunCtx, which add cancellation,
+// event streaming and engine default policies. This wrapper runs on
+// the package-default Engine and produces byte-identical results.
+func Run(cfg RunConfig) (*Metrics, error) {
+	return Default().RunCtx(context.Background(), cfg)
+}
 
 // JobConfig configures a per-rank job-engine run: N simulated ranks on
 // their real placement nodes, with per-rank distributions and
@@ -126,9 +148,19 @@ type JobResult = job.Result
 // RankMetrics is one simulated rank's per-phase report.
 type RankMetrics = job.RankMetrics
 
+// RankDist summarizes a per-rank metric distribution
+// (min/mean/max/p99/std).
+type RankDist = job.Dist
+
 // RunJob executes the per-rank job engine over a workload. Results are
 // byte-identical for any Workers value and GOMAXPROCS.
-func RunJob(cfg JobConfig) (*JobResult, error) { return job.Run(cfg) }
+//
+// Deprecated: use New and (*Engine).RunJobCtx, which add cancellation,
+// event streaming and engine default policies. This wrapper runs on
+// the package-default Engine and produces byte-identical results.
+func RunJob(cfg JobConfig) (*JobResult, error) {
+	return Default().RunJobCtx(context.Background(), cfg)
+}
 
 // ToolCostModel is the §II.B.3 closed form M×N×(T1 + B×T2).
 type ToolCostModel = toolsim.CostModel
@@ -145,29 +177,44 @@ type ToolStartupPhases = toolsim.Phases
 
 // ToolAttach simulates one debugger startup; run it twice against the
 // same filesystem for the cold/warm pair.
+//
+// Deprecated: use New and (*Engine).ToolAttachCtx. This wrapper runs
+// on the package-default Engine and produces byte-identical results.
 func ToolAttach(cfg ToolStartupConfig) (ToolStartupPhases, error) {
-	return toolsim.Attach(cfg)
+	return Default().ToolAttachCtx(context.Background(), cfg)
 }
 
 // ExperimentOptions scales the experiment harnesses.
 type ExperimentOptions = experiments.Options
 
 // TableI reproduces Tables I and II (three build-mode driver runs).
-func TableI(opts ExperimentOptions) (*experiments.TableIResult, error) {
-	return experiments.RunTableI(opts)
+//
+// Deprecated: use New and (*Engine).TableICtx. This wrapper runs on
+// the package-default Engine and produces byte-identical results.
+func TableI(opts ExperimentOptions) (*TableIResult, error) {
+	return Default().TableICtx(context.Background(), opts)
 }
 
 // TableIII reproduces Table III (full-scale section-size accounting).
-func TableIII(seed uint64) (*experiments.TableIIIResult, error) {
-	return experiments.RunTableIII(seed)
+//
+// Deprecated: use New and (*Engine).TableIIICtx. This wrapper runs on
+// the package-default Engine and produces byte-identical results.
+func TableIII(seed uint64) (*TableIIIResult, error) {
+	return Default().TableIIICtx(context.Background(), seed)
 }
 
 // TableIV reproduces Table IV (tool startup, cold/warm, both models).
-func TableIV(opts ExperimentOptions) (*experiments.TableIVResult, error) {
-	return experiments.RunTableIV(opts)
+//
+// Deprecated: use New and (*Engine).TableIVCtx. This wrapper runs on
+// the package-default Engine and produces byte-identical results.
+func TableIV(opts ExperimentOptions) (*TableIVResult, error) {
+	return Default().TableIVCtx(context.Background(), opts)
 }
 
 // CostModel reproduces the §II.B.3 example.
-func CostModel() *experiments.CostModelResult {
-	return experiments.RunCostModel()
+//
+// Deprecated: use New and (*Engine).CostModel. This wrapper runs on
+// the package-default Engine and produces identical results.
+func CostModel() *CostModelResult {
+	return Default().CostModel()
 }
