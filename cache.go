@@ -2,8 +2,6 @@ package pynamic
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -11,11 +9,19 @@ import (
 	"repro/internal/api"
 )
 
+// workloadSchema labels the workload-cache keyspace within the shared
+// api.ContentHash function (the same function behind runner.CacheKey
+// and Spec.Hash).
+const workloadSchema = "pynamic-workload-v1"
+
 // workloadKey is the content hash of a generator configuration: the
-// SHA-256 of its canonical JSON (Config holds only value fields, so
-// encoding/json's declaration-order struct encoding is canonical).
-// MaxCallDepth is normalized first so the zero value and the explicit
-// default land on the same entry, exactly as pygen treats them.
+// shared content hash over its canonical JSON (Config holds only value
+// fields, so encoding/json's declaration-order struct encoding is
+// canonical). MaxCallDepth is normalized first so the zero value and
+// the explicit default land on the same entry, exactly as pygen treats
+// them. Spec hashing folds this same key in for its workload section,
+// which is why two specs that resolve to the same workload share both
+// a spec hash component and a workload-cache entry.
 func workloadKey(cfg Config) string {
 	if cfg.MaxCallDepth == 0 {
 		cfg.MaxCallDepth = 10
@@ -25,8 +31,7 @@ func workloadKey(cfg Config) string {
 		// Config is a plain value struct; this cannot happen.
 		panic(fmt.Sprintf("pynamic: workload config not hashable: %v", err))
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return api.ContentHash(workloadSchema, string(b))
 }
 
 // cacheEntry is one cached (possibly in-flight) generation. ready is

@@ -35,7 +35,6 @@ import (
 	"time"
 
 	pynamic "repro"
-	"repro/internal/report"
 	"repro/internal/runner"
 )
 
@@ -107,7 +106,7 @@ func main() {
 	}
 
 	for _, er := range res.Experiments {
-		fmt.Print(renderExperiment(er))
+		fmt.Print(runner.RenderExperiment(er))
 	}
 	fmt.Printf("ran %d cells (%d executed) in %.2fs with %d workers\n",
 		res.Cells(), res.ExecutedCells, res.Elapsed.Seconds(), res.WorkersUsed)
@@ -140,43 +139,6 @@ func expandPattern(infos []pynamic.ExperimentInfo, pattern string) ([]string, er
 		return nil, fmt.Errorf("pattern %q matches no registered experiment", pattern)
 	}
 	return out, nil
-}
-
-// renderExperiment formats one experiment's aggregates: sorted param
-// columns, then mean±std per sorted metric.
-func renderExperiment(er pynamic.ExperimentResult) string {
-	if len(er.Aggregates) == 0 {
-		return ""
-	}
-	pKeys, mKeys := runner.ColumnKeys(er.Aggregates)
-
-	t := &report.Table{
-		Title:  fmt.Sprintf("%s (repeats=%d, seed=%d)", er.Name, er.Repeats, er.Seed),
-		Header: append(append([]string{}, pKeys...), mKeys...),
-	}
-	for _, a := range er.Aggregates {
-		row := make([]string, 0, len(pKeys)+len(mKeys))
-		for _, k := range pKeys {
-			if v, ok := a.Params[k]; ok {
-				row = append(row, fmt.Sprintf("%v", v))
-			} else {
-				row = append(row, "-")
-			}
-		}
-		for _, m := range mKeys {
-			s, ok := a.Stats[m]
-			switch {
-			case !ok:
-				row = append(row, "-")
-			case a.Repeats > 1:
-				row = append(row, fmt.Sprintf("%.3f±%.3f", s.Mean, s.Std))
-			default:
-				row = append(row, fmt.Sprintf("%.3f", s.Mean))
-			}
-		}
-		t.AddRow(row...)
-	}
-	return t.Render()
 }
 
 // newRunDir creates a fresh stamped directory under out, suffixing

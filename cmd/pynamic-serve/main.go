@@ -9,8 +9,13 @@
 //	     -d '{"mode":"link","tasks":16,"ranks":2,"scale":40,"funcs_div":10,"seed":42}'
 //	curl localhost:8080/v1/jobs/j0001           # poll status → result
 //	curl localhost:8080/v1/jobs/j0001/result    # canonical result JSON
+//	curl -X POST localhost:8080/v1/specs \
+//	     -d '{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm",
+//	          "knobs":{"scale_div":80}}}'       # declarative spec; id = canonical hash
+//	curl localhost:8080/v1/specs/<hash>         # status incl. resolved knobs
+//	curl localhost:8080/v1/specs/<hash>/result  # inner canonical result JSON
 //	curl localhost:8080/v1/experiments
-//	curl localhost:8080/v1/scenarios
+//	curl localhost:8080/v1/scenarios            # typed knob catalog
 //
 // SIGINT/SIGTERM shut the server down gracefully, canceling in-flight
 // jobs through their contexts.

@@ -4,19 +4,25 @@
 //
 //	pynamic-tool -workload pynamic -tasks 32     # cold + warm attach
 //	pynamic-tool -cost -libs 500 -tasks 500 -t1 10ms -bp 10 -t2 1ms
+//
+// The attach path is a declarative kind="tool" Spec on the v1 Engine
+// API (print it with -dump-spec; the document runs identically through
+// `pynamic -spec` or POST /v1/specs), so Ctrl-C cancels the simulation
+// cleanly (exit status 130).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/fsim"
-	"repro/internal/pygen"
+	pynamic "repro"
 	"repro/internal/simtime"
-	"repro/internal/toolsim"
 )
 
 func main() {
@@ -25,6 +31,7 @@ func main() {
 		tasks    = flag.Int("tasks", 32, "MPI tasks to attach to")
 		scale    = flag.Int("scale", 1, "divide DSO counts by this factor")
 		hetero   = flag.Bool("heterogeneous", false, "address-randomized job (no parse sharing)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the attach as a spec document and exit")
 
 		cost = flag.Bool("cost", false, "evaluate the II.B.3 cost model instead")
 		libs = flag.Int("libs", 500, "cost model: libraries (M)")
@@ -35,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	if *cost {
-		m := toolsim.CostModel{
+		m := pynamic.ToolCostModel{
 			Libraries:    *libs,
 			Tasks:        *tasks,
 			EventTime:    t1.Seconds(),
@@ -51,53 +58,58 @@ func main() {
 		return
 	}
 
-	var cfg pygen.Config
+	var profile string
 	switch *workload {
 	case "pynamic":
-		cfg = pygen.LLNLModel()
+		profile = "llnl"
 	case "realapp":
-		cfg = pygen.RealAppModel()
+		profile = "realapp"
 	default:
 		fmt.Fprintf(os.Stderr, "pynamic-tool: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	if *scale > 1 {
-		cfg = cfg.Scaled(*scale)
+	spec := pynamic.Spec{
+		Version:  pynamic.SpecVersion,
+		Kind:     pynamic.SpecTool,
+		Name:     "tool-" + *workload,
+		Workload: &pynamic.WorkloadSpec{Profile: profile, ScaleDiv: *scale},
+		Topology: &pynamic.TopologySpec{Tasks: *tasks, HeteroLinkMaps: *hetero},
 	}
-	fmt.Printf("generating %s model (%d DSOs)...\n", *workload, cfg.NumModules+cfg.NumUtils)
-	w, err := pygen.Generate(cfg)
+	if *dumpSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng, err := pynamic.New()
 	if err != nil {
 		fatal(err)
 	}
-	place, err := cluster.Place(cluster.Zeus(), *tasks)
+	exp, err := eng.ExpandSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("generating %s model (%d DSOs)...\n",
+		*workload, exp.Gen.NumModules+exp.Gen.NumUtils)
+	res, err := eng.RunSpecCtx(ctx, spec)
 	if err != nil {
 		fatal(err)
 	}
-	fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
-	if err != nil {
-		fatal(err)
-	}
-	tc := toolsim.Config{
-		Workload: w, Tasks: *tasks, FS: fs,
-		HeterogeneousLinkMaps: *hetero,
-	}
-	cold, err := toolsim.Attach(tc)
-	if err != nil {
-		fatal(err)
-	}
-	warm, err := toolsim.Attach(tc)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("tool startup at %d tasks (%d nodes):\n", *tasks, place.NodesUsed())
-	fmt.Printf("  cold: 1st phase %s, 2nd phase %s, total %s\n",
-		simtime.MinSec(cold.Phase1), simtime.MinSec(cold.Phase2), simtime.MinSec(cold.Total()))
-	fmt.Printf("  warm: 1st phase %s, 2nd phase %s, total %s\n",
-		simtime.MinSec(warm.Phase1), simtime.MinSec(warm.Phase2), simtime.MinSec(warm.Total()))
-	fmt.Printf("  cold/warm: %.2fx\n", cold.Total()/warm.Total())
+	fmt.Print(res.Tool.Render())
 }
 
 func fatal(err error) {
+	if errors.Is(err, pynamic.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "pynamic-tool: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "pynamic-tool:", err)
 	os.Exit(1)
 }

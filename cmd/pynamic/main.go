@@ -16,6 +16,18 @@
 //	pynamic -scale 20 -tasks 64 -ranks 0 -placement round-robin \
 //	        -rank-skew 0.3 -straggler-frac 0.25
 //
+// Every invocation is internally a declarative run Spec (the v1 Spec
+// API), which makes any run reproducible as a document:
+//
+//	pynamic -scale 20 -tasks 64 -dump-spec > run.json   # flags → spec
+//	pynamic -spec run.json                              # identical run
+//	pynamic -spec run.json -dry-run                     # validate + hash
+//
+// -spec accepts any spec kind — run, job, matrix, scenario (with
+// overridden knobs), tool — and "-" reads the spec from stdin. The
+// canonical hash printed by -dry-run is the same key the Engine's
+// caches and the pynamic-serve /v1/specs endpoint use.
+//
 // -rank-json writes the full per-rank result as JSON; at a fixed seed
 // the bytes are identical for any -rank-workers value (the CI
 // determinism smoke relies on this).
@@ -36,7 +48,7 @@ import (
 
 	pynamic "repro"
 	"repro/internal/report"
-	"repro/internal/scenario"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 )
 
@@ -46,7 +58,7 @@ func main() {
 		avgFuncs  = flag.Int("avg-funcs", 1850, "average functions per module")
 		utils     = flag.Int("utils", 215, "number of utility libraries")
 		avgUFuncs = flag.Int("avg-ufuncs", 1850, "average functions per utility library")
-		seed      = flag.Uint64("seed", 42, "generator seed (reproducible results)")
+		seed      = flag.Uint64("seed", 42, "generator seed (0 = the workload model's default seed)")
 		depth     = flag.Int("depth", 10, "maximum call-chain depth")
 		cross     = flag.Bool("cross-module", true, "enable cross-module dependencies")
 		coverage  = flag.Float64("coverage", 1.0, "fraction of entry chains visited")
@@ -60,6 +72,10 @@ func main() {
 		scenarios = flag.Bool("scenarios", false, "list the scenario catalog and exit")
 		events    = flag.Bool("events", false, "stream engine progress events to stderr")
 
+		specFile = flag.String("spec", "", "run this spec document instead of the flag configuration ('-' = stdin)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the invocation as a spec document and exit")
+		dryRun   = flag.Bool("dry-run", false, "validate and resolve the spec, print kind and canonical hash, and exit")
+
 		ranks       = flag.Int("ranks", 1, "simulated ranks: 1 = legacy rank-0 extrapolation, 0 = every task, N = first N tasks")
 		placement   = flag.String("placement", "block", "task placement policy: block or round-robin")
 		rankSkew    = flag.Float64("rank-skew", 0, "max fractional per-rank CPU slowdown (seeded)")
@@ -72,18 +88,78 @@ func main() {
 	flag.Parse()
 
 	if *scenarios {
-		fmt.Println("scenario catalog (run with: pynamic-runner -experiments <name>):")
-		for _, s := range scenario.Catalog() {
-			fmt.Printf("  %-26s %s (%d grid points)\n",
-				scenario.Prefix+s.Name, s.Description, len(s.Knobs()))
+		fmt.Println("scenario catalog (run with: pynamic-runner -experiments <name>, or a kind=scenario spec):")
+		for _, s := range pynamic.Scenarios() {
+			fmt.Printf("  %-26s %s (%d grid points)\n", s.Experiment, s.Description, s.GridPoints)
 		}
 		return
 	}
 
-	bm, err := pynamic.ParseBuildMode(*mode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pynamic:", err)
-		os.Exit(2)
+	var spec pynamic.Spec
+	if *specFile != "" {
+		var err error
+		if spec, err = loadSpec(*specFile); err != nil {
+			fmt.Fprintln(os.Stderr, "pynamic:", err)
+			os.Exit(2)
+		}
+	} else {
+		// The flag configuration IS a spec: build it once and run the
+		// document, so `pynamic <flags> -dump-spec | pynamic -spec -`
+		// reproduces the flag-driven run bit for bit.
+		if *seed == 0 {
+			// Spec semantics (repo-wide): seed 0 is the "model default"
+			// sentinel, not a literal zero seed. Surface the resolution
+			// for anyone reproducing an old literal-seed-0 run.
+			fmt.Fprintln(os.Stderr, "pynamic: -seed 0 selects the workload model's default seed")
+		}
+		utilsVal, crossVal := *utils, *cross
+		top := pynamic.TopologySpec{
+			Tasks:     *tasks,
+			Placement: *placement,
+			MPITest:   *mpiTest,
+			Coverage:  *coverage,
+			ASLR:      *aslr,
+		}
+		kind := pynamic.SpecRun
+		if *ranks != 1 || *placement != "block" || *rankSkew > 0 ||
+			*stragglers > 0 || *warmNodes > 0 || *rankJSON != "" {
+			kind = pynamic.SpecJob
+			top.Ranks = *ranks
+			top.RankSkew = *rankSkew
+			top.StragglerFrac = *stragglers
+			top.StragglerIOScale = *stragglerIO
+			top.WarmNodeFrac = *warmNodes
+		}
+		build := pynamic.BuildSpec{Mode: *mode}
+		if *detailed {
+			build.Backend = "detailed"
+		}
+		spec = pynamic.Spec{
+			Version: pynamic.SpecVersion,
+			Kind:    kind,
+			Seed:    *seed,
+			Workers: *rankWorkers,
+			Workload: &pynamic.WorkloadSpec{
+				Modules:      *modules,
+				AvgFuncs:     *avgFuncs,
+				Utils:        &utilsVal,
+				AvgUtilFuncs: *avgUFuncs,
+				ScaleDiv:     *scale,
+				Depth:        *depth,
+				CrossModule:  &crossVal,
+			},
+			Build:    &build,
+			Topology: &top,
+		}
+	}
+
+	if *dumpSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -101,18 +177,71 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := pynamic.LLNLModel()
-	cfg.NumModules = *modules
-	cfg.AvgFuncsPerModule = *avgFuncs
-	cfg.NumUtils = *utils
-	cfg.AvgFuncsPerUtil = *avgUFuncs
-	cfg.Seed = *seed
-	cfg.MaxCallDepth = *depth
-	cfg.CrossModuleCalls = *cross
-	if *scale > 1 {
-		cfg = cfg.Scaled(*scale)
+	exp, err := eng.ExpandSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // *pynamic.Error already carries the prefix
+		os.Exit(2)
+	}
+	if *dryRun {
+		fmt.Printf("spec ok: kind=%s hash=%s\n", exp.Kind, exp.Hash)
+		return
 	}
 
+	switch exp.Kind {
+	case pynamic.SpecRun, pynamic.SpecJob:
+		w := generate(ctx, eng, *exp.Gen, *manifest)
+		if exp.Kind == pynamic.SpecRun {
+			runDriver(ctx, eng, exp, w)
+		} else {
+			jc := *exp.Job
+			jc.Workload = w
+			runJob(ctx, eng, jc, *rankJSON)
+		}
+	case pynamic.SpecTool:
+		res, err := eng.RunSpecCtx(ctx, spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Tool.Render())
+	case pynamic.SpecScenario:
+		res, err := eng.RunSpecCtx(ctx, spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(runner.RenderExperiment(*res.Experiment))
+	case pynamic.SpecMatrix:
+		res, err := eng.RunSpecCtx(ctx, spec)
+		if err != nil {
+			// A canceled matrix still reports its completed cells.
+			if res == nil || !errors.Is(err, pynamic.ErrCanceled) {
+				fatal(err)
+			}
+		}
+		for _, er := range res.Matrix.Experiments {
+			fmt.Print(runner.RenderExperiment(er))
+		}
+		if res.Matrix.Canceled {
+			fmt.Println("matrix canceled: results cover completed cells only")
+			os.Exit(130)
+		}
+	}
+}
+
+// loadSpec reads a spec document from path ("-" = stdin), strictly.
+func loadSpec(path string) (pynamic.Spec, error) {
+	if path == "-" {
+		return pynamic.ReadSpec(os.Stdin)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return pynamic.Spec{}, err
+	}
+	return pynamic.ParseSpec(data)
+}
+
+// generate materializes the spec's workload (through the engine's
+// workload cache) and prints its footprint.
+func generate(ctx context.Context, eng *pynamic.Engine, cfg pynamic.Config, manifest string) *pynamic.Workload {
 	fmt.Printf("generating %d modules + %d utility libraries (avg %d functions, seed %d)...\n",
 		cfg.NumModules, cfg.NumUtils, cfg.AvgFuncsPerModule, cfg.Seed)
 	w, err := eng.GenerateCtx(ctx, cfg)
@@ -122,8 +251,8 @@ func main() {
 	s := w.Sizes()
 	fmt.Printf("  %d DSOs, %d functions, %.0f MB total (text %.0f, debug %.0f, strtab %.0f)\n",
 		len(w.AllImages()), w.TotalFuncs(), mb(s.Total()), mb(s.Text), mb(s.Debug), mb(s.StrTab))
-	if *manifest != "" {
-		f, err := os.Create(*manifest)
+	if manifest != "" {
+		f, err := os.Create(manifest)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,54 +262,18 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("  manifest written to %s\n", *manifest)
+		fmt.Printf("  manifest written to %s\n", manifest)
 	}
+	return w
+}
 
-	backend := pynamic.Analytic
-	if *detailed {
-		backend = pynamic.Detailed
-	}
-	policy, err := pynamic.ParsePlacement(*placement)
-	if err != nil {
-		fatal(err)
-	}
-
-	// Any multi-rank or heterogeneity request goes through the per-rank
-	// job engine; the plain single-rank case keeps the legacy driver
-	// facade and output.
-	if *ranks != 1 || policy != pynamic.PlacementBlock || *rankSkew > 0 ||
-		*stragglers > 0 || *warmNodes > 0 || *rankJSON != "" {
-		runJob(ctx, eng, pynamic.JobConfig{
-			Mode:             bm,
-			Backend:          backend,
-			Workload:         w,
-			NTasks:           *tasks,
-			Ranks:            *ranks,
-			Placement:        policy,
-			RunMPITest:       *mpiTest,
-			Coverage:         *coverage,
-			ASLR:             *aslr,
-			RankSkew:         *rankSkew,
-			StragglerFrac:    *stragglers,
-			StragglerIOScale: *stragglerIO,
-			WarmNodeFrac:     *warmNodes,
-			Workers:          *rankWorkers,
-			Seed:             cfg.Seed,
-		}, *mpiTest, *rankJSON)
-		return
-	}
-
-	fmt.Printf("running driver: %s build, %d tasks...\n", bm, *tasks)
-	m, err := eng.RunCtx(ctx, pynamic.RunConfig{
-		Mode:       bm,
-		Backend:    backend,
-		Workload:   w,
-		NTasks:     *tasks,
-		RunMPITest: *mpiTest,
-		Coverage:   *coverage,
-		ASLR:       *aslr,
-		Seed:       cfg.Seed,
-	})
+// runDriver executes the single-rank driver path and prints the
+// legacy report.
+func runDriver(ctx context.Context, eng *pynamic.Engine, exp *pynamic.SpecExpansion, w *pynamic.Workload) {
+	rc := *exp.Run
+	rc.Workload = w
+	fmt.Printf("running driver: %s build, %d tasks...\n", rc.Mode, rc.NTasks)
+	m, err := eng.RunCtx(ctx, rc)
 	if err != nil {
 		fatal(err)
 	}
@@ -189,7 +282,7 @@ func main() {
 	fmt.Printf("  startup  %10s\n", simtime.Seconds(m.StartupSec))
 	fmt.Printf("  import   %10s   (%d modules)\n", simtime.Seconds(m.ImportSec), m.ModulesImported)
 	fmt.Printf("  visit    %10s   (%d function calls)\n", simtime.Seconds(m.VisitSec), m.FuncsVisited)
-	if *mpiTest {
+	if rc.RunMPITest {
 		fmt.Printf("  mpi test %10.4f\n", m.MPISec)
 	}
 	fmt.Printf("  total    %10s\n", simtime.Seconds(m.TotalSec()))
@@ -207,7 +300,7 @@ func main() {
 
 // runJob executes the per-rank job engine and prints the per-rank
 // distribution table.
-func runJob(ctx context.Context, eng *pynamic.Engine, cfg pynamic.JobConfig, mpiTest bool, rankJSON string) {
+func runJob(ctx context.Context, eng *pynamic.Engine, cfg pynamic.JobConfig, rankJSON string) {
 	nRanks := cfg.Ranks
 	if nRanks == 0 {
 		nRanks = cfg.NTasks
@@ -240,7 +333,7 @@ func runJob(ctx context.Context, eng *pynamic.Engine, cfg pynamic.JobConfig, mpi
 		t.AddNote("warm nodes: %v", res.WarmNodes)
 	}
 	fmt.Print(t.Render())
-	if mpiTest {
+	if cfg.RunMPITest {
 		fmt.Printf("  mpi test %.4fs\n", res.MPISec)
 	}
 

@@ -75,3 +75,36 @@ func ExampleEngine_RunJobCtx() {
 	// simulated 8 ranks on 1 node(s)
 	// job phases gated by slowest rank: true
 }
+
+// ExampleEngine_RunSpecCtx drives the engine declaratively: compose a
+// spec from a named profile, and let the document's kind pick the
+// execution path. The same document can be written to JSON
+// (-dump-spec), POSTed to pynamic-serve, or hashed for cache keys.
+func ExampleEngine_RunSpecCtx() {
+	eng, err := pynamic.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := pynamic.MustProfile("llnl").With(pynamic.Spec{
+		Kind: pynamic.SpecJob,
+		Topology: &pynamic.TopologySpec{
+			Tasks: 8,
+			Ranks: 8,
+		},
+		Workload: &pynamic.WorkloadSpec{ScaleDiv: 50, FuncsDiv: 10},
+	})
+	res, err := eng.RunSpecCtx(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kind %s ran %d ranks\n", res.Kind, len(res.Job.Ranks))
+	fmt.Printf("result carries the canonical hash: %v\n", res.Hash == hash)
+	// Output:
+	// kind job ran 8 ranks
+	// result carries the canonical hash: true
+}

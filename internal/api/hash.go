@@ -1,0 +1,30 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ContentHash is the one content-hash function every cache key and
+// spec identity in the system derives from: the hex SHA-256 of the
+// parts joined by NUL separators (no part may be ambiguous against a
+// neighbour because the separator cannot appear inside canonical JSON
+// or the schema labels used as parts).
+//
+// Users: the Engine's workload cache (workload configuration →
+// generated workload), the runner's result cache (experiment +
+// canonical grid point + seed → cell metrics), and Spec.Hash (the
+// canonical run-specification identity). Sharing the function — and
+// feeding it the same canonical encodings — is what makes a
+// spec-driven run hit the same cache entries as the equivalent typed
+// Engine call.
+func ContentHash(parts ...string) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -99,16 +99,29 @@ func RunSweepDLLCount(counts []int, mode driver.BuildMode) (*SweepResult, error)
 
 // RunSweepDLLCountOpts is RunSweepDLLCount with explicit pool knobs.
 func RunSweepDLLCountOpts(counts []int, mode driver.BuildMode, o MatrixOpts) (*SweepResult, error) {
-	aggs, err := runGrid("dllcount", dllCountGrid(counts, []string{ModeKey(mode)}), o)
+	aggs, err := runGrid("dllcount", DLLCountGrid(counts, mode), o)
 	if err != nil {
 		return nil, err
 	}
+	return SweepDLLCountResult(mode, aggs), nil
+}
+
+// DLLCountGrid returns the S1 grid over the given DSO counts (nil =
+// the registry defaults) for one build mode. Exported so spec-driven
+// callers (cmd/pynamic-sweep) build the same grids the legacy entry
+// points ran.
+func DLLCountGrid(counts []int, mode driver.BuildMode) []runner.Params {
+	return dllCountGrid(counts, []string{ModeKey(mode)})
+}
+
+// SweepDLLCountResult shapes dllcount aggregates into the S1 result.
+func SweepDLLCountResult(mode driver.BuildMode, aggs []runner.Aggregate) *SweepResult {
 	return &SweepResult{
 		Name:   "S1: scaling vs number of DLLs (" + mode.String() + " build)",
 		XLabel: "DSOs",
 		Mode:   mode,
 		Points: sweepPoints(aggs, "dsos"),
-	}, nil
+	}
 }
 
 // RunSweepDLLSize is S2 (§V future work): scaling "with respect to ...
@@ -119,16 +132,27 @@ func RunSweepDLLSize(funcCounts []int, mode driver.BuildMode) (*SweepResult, err
 
 // RunSweepDLLSizeOpts is RunSweepDLLSize with explicit pool knobs.
 func RunSweepDLLSizeOpts(funcCounts []int, mode driver.BuildMode, o MatrixOpts) (*SweepResult, error) {
-	aggs, err := runGrid("dllsize", dllSizeGrid(funcCounts, []string{ModeKey(mode)}), o)
+	aggs, err := runGrid("dllsize", DLLSizeGrid(funcCounts, mode), o)
 	if err != nil {
 		return nil, err
 	}
+	return SweepDLLSizeResult(mode, aggs), nil
+}
+
+// DLLSizeGrid returns the S2 grid over the given per-DSO function
+// counts (nil = the registry defaults) for one build mode.
+func DLLSizeGrid(funcCounts []int, mode driver.BuildMode) []runner.Params {
+	return dllSizeGrid(funcCounts, []string{ModeKey(mode)})
+}
+
+// SweepDLLSizeResult shapes dllsize aggregates into the S2 result.
+func SweepDLLSizeResult(mode driver.BuildMode, aggs []runner.Aggregate) *SweepResult {
 	return &SweepResult{
 		Name:   "S2: scaling vs DLL size (" + mode.String() + " build)",
 		XLabel: "functions per DSO",
 		Mode:   mode,
 		Points: sweepPoints(aggs, "funcs"),
-	}, nil
+	}
 }
 
 // NFSPoint is one node count in the S3 study.
@@ -154,10 +178,22 @@ func RunSweepNFS(nodeCounts []int, scaleDiv int) (*NFSSweepResult, error) {
 
 // RunSweepNFSOpts is RunSweepNFS with explicit pool knobs.
 func RunSweepNFSOpts(nodeCounts []int, scaleDiv int, o MatrixOpts) (*NFSSweepResult, error) {
-	aggs, err := runGrid("nfs", nfsGrid(nodeCounts, scaleDiv), o)
+	aggs, err := runGrid("nfs", NFSGrid(nodeCounts, scaleDiv), o)
 	if err != nil {
 		return nil, err
 	}
+	return NFSSweepResultFrom(aggs), nil
+}
+
+// NFSGrid returns the S3 grid over the given node counts (nil = the
+// registry defaults) at the given workload scale divisor (<1 = the
+// default).
+func NFSGrid(nodeCounts []int, scaleDiv int) []runner.Params {
+	return nfsGrid(nodeCounts, scaleDiv)
+}
+
+// NFSSweepResultFrom shapes nfs aggregates into the S3 result.
+func NFSSweepResultFrom(aggs []runner.Aggregate) *NFSSweepResult {
 	res := &NFSSweepResult{}
 	for _, a := range aggs {
 		res.Points = append(res.Points, NFSPoint{
@@ -166,7 +202,7 @@ func RunSweepNFSOpts(nodeCounts []int, scaleDiv int, o MatrixOpts) (*NFSSweepRes
 			CollectiveSecs:  a.Stats["collective_sec"].Mean,
 		})
 	}
-	return res, nil
+	return res
 }
 
 // Render formats the NFS sweep.
@@ -254,10 +290,22 @@ func RunAblationCoverage(fractions []float64, scaleDiv int) ([]CoveragePoint, er
 // RunAblationCoverageOpts is RunAblationCoverage with explicit pool
 // knobs.
 func RunAblationCoverageOpts(fractions []float64, scaleDiv int, o MatrixOpts) ([]CoveragePoint, error) {
-	aggs, err := runGrid("ablate-coverage", coverageGrid(fractions, scaleDiv), o)
+	aggs, err := runGrid("ablate-coverage", CoverageGrid(fractions, scaleDiv), o)
 	if err != nil {
 		return nil, err
 	}
+	return CoveragePointsFrom(aggs), nil
+}
+
+// CoverageGrid returns the A2 grid over the given coverage fractions
+// (nil = the registry defaults) at the given workload scale divisor
+// (<1 = the default).
+func CoverageGrid(fractions []float64, scaleDiv int) []runner.Params {
+	return coverageGrid(fractions, scaleDiv)
+}
+
+// CoveragePointsFrom shapes ablate-coverage aggregates into A2 points.
+func CoveragePointsFrom(aggs []runner.Aggregate) []CoveragePoint {
 	var out []CoveragePoint
 	for _, a := range aggs {
 		out = append(out, CoveragePoint{
@@ -266,7 +314,7 @@ func RunAblationCoverageOpts(fractions []float64, scaleDiv int, o MatrixOpts) ([
 			FuncsVisited: uint64(math.Round(a.Stats["funcs_visited"].Mean)),
 		})
 	}
-	return out, nil
+	return out
 }
 
 // AblationASLRResult is A3: homogeneous vs heterogeneous link maps.

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"repro/internal/report"
 )
 
 // Manifest is the run-level metadata written alongside the per-
@@ -186,3 +188,42 @@ func formatParam(v any) string {
 }
 
 func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// RenderExperiment formats one experiment's aggregates as a console
+// table: sorted param columns, then mean±std per sorted metric. It is
+// the one rendering of aggregate results the CLIs share
+// (cmd/pynamic-runner and cmd/pynamic's spec paths), so their output
+// cannot drift apart.
+func RenderExperiment(er ExperimentResult) string {
+	if len(er.Aggregates) == 0 {
+		return ""
+	}
+	pKeys, mKeys := ColumnKeys(er.Aggregates)
+	t := &report.Table{
+		Title:  fmt.Sprintf("%s (repeats=%d, seed=%d)", er.Name, er.Repeats, er.Seed),
+		Header: append(append([]string{}, pKeys...), mKeys...),
+	}
+	for _, a := range er.Aggregates {
+		row := make([]string, 0, len(pKeys)+len(mKeys))
+		for _, k := range pKeys {
+			if v, ok := a.Params[k]; ok {
+				row = append(row, fmt.Sprintf("%v", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		for _, m := range mKeys {
+			s, ok := a.Stats[m]
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case a.Repeats > 1:
+				row = append(row, fmt.Sprintf("%.3f±%.3f", s.Mean, s.Std))
+			default:
+				row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

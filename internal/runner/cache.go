@@ -1,14 +1,14 @@
 package runner
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
+
+	"repro/internal/api"
 )
 
 // Cache stores cell results keyed by content: experiment name +
@@ -26,20 +26,15 @@ const cacheSchema = "pynamic-cache-v1"
 
 // CacheKey builds the content key for one cell from the experiment
 // name, the canonicalized grid point, and the derived seed (plus the
-// schema version). Changing any of those reaches a fresh entry; the
-// key cannot see changes to the simulator code or model constants
+// schema version), through the system-wide api.ContentHash — the same
+// function the Engine's workload cache and Spec.Hash use, so a
+// spec-driven matrix reaches exactly the entries a typed RunMatrixCtx
+// call wrote. Changing any component reaches a fresh entry; the key
+// cannot see changes to the simulator code or model constants
 // themselves, so clear the cache directory (`make clean`) after code
 // changes that alter results.
 func CacheKey(experiment, canonical string, seed uint64) string {
-	h := sha256.New()
-	h.Write([]byte(cacheSchema))
-	h.Write([]byte{0})
-	h.Write([]byte(experiment))
-	h.Write([]byte{0})
-	h.Write([]byte(canonical))
-	h.Write([]byte{0})
-	h.Write([]byte(strconv.FormatUint(seed, 10)))
-	return hex.EncodeToString(h.Sum(nil))
+	return api.ContentHash(cacheSchema, experiment, canonical, strconv.FormatUint(seed, 10))
 }
 
 // MemCache is an in-memory cache.

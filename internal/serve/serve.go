@@ -11,9 +11,20 @@
 //	GET    /v1/jobs/{id}/result  canonical result JSON only (golden-diff
 //	                             friendly: stable bytes for a fixed request)
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	POST   /v1/specs         submit a declarative run Spec (any kind:
+//	                         run, job, matrix, scenario incl. overridden
+//	                         knobs, tool); the job key is the spec's
+//	                         canonical content hash, so resubmitting an
+//	                         identical spec joins the existing job
+//	GET    /v1/specs         list submitted specs (summaries)
+//	GET    /v1/specs/{hash}  spec status: resolved knobs, result once done
+//	GET    /v1/specs/{hash}/result  the inner canonical result JSON —
+//	                         byte-identical to the equivalent typed
+//	                         submission (e.g. /v1/jobs for kind "job")
+//	DELETE /v1/specs/{hash}  cancel a queued or running spec
 //	GET    /v1/experiments   the experiment registry (sweeps, ablations,
 //	                         scenario catalog)
-//	GET    /v1/scenarios     the scenario catalog with knob grids
+//	GET    /v1/scenarios     the scenario catalog with typed knobs
 //	GET    /healthz          liveness probe
 //
 // Jobs run asynchronously: submission returns 202 with an id, and the
@@ -27,12 +38,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 
 	pynamic "repro"
-	"repro/internal/scenario"
 )
 
 // Job status values.
@@ -85,22 +96,63 @@ type JobStatus struct {
 	Result  *pynamic.JobResult `json:"result,omitempty"`
 }
 
-// record is one submitted job's server-side state.
+// SpecStatus is the GET /v1/specs/{hash} body. Knobs carries the
+// resolved knob set a scenario spec actually ran — the default grid,
+// or the single point the spec's overrides produced — closing the gap
+// where /v1/scenarios advertised knob grids the service could not run
+// with non-default values.
+type SpecStatus struct {
+	// ID is the spec's canonical content hash (the job key).
+	ID     string       `json:"id"`
+	Status string       `json:"status"`
+	Kind   string       `json:"kind"`
+	Spec   pynamic.Spec `json:"spec"`
+	// Knobs is the resolved scenario grid (scenario kind only).
+	Knobs  []pynamic.Params    `json:"knobs,omitempty"`
+	Error  string              `json:"error,omitempty"`
+	Result *pynamic.SpecResult `json:"result,omitempty"`
+}
+
+// record is one submitted job's or spec's server-side state. Exactly
+// one of req/spec semantics applies, selected by isSpec; both kinds
+// share the queue, the history cap, and the cancel path.
 type record struct {
 	id     string
+	isSpec bool
 	req    JobRequest
+	spec   pynamic.Spec
+	kind   string
+	knobs  []pynamic.Params
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	status string
-	err    string
-	result *pynamic.JobResult
+	mu         sync.Mutex
+	status     string
+	err        string
+	result     *pynamic.JobResult
+	specResult *pynamic.SpecResult
 }
 
 func (r *record) snapshot() JobStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return JobStatus{ID: r.id, Status: r.status, Request: r.req, Error: r.err, Result: r.result}
+}
+
+func (r *record) specSnapshot() SpecStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SpecStatus{
+		ID: r.id, Status: r.status, Kind: r.kind, Spec: r.spec,
+		Knobs: r.knobs, Error: r.err, Result: r.specResult,
+	}
+}
+
+// statusOf returns the record's current status without building a full
+// snapshot.
+func (r *record) statusOf() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
 }
 
 // Options configures a Server.
@@ -160,6 +212,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/specs", s.handleSpecs)
+	mux.HandleFunc("/v1/specs/", s.handleSpec)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	return mux
@@ -170,9 +224,151 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.submit(w, r)
 	case http.MethodGet:
-		s.list(w)
+		s.list(w, false)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submitSpec(w, r)
+	case http.MethodGet:
+		s.list(w, true)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+// submitSpec validates and resolves a declarative Spec, registers it
+// under its canonical hash, and launches its worker. Submitting a spec
+// whose hash matches a live record joins that record instead of
+// duplicating the work — the hash IS the job key, exactly like the
+// engine's content-keyed caches. A failed or canceled record is
+// replaced so a retry can succeed.
+func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := pynamic.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	exp, err := s.eng.ExpandSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.base)
+	s.mu.Lock()
+	if prev, ok := s.jobs[exp.Hash]; ok {
+		st := prev.statusOf()
+		if st != StatusFailed && st != StatusCanceled {
+			s.mu.Unlock()
+			cancel()
+			writeJSON(w, http.StatusOK, map[string]string{
+				"id": exp.Hash, "status": st, "dedup": "true",
+			})
+			return
+		}
+		// Replace the dead record: drop its order entry so the id is
+		// not listed twice.
+		delete(s.jobs, exp.Hash)
+		s.removeOrderLocked(exp.Hash)
+	}
+	rec := &record{
+		id:     exp.Hash,
+		isSpec: true,
+		spec:   spec,
+		kind:   exp.Kind,
+		knobs:  exp.Grid,
+		cancel: cancel,
+		status: StatusQueued,
+	}
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+	s.mu.Unlock()
+
+	go s.runSpec(ctx, rec)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
+}
+
+// removeOrderLocked drops id from the submission order (caller holds
+// s.mu).
+func (s *Server) removeOrderLocked(id string) {
+	for i, have := range s.order {
+		if have == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// runSpec is the per-spec worker: semaphore slot, RunSpecCtx, outcome.
+func (s *Server) runSpec(ctx context.Context, rec *record) {
+	defer rec.cancel()
+	finish := func(status, errMsg string, res *pynamic.SpecResult) {
+		rec.mu.Lock()
+		rec.status, rec.err, rec.specResult = status, errMsg, res
+		rec.mu.Unlock()
+		s.pruneHistory()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		finish(StatusCanceled, "canceled while queued", nil)
+		return
+	}
+	rec.mu.Lock()
+	rec.status = StatusRunning
+	rec.mu.Unlock()
+
+	res, err := s.eng.RunSpecCtx(ctx, rec.spec)
+	switch {
+	case errors.Is(err, pynamic.ErrCanceled):
+		finish(StatusCanceled, err.Error(), nil)
+	case err != nil:
+		finish(StatusFailed, err.Error(), nil)
+	default:
+		finish(StatusDone, "", res)
+	}
+}
+
+// handleSpec serves /v1/specs/{hash} and /v1/specs/{hash}/result.
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/specs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil || !rec.isSpec {
+		writeError(w, http.StatusNotFound, "no spec "+id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, rec.specSnapshot())
+	case sub == "" && r.Method == http.MethodDelete:
+		rec.cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": rec.statusOf()})
+	case sub == "result" && r.Method == http.MethodGet:
+		st := rec.specSnapshot()
+		if st.Status != StatusDone {
+			writeError(w, http.StatusConflict, "spec "+id+" is "+st.Status+", not done")
+			return
+		}
+		// The inner canonical payload: for kind "job" these bytes are
+		// identical to /v1/jobs/{id}/result for the equivalent typed
+		// submission (the CI smoke diffs them).
+		writeJSON(w, http.StatusOK, st.Result.Payload())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "unsupported spec operation")
 	}
 }
 
@@ -337,7 +533,7 @@ func (s *Server) pruneHistory() {
 	defer s.mu.Unlock()
 	finished := 0
 	for _, id := range s.order {
-		st := s.jobs[id].snapshot().Status
+		st := s.jobs[id].statusOf()
 		if st != StatusQueued && st != StatusRunning {
 			finished++
 		}
@@ -347,7 +543,7 @@ func (s *Server) pruneHistory() {
 	}
 	keep := s.order[:0]
 	for _, id := range s.order {
-		st := s.jobs[id].snapshot().Status
+		st := s.jobs[id].statusOf()
 		if finished > s.maxHistory && st != StatusQueued && st != StatusRunning {
 			delete(s.jobs, id)
 			finished--
@@ -358,24 +554,30 @@ func (s *Server) pruneHistory() {
 	s.order = keep
 }
 
-// list writes job summaries in submission order.
-func (s *Server) list(w http.ResponseWriter) {
+// list writes job or spec summaries in submission order.
+func (s *Server) list(w http.ResponseWriter, specs bool) {
 	s.mu.Lock()
 	recs := make([]*record, 0, len(s.order))
 	for _, id := range s.order {
-		recs = append(recs, s.jobs[id])
+		if rec := s.jobs[id]; rec.isSpec == specs {
+			recs = append(recs, rec)
+		}
 	}
 	s.mu.Unlock()
 	type summary struct {
 		ID     string `json:"id"`
 		Status string `json:"status"`
+		Kind   string `json:"kind,omitempty"`
 	}
 	out := make([]summary, 0, len(recs))
 	for _, rec := range recs {
-		st := rec.snapshot()
-		out = append(out, summary{ID: st.ID, Status: st.Status})
+		out = append(out, summary{ID: rec.id, Status: rec.statusOf(), Kind: rec.kind})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	key := "jobs"
+	if specs {
+		key = "specs"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{key: out})
 }
 
 // handleJob serves /v1/jobs/{id} and /v1/jobs/{id}/result.
@@ -385,7 +587,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	rec := s.jobs[id]
 	s.mu.Unlock()
-	if rec == nil {
+	if rec == nil || rec.isSpec {
+		// Spec records share the store but not the namespace: a spec
+		// hash is not addressable (or cancelable) as a job.
 		writeError(w, http.StatusNotFound, "no job "+id)
 		return
 	}
@@ -424,22 +628,10 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	type scenarioInfo struct {
-		Name        string `json:"name"`
-		Experiment  string `json:"experiment"`
-		Description string `json:"description"`
-		KnobPoints  int    `json:"knob_points"`
-	}
-	var out []scenarioInfo
-	for _, sc := range scenario.Catalog() {
-		out = append(out, scenarioInfo{
-			Name:        sc.Name,
-			Experiment:  scenario.Prefix + sc.Name,
-			Description: sc.Description,
-			KnobPoints:  len(sc.Knobs()),
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+	// The public catalog with typed knobs: a client can take any entry,
+	// build {"version":1,"kind":"scenario","scenario":{"name":...,
+	// "knobs":{...}}} with overridden values, and POST it to /v1/specs.
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": pynamic.Scenarios()})
 }
 
 // writeJSON writes v as two-space-indented JSON with a trailing

@@ -200,7 +200,12 @@ func TestListings(t *testing.T) {
 		Scenarios []struct {
 			Name       string
 			Experiment string
-			KnobPoints int `json:"knob_points"`
+			GridPoints int `json:"grid_points"`
+			Knobs      []struct {
+				Name   string
+				Type   string
+				Values []any
+			}
 		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&scens); err != nil {
@@ -211,8 +216,13 @@ func TestListings(t *testing.T) {
 		t.Fatal("empty scenario catalog")
 	}
 	for _, sc := range scens.Scenarios {
-		if !strings.HasPrefix(sc.Experiment, "scenario:") || sc.KnobPoints == 0 {
+		if !strings.HasPrefix(sc.Experiment, "scenario:") || sc.GridPoints == 0 || len(sc.Knobs) == 0 {
 			t.Fatalf("bad scenario entry: %+v", sc)
+		}
+		for _, k := range sc.Knobs {
+			if k.Name == "" || k.Type == "" || len(k.Values) == 0 {
+				t.Fatalf("scenario %s: untyped knob %+v", sc.Name, k)
+			}
 		}
 	}
 

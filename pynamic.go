@@ -33,8 +33,29 @@
 // down through the job engine's rank workers and the experiment
 // runner's cell pool. Failures are structured *Error values usable
 // with errors.Is/As. cmd/pynamic-serve exposes a shared Engine over
-// HTTP (POST /v1/jobs, GET /v1/jobs/{id}, /v1/experiments,
-// /v1/scenarios).
+// HTTP (POST /v1/jobs, POST /v1/specs, GET /v1/jobs/{id},
+// /v1/experiments, /v1/scenarios).
+//
+// # Spec API (v1)
+//
+// Spec is the declarative layer over the Engine: one versioned,
+// JSON-serializable, self-validating document describing any run the
+// system executes — workload generation, build/run shape, job
+// topology, scenario overlays with typed knob overrides, experiment
+// matrices. Specs compose (With, Scaled, Profile), canonicalize, and
+// content-hash (Hash — the job key of the serving layer and the
+// identity the engine's caches share):
+//
+//	spec := pynamic.MustProfile("llnl").With(pynamic.Spec{
+//		Kind:     pynamic.SpecJob,
+//		Topology: &pynamic.TopologySpec{Tasks: 64, Ranks: 64},
+//	}).Scaled(20)
+//	res, err := eng.RunSpecCtx(ctx, spec)
+//
+// A spec-driven execution is byte-identical to the corresponding
+// typed-struct call (equivalence-gated), and every CLI invocation is
+// reproducible as a document (pynamic -dump-spec / -spec). The
+// scenario catalog is public through Scenarios(), with typed knobs.
 //
 // The package-level functions below (Generate, Run, RunJob, TableI,
 // ...) are the pre-Engine API, kept as thin wrappers over a

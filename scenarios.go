@@ -1,0 +1,164 @@
+package pynamic
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// ScenarioKnob is one typed parameter of a catalog scenario: its name,
+// inferred type, and the distinct values the default grid exercises.
+type ScenarioKnob struct {
+	// Name is the knob's grid key (e.g. "tasks", "scale_div").
+	Name string `json:"name"`
+	// Type is "int", "float", "string", or "bool".
+	Type string `json:"type"`
+	// Values are the distinct values the default grid uses for this
+	// knob, in grid order. A spec override may use any value of the
+	// right type, not just these.
+	Values []any `json:"values"`
+}
+
+// ScenarioInfo describes one catalog scenario: a named, parameterized
+// workload shape with executable invariants (see internal/scenario).
+// Scenarios run through the experiment registry under the Experiment
+// name, or declaratively via a kind="scenario" Spec with knob
+// overrides.
+type ScenarioInfo struct {
+	// Name is the catalog name ("startup-storm").
+	Name string `json:"name"`
+	// Experiment is the registry name ("scenario:startup-storm").
+	Experiment string `json:"experiment"`
+	// Description is a one-line summary.
+	Description string `json:"description"`
+	// Knobs are the scenario's typed parameters, sorted by name.
+	Knobs []ScenarioKnob `json:"knobs"`
+	// GridPoints is the size of the default grid.
+	GridPoints int `json:"grid_points"`
+}
+
+// Scenarios returns the full scenario catalog with typed knobs, in
+// catalog order. The catalog is static and built once (spec
+// normalization consults it on every parse/hash, including the serve
+// hot path); callers must treat the result as read-only.
+func Scenarios() []ScenarioInfo {
+	return scenarioCatalog()
+}
+
+var scenarioCatalog = sync.OnceValue(func() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, sc := range scenario.Catalog() {
+		grid := sc.Knobs()
+		out = append(out, ScenarioInfo{
+			Name:        sc.Name,
+			Experiment:  scenario.Prefix + sc.Name,
+			Description: sc.Description,
+			Knobs:       typedKnobs(grid),
+			GridPoints:  len(grid),
+		})
+	}
+	return out
+})
+
+// scenarioByName finds a catalog scenario by bare name.
+func scenarioByName(name string) (ScenarioInfo, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScenarioInfo{}, false
+}
+
+// scenarioNames lists the catalog names in catalog order.
+func scenarioNames() []string {
+	var out []string
+	for _, s := range scenario.Catalog() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// defaultScenarioGrid returns the named scenario's default grid.
+func defaultScenarioGrid(name string) []Params {
+	for _, sc := range scenario.Catalog() {
+		if sc.Name == name {
+			return sc.Knobs()
+		}
+	}
+	return nil
+}
+
+// typedKnobs infers the typed knob set from a default grid: one knob
+// per key, sorted by name, with the key's distinct values in grid
+// order and its type inferred from them ("int" when every numeric
+// value is integral, "float" otherwise).
+func typedKnobs(grid []runner.Params) []ScenarioKnob {
+	keys := map[string]*ScenarioKnob{}
+	var order []string
+	for _, p := range grid {
+		for k, v := range p {
+			kn, ok := keys[k]
+			if !ok {
+				kn = &ScenarioKnob{Name: k, Type: knobType(v)}
+				keys[k] = kn
+				order = append(order, k)
+			}
+			kn.Type = widenKnobType(kn.Type, knobType(v))
+			if !knobHasValue(kn.Values, v) {
+				kn.Values = append(kn.Values, v)
+			}
+		}
+	}
+	// Sorted order: the knob listing is part of the public API surface
+	// and of JSON payloads; map iteration order must not leak into it.
+	sort.Strings(order)
+	out := make([]ScenarioKnob, 0, len(order))
+	for _, k := range order {
+		out = append(out, *keys[k])
+	}
+	return out
+}
+
+// knobType infers a knob's type from its Go storage in the
+// hand-written catalog grid. Storage is the ground truth: a float64
+// that happens to hold an integral default (io_scale: 4) is still a
+// float knob, and collapsing it to "int" would reject valid overrides
+// like 2.5.
+func knobType(v any) string {
+	switch v.(type) {
+	case int:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	}
+	return "string"
+}
+
+// widenKnobType merges the types seen for one knob across grid points:
+// any float widens int to float; everything else must agree (the
+// catalog is hand-written and homogeneous).
+func widenKnobType(a, b string) string {
+	if a == b {
+		return a
+	}
+	if (a == "int" && b == "float") || (a == "float" && b == "int") {
+		return "float"
+	}
+	return a
+}
+
+func knobHasValue(values []any, v any) bool {
+	for _, have := range values {
+		if have == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1159 @@
+package pynamic
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// SpecVersion is the current specification schema version. Every Spec
+// must carry it explicitly: a document is a contract, and silent
+// version drift is how contracts rot.
+const SpecVersion = 1
+
+// Spec kinds: what a specification asks the Engine to execute.
+const (
+	// SpecRun is a single driver run (the legacy rank-0 extrapolation):
+	// workload + build + topology → Metrics.
+	SpecRun = "run"
+	// SpecJob is a per-rank job-engine run: workload + build + topology
+	// → JobResult.
+	SpecJob = "job"
+	// SpecMatrix is an experiment matrix (experiments × grids ×
+	// repeats) → MatrixResult.
+	SpecMatrix = "matrix"
+	// SpecScenario is one catalog scenario, optionally with overridden
+	// knobs → ExperimentResult.
+	SpecScenario = "scenario"
+	// SpecTool is a debugger-startup simulation (Table IV): one cold
+	// attach and one warm attach over a shared filesystem →
+	// ToolColdWarm.
+	SpecTool = "tool"
+)
+
+// Spec is the v1 run specification: one declarative, versioned,
+// JSON-serializable document that describes everything the Engine can
+// execute — workload generation, build/run shape, job topology,
+// scenario overlays, and experiment matrices. A Spec is what you POST
+// to the service, dump from a CLI invocation (-dump-spec), diff
+// between runs, and cache-key with Hash.
+//
+// The zero value of every field is a usable default; only Version and
+// Kind are required. Sections that do not apply to the Kind must be
+// absent (Validate reports them by field path). Name and Workers are
+// execution labels/hints and are excluded from the canonical hash.
+type Spec struct {
+	// Version is the schema version; must be SpecVersion (1).
+	Version int `json:"version"`
+	// Kind selects the execution path: "run", "job", "matrix",
+	// "scenario", or "tool".
+	Kind string `json:"kind"`
+	// Name is an optional human label. It does not affect execution or
+	// the canonical hash.
+	Name string `json:"name,omitempty"`
+	// Seed seeds the run. For run/job/tool kinds it overrides the
+	// workload profile's generator seed (0 = profile default); for
+	// matrix/scenario kinds it is the base seed for per-cell seed
+	// derivation (0 = paper-default workload seeds).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds host goroutine parallelism (rank workers for jobs,
+	// the cell pool for matrices). It never affects results and is
+	// excluded from the canonical hash.
+	Workers int `json:"workers,omitempty"`
+
+	// Workload describes the generated benchmark (run/job/tool kinds).
+	// Nil means the default profile ("llnl") unmodified.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Build describes build mode, memory backend and cluster shape
+	// (run/job/tool kinds). Nil means vanilla/analytic on the engine's
+	// default cluster.
+	Build *BuildSpec `json:"build,omitempty"`
+	// Topology describes the job shape: tasks, simulated ranks,
+	// placement, heterogeneity knobs (run/job/tool kinds).
+	Topology *TopologySpec `json:"topology,omitempty"`
+	// Scenario names a catalog scenario and its knob overrides
+	// (scenario kind only).
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+	// Matrix describes an experiment matrix (matrix kind only).
+	Matrix *MatrixPlan `json:"matrix,omitempty"`
+}
+
+// WorkloadSpec is the workload-generation section: a named profile
+// plus sparse overrides. Fields left zero inherit the profile's value.
+type WorkloadSpec struct {
+	// Profile is the base generator model: "llnl" (default; the
+	// paper's flagship 280+215 DSO configuration) or "realapp" (the
+	// synthetic stand-in for the export-controlled multiphysics
+	// application). The profile also pins the size model and call-graph
+	// probabilities.
+	Profile string `json:"profile,omitempty"`
+	// Modules overrides the number of Python modules.
+	Modules int `json:"modules,omitempty"`
+	// AvgFuncs overrides the average functions per module.
+	AvgFuncs int `json:"avg_funcs,omitempty"`
+	// Utils overrides the number of utility libraries (pointer because
+	// zero utility libraries is a valid request).
+	Utils *int `json:"utils,omitempty"`
+	// AvgUtilFuncs overrides the average functions per utility library.
+	AvgUtilFuncs int `json:"avg_util_funcs,omitempty"`
+	// ScaleDiv divides the DSO counts after overrides (minimum 2
+	// modules / 1 utility), like the CLI -scale flag.
+	ScaleDiv int `json:"scale_div,omitempty"`
+	// FuncsDiv divides the per-DSO function counts after overrides.
+	FuncsDiv int `json:"funcs_div,omitempty"`
+	// Depth overrides the maximum call-chain depth (profile default
+	// 10).
+	Depth int `json:"depth,omitempty"`
+	// CrossModule toggles cross-module dependencies (pointer because
+	// the profiles default to true).
+	CrossModule *bool `json:"cross_module,omitempty"`
+}
+
+// BuildSpec is the build/run-shape section.
+type BuildSpec struct {
+	// Mode is the build mode: "vanilla" (default), "link", or
+	// "link-bind" (Table I rows).
+	Mode string `json:"mode,omitempty"`
+	// Backend is the memory-model fidelity: "analytic" (default) or
+	// "detailed" (reduce the workload scale!).
+	Backend string `json:"backend,omitempty"`
+	// Cluster overrides the cluster shape. Nil means the engine's
+	// default (the paper's Zeus cluster unless WithCluster changed it).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+}
+
+// ClusterSpec describes a simulated cluster. Nodes, CoresPerNode and
+// CoreHz are required when the section is present; zero interconnect
+// parameters inherit Zeus's.
+type ClusterSpec struct {
+	Name         string  `json:"name,omitempty"`
+	Nodes        int     `json:"nodes"`
+	CoresPerNode int     `json:"cores_per_node"`
+	CoreHz       float64 `json:"core_hz"`
+	// LinkLatencySec and LinkBandwidthBps describe the interconnect
+	// (0 = Zeus's SDR InfiniBand values).
+	LinkLatencySec   float64 `json:"link_latency_sec,omitempty"`
+	LinkBandwidthBps float64 `json:"link_bandwidth_bps,omitempty"`
+}
+
+// TopologySpec is the job-topology section.
+type TopologySpec struct {
+	// Tasks is the MPI job size (0 = 32, the paper's Table IV size).
+	Tasks int `json:"tasks,omitempty"`
+	// Ranks is how many of the job's tasks to simulate (job kind only;
+	// 0 = every task, N = the first N tasks of the placement).
+	Ranks int `json:"ranks,omitempty"`
+	// Placement is "block" (default) or "round-robin".
+	Placement string `json:"placement,omitempty"`
+	// MPITest enables the pyMPI functionality test phase (run/job).
+	MPITest bool `json:"mpi_test,omitempty"`
+	// Coverage is the fraction of entry chains visited; 0 and 1 both
+	// mean full coverage.
+	Coverage float64 `json:"coverage,omitempty"`
+	// ASLR randomizes load addresses (run/job).
+	ASLR bool `json:"aslr,omitempty"`
+	// HeteroLinkMaps models an address-randomized job for the tool
+	// kind: no parsed-state sharing across tasks (the A3 ablation).
+	HeteroLinkMaps bool `json:"hetero_link_maps,omitempty"`
+
+	// Heterogeneity knobs (job kind; see JobConfig).
+	RankSkew         float64 `json:"rank_skew,omitempty"`
+	StragglerFrac    float64 `json:"straggler_frac,omitempty"`
+	StragglerIOScale float64 `json:"straggler_io_scale,omitempty"`
+	WarmNodeFrac     float64 `json:"warm_node_frac,omitempty"`
+}
+
+// ScenarioSpec is the scenario section: one catalog scenario plus
+// optional knob overrides.
+type ScenarioSpec struct {
+	// Name is the catalog name, with or without the "scenario:" prefix
+	// (e.g. "startup-storm" or "scenario:startup-storm").
+	Name string `json:"name"`
+	// Knobs overrides scenario knobs. When present, the run is a
+	// single grid point: the scenario's first default point with these
+	// values substituted. When absent, the full default grid runs.
+	// Unknown knob names and type mismatches are validation errors.
+	Knobs Params `json:"knobs,omitempty"`
+	// Repeats per grid point (0 = 1).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// MatrixPlan is the matrix section of a Spec: which experiments to
+// run, over which grids, how many repeats.
+type MatrixPlan struct {
+	// Experiments to run, in order (registry names; required).
+	Experiments []string `json:"experiments"`
+	// Grids overrides the default parameter grid per experiment name.
+	Grids map[string][]Params `json:"grids,omitempty"`
+	// Repeats per grid point (0 = 1).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// FieldError is one structured validation failure: the JSON field path
+// that is wrong and why. It wraps ErrBadConfig, so
+// errors.Is(err, ErrBadConfig) holds for any validation failure, and
+// errors.As recovers the path:
+//
+//	var fe *pynamic.FieldError
+//	if errors.As(err, &fe) { log.Printf("bad field %s: %s", fe.Path, fe.Msg) }
+type FieldError struct {
+	// Path is the JSON path of the offending field, e.g.
+	// "workload.modules" or "scenario.knobs.tasks".
+	Path string
+	// Msg says what is wrong with it.
+	Msg string
+}
+
+// Error formats the failure as "spec field <path>: <msg>".
+func (e *FieldError) Error() string { return fmt.Sprintf("spec field %s: %s", e.Path, e.Msg) }
+
+// Unwrap marks every field error as an ErrBadConfig.
+func (e *FieldError) Unwrap() error { return ErrBadConfig }
+
+// fieldErr builds one *FieldError.
+func fieldErr(path, format string, args ...any) error {
+	return &FieldError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseSpec decodes a Spec from JSON strictly: unknown fields and
+// trailing garbage are errors (a typoed knob silently ignored is a
+// benchmark silently different from the one you asked for).
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("parse spec: %w: %s", ErrBadConfig, err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return Spec{}, fmt.Errorf("parse spec: %w: trailing data after the spec document", ErrBadConfig)
+	}
+	return s, nil
+}
+
+// ReadSpec reads and strictly parses a Spec from r.
+func ReadSpec(r io.Reader) (Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Spec{}, fmt.Errorf("read spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// Validate checks the spec without resolving it and reports every
+// failure as a *FieldError (joined when there are several), each
+// wrapping ErrBadConfig.
+func (s Spec) Validate() error {
+	_, err := s.Normalize()
+	return err
+}
+
+// With returns base overlaid with overlay: overlay's non-zero scalar
+// fields and non-nil sections take precedence, field by field within
+// sections. Use it to compose a base profile with a sparse overlay
+// document:
+//
+//	spec := pynamic.MustProfile("llnl").With(pynamic.Spec{
+//		Kind:     pynamic.SpecJob,
+//		Topology: &pynamic.TopologySpec{Tasks: 64, Ranks: 64},
+//	})
+func (s Spec) With(overlay Spec) Spec {
+	out := s
+	if overlay.Version != 0 {
+		out.Version = overlay.Version
+	}
+	if overlay.Kind != "" {
+		out.Kind = overlay.Kind
+	}
+	if overlay.Name != "" {
+		out.Name = overlay.Name
+	}
+	if overlay.Seed != 0 {
+		out.Seed = overlay.Seed
+	}
+	if overlay.Workers != 0 {
+		out.Workers = overlay.Workers
+	}
+	out.Workload = mergeWorkload(s.Workload, overlay.Workload)
+	out.Build = mergeBuild(s.Build, overlay.Build)
+	out.Topology = mergeTopology(s.Topology, overlay.Topology)
+	if overlay.Scenario != nil {
+		sc := *overlay.Scenario
+		if s.Scenario != nil {
+			if sc.Name == "" {
+				sc.Name = s.Scenario.Name
+			}
+			if sc.Repeats == 0 {
+				sc.Repeats = s.Scenario.Repeats
+			}
+			sc.Knobs = mergeParams(s.Scenario.Knobs, sc.Knobs)
+		}
+		out.Scenario = &sc
+	}
+	if overlay.Matrix != nil {
+		m := *overlay.Matrix
+		if s.Matrix != nil {
+			if m.Experiments == nil {
+				m.Experiments = s.Matrix.Experiments
+			}
+			if m.Grids == nil {
+				m.Grids = s.Matrix.Grids
+			}
+			if m.Repeats == 0 {
+				m.Repeats = s.Matrix.Repeats
+			}
+		}
+		out.Matrix = &m
+	}
+	return out
+}
+
+func mergeParams(base, over Params) Params {
+	if base == nil {
+		return over
+	}
+	out := make(Params, len(base)+len(over))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range over {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeWorkload(base, over *WorkloadSpec) *WorkloadSpec {
+	if over == nil {
+		return base
+	}
+	if base == nil {
+		w := *over
+		return &w
+	}
+	w := *base
+	if over.Profile != "" {
+		w.Profile = over.Profile
+	}
+	if over.Modules != 0 {
+		w.Modules = over.Modules
+	}
+	if over.AvgFuncs != 0 {
+		w.AvgFuncs = over.AvgFuncs
+	}
+	if over.Utils != nil {
+		w.Utils = over.Utils
+	}
+	if over.AvgUtilFuncs != 0 {
+		w.AvgUtilFuncs = over.AvgUtilFuncs
+	}
+	if over.ScaleDiv != 0 {
+		w.ScaleDiv = over.ScaleDiv
+	}
+	if over.FuncsDiv != 0 {
+		w.FuncsDiv = over.FuncsDiv
+	}
+	if over.Depth != 0 {
+		w.Depth = over.Depth
+	}
+	if over.CrossModule != nil {
+		w.CrossModule = over.CrossModule
+	}
+	return &w
+}
+
+func mergeBuild(base, over *BuildSpec) *BuildSpec {
+	if over == nil {
+		return base
+	}
+	if base == nil {
+		b := *over
+		return &b
+	}
+	b := *base
+	if over.Mode != "" {
+		b.Mode = over.Mode
+	}
+	if over.Backend != "" {
+		b.Backend = over.Backend
+	}
+	if over.Cluster != nil {
+		b.Cluster = over.Cluster
+	}
+	return &b
+}
+
+func mergeTopology(base, over *TopologySpec) *TopologySpec {
+	if over == nil {
+		return base
+	}
+	if base == nil {
+		t := *over
+		return &t
+	}
+	t := *base
+	if over.Tasks != 0 {
+		t.Tasks = over.Tasks
+	}
+	if over.Ranks != 0 {
+		t.Ranks = over.Ranks
+	}
+	if over.Placement != "" {
+		t.Placement = over.Placement
+	}
+	if over.MPITest {
+		t.MPITest = true
+	}
+	if over.Coverage != 0 {
+		t.Coverage = over.Coverage
+	}
+	if over.ASLR {
+		t.ASLR = true
+	}
+	if over.HeteroLinkMaps {
+		t.HeteroLinkMaps = true
+	}
+	if over.RankSkew != 0 {
+		t.RankSkew = over.RankSkew
+	}
+	if over.StragglerFrac != 0 {
+		t.StragglerFrac = over.StragglerFrac
+	}
+	if over.StragglerIOScale != 0 {
+		t.StragglerIOScale = over.StragglerIOScale
+	}
+	if over.WarmNodeFrac != 0 {
+		t.WarmNodeFrac = over.WarmNodeFrac
+	}
+	return &t
+}
+
+// Scaled returns a copy of the spec with the workload scaled down by
+// div (DSO counts divided, like Config.Scaled), composing with any
+// scaling already present.
+func (s Spec) Scaled(div int) Spec {
+	if div <= 1 {
+		return s
+	}
+	out := s
+	w := WorkloadSpec{}
+	if s.Workload != nil {
+		w = *s.Workload
+	}
+	if w.ScaleDiv < 1 {
+		w.ScaleDiv = 1
+	}
+	w.ScaleDiv *= div
+	out.Workload = &w
+	return out
+}
+
+// specSchema labels the spec keyspace within api.ContentHash.
+const specSchema = "pynamic-spec-v1"
+
+// Hash returns the spec's canonical content hash: the shared
+// api.ContentHash over the normalized document's JSON. Two specs that
+// mean the same run — regardless of field order, omitted-vs-explicit
+// defaults, scenario name prefixes, or scale divisors already resolved
+// into counts — hash identically; changing any knob that affects
+// results changes the hash. Name and Workers never affect it.
+//
+// The hash is the service's job key (POST /v1/specs) and the natural
+// result-cache key for spec-driven runs.
+func (s Spec) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return api.ContentHash(specSchema, string(b)), nil
+}
+
+// hashNormalized hashes an already-normalized spec without
+// re-normalizing (ExpandSpec holds the normalized form already).
+func hashNormalized(n Spec) (string, error) {
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("canonicalize spec: %w", err)
+	}
+	return api.ContentHash(specSchema, string(b)), nil
+}
+
+// Canonical returns the canonical JSON encoding of the spec: the
+// normalized document (defaults resolved, sparse workload overrides
+// folded into explicit counts, execution hints stripped) marshaled
+// with encoding/json's deterministic struct order. Byte-equal
+// Canonical output is the definition of spec equality.
+func (s Spec) Canonical() ([]byte, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		return nil, fmt.Errorf("canonicalize spec: %w", err)
+	}
+	return b, nil
+}
+
+// Normalize validates the spec and returns its canonical form: Kind
+// defaults applied, the workload section resolved to explicit counts
+// (profile retained — it pins the size model), topology and build
+// defaults filled, scenario knobs resolved to the explicit grid, and
+// the Name/Workers execution hints cleared. Two specs are semantically
+// equal exactly when their normalized forms are equal.
+//
+// All validation failures are *FieldError values wrapping
+// ErrBadConfig, joined when there are several.
+func (s Spec) Normalize() (Spec, error) {
+	var errs []error
+	bad := func(path, format string, args ...any) {
+		errs = append(errs, fieldErr(path, format, args...))
+	}
+
+	n := Spec{Version: s.Version, Kind: s.Kind, Seed: s.Seed}
+	if s.Version != SpecVersion {
+		bad("version", "must be %d, got %d", SpecVersion, s.Version)
+	}
+	switch s.Kind {
+	case SpecRun, SpecJob, SpecMatrix, SpecScenario, SpecTool:
+	case "":
+		bad("kind", "required (one of run, job, matrix, scenario, tool)")
+	default:
+		bad("kind", "unknown kind %q (want run, job, matrix, scenario, or tool)", s.Kind)
+	}
+
+	// Sections must match the kind: a spec is a contract, and silently
+	// ignoring a section the kind cannot honour hides real mistakes.
+	switch s.Kind {
+	case SpecMatrix, SpecScenario:
+		if s.Workload != nil {
+			bad("workload", "not allowed for kind %q (cells build their own workloads)", s.Kind)
+		}
+		if s.Build != nil {
+			bad("build", "not allowed for kind %q", s.Kind)
+		}
+		if s.Topology != nil {
+			bad("topology", "not allowed for kind %q", s.Kind)
+		}
+	}
+	if s.Kind != SpecScenario && s.Scenario != nil {
+		bad("scenario", "only allowed for kind %q", SpecScenario)
+	}
+	if s.Kind != SpecMatrix && s.Matrix != nil {
+		bad("matrix", "only allowed for kind %q", SpecMatrix)
+	}
+	if s.Kind == SpecScenario && s.Scenario == nil {
+		bad("scenario", "required for kind %q", SpecScenario)
+	}
+	if s.Kind == SpecMatrix && s.Matrix == nil {
+		bad("matrix", "required for kind %q", SpecMatrix)
+	}
+
+	switch s.Kind {
+	case SpecRun, SpecJob, SpecTool:
+		gen, err := resolveWorkload(s.Workload, s.Seed)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			n.Workload = canonicalWorkload(s.Workload, gen)
+			// The canonical seed is the resolved generator seed, so
+			// "seed": 0 and an explicit profile-default seed hash
+			// identically.
+			n.Seed = gen.Seed
+		}
+		b, err := normalizeBuild(s.Build, s.Kind)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			n.Build = b
+		}
+		t, err := normalizeTopology(s.Topology, s.Kind)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			n.Topology = t
+		}
+	case SpecScenario:
+		if s.Scenario != nil {
+			sc, err := normalizeScenario(s.Scenario)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				n.Scenario = sc
+			}
+		}
+	case SpecMatrix:
+		if s.Matrix != nil {
+			m, err := normalizeMatrix(s.Matrix)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				n.Matrix = m
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		return Spec{}, errors.Join(errs...)
+	}
+	return n, nil
+}
+
+// resolveWorkload turns the sparse workload section into a full
+// generator Config: profile base, overrides, scaling, seed.
+func resolveWorkload(w *WorkloadSpec, seed uint64) (Config, error) {
+	if w == nil {
+		w = &WorkloadSpec{}
+	}
+	var cfg Config
+	switch w.Profile {
+	case "", "llnl", "pynamic":
+		cfg = LLNLModel()
+	case "realapp":
+		cfg = RealAppModel()
+	default:
+		return Config{}, fieldErr("workload.profile", "unknown profile %q (want llnl or realapp)", w.Profile)
+	}
+	if w.Modules < 0 {
+		return Config{}, fieldErr("workload.modules", "must be >= 0, got %d", w.Modules)
+	}
+	if w.Modules > 0 {
+		cfg.NumModules = w.Modules
+	}
+	if w.AvgFuncs < 0 {
+		return Config{}, fieldErr("workload.avg_funcs", "must be >= 0, got %d", w.AvgFuncs)
+	}
+	if w.AvgFuncs > 0 {
+		cfg.AvgFuncsPerModule = w.AvgFuncs
+	}
+	if w.Utils != nil {
+		if *w.Utils < 0 {
+			return Config{}, fieldErr("workload.utils", "must be >= 0, got %d", *w.Utils)
+		}
+		cfg.NumUtils = *w.Utils
+	}
+	if w.AvgUtilFuncs < 0 {
+		return Config{}, fieldErr("workload.avg_util_funcs", "must be >= 0, got %d", w.AvgUtilFuncs)
+	}
+	if w.AvgUtilFuncs > 0 {
+		cfg.AvgFuncsPerUtil = w.AvgUtilFuncs
+	}
+	if w.ScaleDiv < 0 {
+		return Config{}, fieldErr("workload.scale_div", "must be >= 0, got %d", w.ScaleDiv)
+	}
+	if w.FuncsDiv < 0 {
+		return Config{}, fieldErr("workload.funcs_div", "must be >= 0, got %d", w.FuncsDiv)
+	}
+	if w.ScaleDiv > 1 {
+		cfg = cfg.Scaled(w.ScaleDiv)
+	}
+	if w.FuncsDiv > 1 {
+		cfg = cfg.ScaledFuncs(w.FuncsDiv)
+	}
+	if w.Depth < 0 {
+		return Config{}, fieldErr("workload.depth", "must be >= 0, got %d", w.Depth)
+	}
+	if w.Depth > 0 {
+		cfg.MaxCallDepth = w.Depth
+	}
+	if w.CrossModule != nil {
+		cfg.CrossModuleCalls = *w.CrossModule
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fieldErr("workload", "%s", err.Error())
+	}
+	return cfg, nil
+}
+
+// canonicalWorkload renders the resolved generator Config back as the
+// canonical workload section: explicit counts (scale divisors already
+// folded in), the profile retained because it pins the size model and
+// call-graph probabilities, and the resolved seed explicit.
+func canonicalWorkload(w *WorkloadSpec, cfg Config) *WorkloadSpec {
+	profile := "llnl"
+	if w != nil && (w.Profile == "realapp") {
+		profile = "realapp"
+	}
+	utils := cfg.NumUtils
+	cross := cfg.CrossModuleCalls
+	return &WorkloadSpec{
+		Profile:      profile,
+		Modules:      cfg.NumModules,
+		AvgFuncs:     cfg.AvgFuncsPerModule,
+		Utils:        &utils,
+		AvgUtilFuncs: cfg.AvgFuncsPerUtil,
+		Depth:        cfg.MaxCallDepth,
+		CrossModule:  &cross,
+		// ScaleDiv/FuncsDiv deliberately zero: they are resolved into
+		// the counts above, so "scale_div": 20 and the equivalent
+		// explicit counts normalize — and hash — identically.
+	}
+}
+
+func normalizeBuild(b *BuildSpec, kind string) (*BuildSpec, error) {
+	if b == nil {
+		b = &BuildSpec{}
+	}
+	out := &BuildSpec{Mode: b.Mode, Backend: b.Backend}
+	switch b.Mode {
+	case "":
+		out.Mode = "vanilla"
+	case "vanilla", "link", "link-bind":
+	default:
+		// Alternate accepted spellings ("linkbind", "Link+Bind")
+		// normalize to the canonical key.
+		bm, err := ParseBuildMode(b.Mode)
+		if err != nil {
+			return nil, fieldErr("build.mode", "%s", err.Error())
+		}
+		out.Mode = buildModeKey(bm)
+	}
+	switch b.Backend {
+	case "":
+		out.Backend = "analytic"
+	case "analytic", "detailed":
+	default:
+		return nil, fieldErr("build.backend", "unknown backend %q (want analytic or detailed)", b.Backend)
+	}
+	if kind == SpecTool && b.Mode != "" && out.Mode != "vanilla" {
+		return nil, fieldErr("build.mode", "tool startup has no build mode; leave it unset")
+	}
+	if kind == SpecTool && out.Backend != "analytic" {
+		return nil, fieldErr("build.backend", "tool startup has no memory backend; leave it unset")
+	}
+	if b.Cluster != nil {
+		c := *b.Cluster
+		zeus := ZeusCluster()
+		if c.LinkLatencySec == 0 {
+			c.LinkLatencySec = zeus.LinkLatency
+		}
+		if c.LinkBandwidthBps == 0 {
+			c.LinkBandwidthBps = zeus.LinkBandwidth
+		}
+		if err := c.clusterConfig().Validate(); err != nil {
+			return nil, fieldErr("build.cluster", "%s", err.Error())
+		}
+		out.Cluster = &c
+	}
+	return out, nil
+}
+
+// clusterConfig converts the spec section to the engine vocabulary.
+func (c ClusterSpec) clusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Name:          c.Name,
+		Nodes:         c.Nodes,
+		CoresPerNode:  c.CoresPerNode,
+		CoreHz:        c.CoreHz,
+		LinkLatency:   c.LinkLatencySec,
+		LinkBandwidth: c.LinkBandwidthBps,
+	}
+}
+
+// buildModeKey is the canonical spelling of a build mode in a spec.
+func buildModeKey(m BuildMode) string {
+	switch m {
+	case Link:
+		return "link"
+	case LinkBind:
+		return "link-bind"
+	}
+	return "vanilla"
+}
+
+func normalizeTopology(t *TopologySpec, kind string) (*TopologySpec, error) {
+	if t == nil {
+		t = &TopologySpec{}
+	}
+	out := *t
+	if t.Tasks < 0 {
+		return nil, fieldErr("topology.tasks", "must be >= 0, got %d", t.Tasks)
+	}
+	if out.Tasks == 0 {
+		out.Tasks = 32
+	}
+	if t.Ranks < 0 {
+		return nil, fieldErr("topology.ranks", "must be >= 0, got %d", t.Ranks)
+	}
+	if t.Ranks > out.Tasks {
+		return nil, fieldErr("topology.ranks", "%d exceeds %d tasks", t.Ranks, out.Tasks)
+	}
+	switch t.Placement {
+	case "":
+		out.Placement = "block"
+	default:
+		// Alternate accepted spellings normalize to the canonical
+		// policy name, so they hash identically.
+		policy, err := ParsePlacement(t.Placement)
+		if err != nil {
+			return nil, fieldErr("topology.placement", "%s", err.Error())
+		}
+		out.Placement = policy.String()
+	}
+	if t.Coverage < 0 || t.Coverage > 1 {
+		return nil, fieldErr("topology.coverage", "must be in [0,1], got %g", t.Coverage)
+	}
+	// Coverage 0 and 1 are the same run (full coverage); canonicalize.
+	if out.Coverage == 0 {
+		out.Coverage = 1
+	}
+	checkFrac := func(path string, v float64) error {
+		if v < 0 || v > 1 {
+			return fieldErr(path, "must be in [0,1], got %g", v)
+		}
+		return nil
+	}
+	if t.RankSkew < 0 {
+		return nil, fieldErr("topology.rank_skew", "must be >= 0, got %g", t.RankSkew)
+	}
+	if err := checkFrac("topology.straggler_frac", t.StragglerFrac); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("topology.warm_node_frac", t.WarmNodeFrac); err != nil {
+		return nil, err
+	}
+	if t.StragglerIOScale < 0 {
+		return nil, fieldErr("topology.straggler_io_scale", "must be >= 0, got %g", t.StragglerIOScale)
+	}
+	// The straggler I/O multiplier only matters when stragglers exist;
+	// canonicalize to the default (4) otherwise so it cannot smuggle
+	// spurious hash differences.
+	if out.StragglerFrac == 0 || out.StragglerIOScale == 0 {
+		out.StragglerIOScale = 4
+	}
+
+	// rejected is a fixed-order (path, offending) list, so the reported
+	// field is deterministic when several fields are wrong.
+	type rejected struct {
+		path string
+		bad  bool
+	}
+	switch kind {
+	case SpecRun:
+		if t.Ranks > 1 {
+			return nil, fieldErr("topology.ranks", "kind \"run\" is the single-rank driver; use kind \"job\" for %d ranks", t.Ranks)
+		}
+		for _, r := range []rejected{
+			{"topology.rank_skew", t.RankSkew != 0},
+			{"topology.straggler_frac", t.StragglerFrac != 0},
+			{"topology.warm_node_frac", t.WarmNodeFrac != 0},
+		} {
+			if r.bad {
+				return nil, fieldErr(r.path, "heterogeneity needs the per-rank engine; use kind \"job\"")
+			}
+		}
+		if out.Placement != "block" {
+			return nil, fieldErr("topology.placement", "kind \"run\" places like the legacy driver (block); use kind \"job\" for %q", t.Placement)
+		}
+		if t.HeteroLinkMaps {
+			return nil, fieldErr("topology.hetero_link_maps", "only meaningful for kind \"tool\"")
+		}
+		out.Ranks = 0
+	case SpecJob:
+		if t.HeteroLinkMaps {
+			return nil, fieldErr("topology.hetero_link_maps", "only meaningful for kind \"tool\"")
+		}
+		// Ranks 0 means "every task"; canonicalize to the explicit
+		// count so ranks:0 and ranks:tasks hash identically.
+		if out.Ranks == 0 {
+			out.Ranks = out.Tasks
+		}
+	case SpecTool:
+		for _, r := range []rejected{
+			{"topology.ranks", t.Ranks != 0},
+			{"topology.mpi_test", t.MPITest},
+			{"topology.coverage", t.Coverage != 0 && t.Coverage != 1},
+			{"topology.aslr", t.ASLR},
+			{"topology.rank_skew", t.RankSkew != 0},
+			{"topology.straggler_frac", t.StragglerFrac != 0},
+			{"topology.warm_node_frac", t.WarmNodeFrac != 0},
+		} {
+			if r.bad {
+				return nil, fieldErr(r.path, "not meaningful for kind \"tool\"")
+			}
+		}
+		if out.Placement != "block" {
+			return nil, fieldErr("topology.placement", "tool startup uses block placement")
+		}
+	}
+	return &out, nil
+}
+
+func normalizeScenario(sc *ScenarioSpec) (*ScenarioSpec, error) {
+	name := strings.TrimPrefix(sc.Name, scenario.Prefix)
+	if name == "" {
+		return nil, fieldErr("scenario.name", "required (one of %s)", strings.Join(scenarioNames(), ", "))
+	}
+	info, ok := scenarioByName(name)
+	if !ok {
+		return nil, fieldErr("scenario.name", "unknown scenario %q (have %s)", name, strings.Join(scenarioNames(), ", "))
+	}
+	out := &ScenarioSpec{Name: name, Repeats: sc.Repeats}
+	if out.Repeats < 0 {
+		return nil, fieldErr("scenario.repeats", "must be >= 0, got %d", sc.Repeats)
+	}
+	if out.Repeats == 0 {
+		out.Repeats = 1
+	}
+	grid, err := resolveScenarioGrid(info, sc.Knobs)
+	if err != nil {
+		return nil, err
+	}
+	// The canonical form carries the fully resolved single point (when
+	// knobs were overridden) so two overlays that produce the same
+	// point hash identically; a full default-grid run stays knobless
+	// (the grid is implied by the catalog).
+	if sc.Knobs != nil {
+		out.Knobs = grid[0]
+	}
+	return out, nil
+}
+
+// resolveScenarioGrid returns the grid a scenario spec runs: the full
+// default grid when no knobs are overridden, or the single overlaid
+// point otherwise. Overrides are validated by name and type against
+// the catalog's typed knobs.
+func resolveScenarioGrid(info ScenarioInfo, knobs Params) ([]Params, error) {
+	defGrid := defaultScenarioGrid(info.Name)
+	if knobs == nil {
+		return defGrid, nil
+	}
+	if len(defGrid) == 0 {
+		return nil, fieldErr("scenario.knobs", "scenario %q has no knobs", info.Name)
+	}
+	byName := make(map[string]ScenarioKnob, len(info.Knobs))
+	for _, k := range info.Knobs {
+		byName[k.Name] = k
+	}
+	point := make(Params, len(defGrid[0])+len(knobs))
+	for k, v := range defGrid[0] {
+		point[k] = v
+	}
+	// Deterministic error order for multi-knob mistakes.
+	names := make([]string, 0, len(knobs))
+	for k := range knobs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		v := knobs[k]
+		kn, ok := byName[k]
+		if !ok {
+			return nil, fieldErr("scenario.knobs."+k, "unknown knob for scenario %q (have %s)",
+				info.Name, strings.Join(knobNames(info.Knobs), ", "))
+		}
+		cv, err := coerceKnob(kn, v)
+		if err != nil {
+			return nil, fieldErr("scenario.knobs."+k, "%s", err.Error())
+		}
+		point[k] = cv
+	}
+	return []Params{point}, nil
+}
+
+func knobNames(knobs []ScenarioKnob) []string {
+	out := make([]string, len(knobs))
+	for i, k := range knobs {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// coerceKnob checks v against the knob's type and returns it in the
+// canonical storage form (ints as int, floats as float64 — matching
+// the hand-written catalog grids, so overlaid points canonicalize to
+// the same JSON as native ones).
+func coerceKnob(k ScenarioKnob, v any) (any, error) {
+	switch k.Type {
+	case "int":
+		switch x := v.(type) {
+		case int:
+			return x, nil
+		case float64:
+			if i := int(x); float64(i) == x {
+				return i, nil
+			}
+			return nil, fmt.Errorf("knob %q is an integer; got %g", k.Name, x)
+		}
+		return nil, fmt.Errorf("knob %q is an integer; got %T", k.Name, v)
+	case "float":
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int:
+			return float64(x), nil
+		}
+		return nil, fmt.Errorf("knob %q is a number; got %T", k.Name, v)
+	case "string":
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+		return nil, fmt.Errorf("knob %q is a string; got %T", k.Name, v)
+	case "bool":
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+		return nil, fmt.Errorf("knob %q is a bool; got %T", k.Name, v)
+	}
+	return nil, fmt.Errorf("knob %q has unknown type %q", k.Name, k.Type)
+}
+
+func normalizeMatrix(m *MatrixPlan) (*MatrixPlan, error) {
+	if len(m.Experiments) == 0 {
+		return nil, fieldErr("matrix.experiments", "required: name at least one experiment")
+	}
+	reg := experiments.RunnerRegistry()
+	out := &MatrixPlan{Repeats: m.Repeats}
+	if out.Repeats < 0 {
+		return nil, fieldErr("matrix.repeats", "must be >= 0, got %d", m.Repeats)
+	}
+	if out.Repeats == 0 {
+		out.Repeats = 1
+	}
+	seen := map[string]bool{}
+	for i, name := range m.Experiments {
+		if reg.Get(name) == nil {
+			return nil, fieldErr(fmt.Sprintf("matrix.experiments[%d]", i),
+				"%q: %s (have %s)", name, ErrUnknownExperiment, strings.Join(reg.Names(), ", "))
+		}
+		if seen[name] {
+			return nil, fieldErr(fmt.Sprintf("matrix.experiments[%d]", i), "duplicate experiment %q", name)
+		}
+		seen[name] = true
+		out.Experiments = append(out.Experiments, name)
+	}
+	for name, grid := range m.Grids {
+		if !seen[name] {
+			return nil, fieldErr("matrix.grids."+name, "grid for an experiment not in matrix.experiments")
+		}
+		if len(grid) == 0 {
+			return nil, fieldErr("matrix.grids."+name, "grid must have at least one point")
+		}
+		for i, p := range grid {
+			if err := checkParams(p); err != nil {
+				return nil, fieldErr(fmt.Sprintf("matrix.grids.%s[%d]", name, i), "%s", err.Error())
+			}
+		}
+	}
+	// The canonical form carries every grid explicitly (defaults
+	// filled from the registry) so "default grid" and "the same grid
+	// written out" hash identically.
+	out.Grids = make(map[string][]Params, len(out.Experiments))
+	for _, name := range out.Experiments {
+		if g, ok := m.Grids[name]; ok {
+			out.Grids[name] = canonicalGrid(g)
+			continue
+		}
+		exp := reg.Get(name)
+		if exp.Grid != nil {
+			out.Grids[name] = exp.Grid()
+		} else {
+			out.Grids[name] = []Params{{}}
+		}
+	}
+	return out, nil
+}
+
+// canonicalGrid normalizes numeric storage in user-provided grids
+// (JSON decoding yields float64 for every number; integral values
+// become ints, matching the hand-written registry grids).
+func canonicalGrid(grid []Params) []Params {
+	out := make([]Params, len(grid))
+	for i, p := range grid {
+		q := make(Params, len(p))
+		for k, v := range p {
+			if f, ok := v.(float64); ok && f == math.Trunc(f) {
+				if i := int(f); float64(i) == f {
+					q[k] = i
+					continue
+				}
+			}
+			q[k] = v
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// checkParams enforces the runner's Params contract: JSON-scalar
+// values only.
+func checkParams(p Params) error {
+	for k, v := range p {
+		switch v.(type) {
+		case string, bool, int, float64, nil:
+		default:
+			return fmt.Errorf("parameter %q has non-scalar value of type %T", k, v)
+		}
+	}
+	return nil
+}
+
+// ---------- named profiles ----------
+
+// ProfileNames lists the named base specs Profile understands: the two
+// workload models ("llnl", "realapp") and every catalog scenario under
+// its registry name ("scenario:startup-storm", ...).
+func ProfileNames() []string {
+	out := []string{"llnl", "realapp"}
+	for _, s := range Scenarios() {
+		out = append(out, s.Experiment)
+	}
+	return out
+}
+
+// Profile returns the named base spec: a ready-to-run document you can
+// execute directly or compose with With/Scaled. "llnl" and "realapp"
+// are driver runs of the paper's two workload models; "scenario:NAME"
+// (or bare "NAME" for any catalog scenario) is that scenario's default
+// grid.
+func Profile(name string) (Spec, error) {
+	switch name {
+	case "llnl", "pynamic":
+		return Spec{
+			Version:  SpecVersion,
+			Kind:     SpecRun,
+			Name:     "llnl",
+			Workload: &WorkloadSpec{Profile: "llnl"},
+			Topology: &TopologySpec{MPITest: true},
+		}, nil
+	case "realapp":
+		return Spec{
+			Version:  SpecVersion,
+			Kind:     SpecRun,
+			Name:     "realapp",
+			Workload: &WorkloadSpec{Profile: "realapp"},
+			Topology: &TopologySpec{MPITest: true},
+		}, nil
+	}
+	trimmed := strings.TrimPrefix(name, scenario.Prefix)
+	if _, ok := scenarioByName(trimmed); ok {
+		return Spec{
+			Version:  SpecVersion,
+			Kind:     SpecScenario,
+			Name:     scenario.Prefix + trimmed,
+			Scenario: &ScenarioSpec{Name: trimmed},
+		}, nil
+	}
+	return Spec{}, fmt.Errorf("unknown profile %q (have %s): %w",
+		name, strings.Join(ProfileNames(), ", "), ErrBadConfig)
+}
+
+// MustProfile is Profile for known-good names; it panics on error.
+func MustProfile(name string) Spec {
+	s, err := Profile(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+package pynamic
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fsim"
+)
+
+// This file is the Spec equivalence gate: for every kind, executing a
+// spec through RunSpecCtx must produce byte-identical result JSON to
+// the corresponding typed-struct Engine call. The spec layer adds
+// identity and transport, never drift.
+
+// specEng returns a fresh engine for one equivalence comparison.
+func specEng(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSpecEquivalenceRun(t *testing.T) {
+	ctx := context.Background()
+	spec := parseSpec(t, `{"version":1,"kind":"run","seed":42,
+		"workload":{"scale_div":40,"funcs_div":10},
+		"build":{"mode":"link"},
+		"topology":{"tasks":16,"mpi_test":true}}`)
+	res, err := specEng(t).RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := specEng(t)
+	w, err := eng.GenerateCtx(ctx, LLNLModel().Scaled(40).ScaledFuncs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.RunCtx(ctx, RunConfig{
+		Mode:       Link,
+		Workload:   w,
+		NTasks:     16,
+		RunMPITest: true,
+		Coverage:   1,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res.Metrics), mustJSON(t, want)) {
+		t.Fatal("spec-driven run differs from the typed RunCtx call")
+	}
+}
+
+func TestSpecEquivalenceJob(t *testing.T) {
+	ctx := context.Background()
+	spec := parseSpec(t, `{"version":1,"kind":"job","seed":7,
+		"workload":{"scale_div":40,"funcs_div":10},
+		"topology":{"tasks":16,"ranks":0,"placement":"round-robin",
+		            "rank_skew":0.3,"straggler_frac":0.25,"warm_node_frac":0.25}}`)
+	res, err := specEng(t).RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := specEng(t)
+	cfg := LLNLModel().Scaled(40).ScaledFuncs(10)
+	cfg.Seed = 7
+	w, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.RunJobCtx(ctx, JobConfig{
+		Mode:             Vanilla,
+		Workload:         w,
+		NTasks:           16,
+		Ranks:            16,
+		Placement:        PlacementRoundRobin,
+		Coverage:         1,
+		RankSkew:         0.3,
+		StragglerFrac:    0.25,
+		StragglerIOScale: 4,
+		WarmNodeFrac:     0.25,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res.Job), mustJSON(t, want)) {
+		t.Fatal("spec-driven job differs from the typed RunJobCtx call")
+	}
+}
+
+func TestSpecEquivalenceScenario(t *testing.T) {
+	ctx := context.Background()
+	spec := parseSpec(t, `{"version":1,"kind":"scenario",
+		"scenario":{"name":"nfs-cold-warm","knobs":{"scale_div":80,"funcs_div":20},"repeats":2}}`)
+	eng := specEng(t)
+	exp, err := eng.ExpandSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Grid) != 1 {
+		t.Fatalf("knob overlay should resolve to one point, got %d", len(exp.Grid))
+	}
+	res, err := eng.RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := specEng(t).RunExperimentCtx(ctx, "scenario:nfs-cold-warm", ExperimentSpec{
+		Grid:    exp.Grid,
+		Repeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, res.Experiment), mustJSON(t, want)) {
+		t.Fatal("spec-driven scenario differs from the typed RunExperimentCtx call")
+	}
+
+	// Without knob overrides, the spec runs the default grid — the
+	// same cells a typed call with no Grid override runs.
+	defSpec := parseSpec(t, `{"version":1,"kind":"scenario","scenario":{"name":"symbol-collision"}}`)
+	defRes, err := specEng(t).RunSpecCtx(ctx, defSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defWant, err := specEng(t).RunExperimentCtx(ctx, "scenario:symbol-collision", ExperimentSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, defRes.Experiment), mustJSON(t, defWant)) {
+		t.Fatal("default-grid scenario spec differs from the typed call")
+	}
+}
+
+func TestSpecEquivalenceMatrix(t *testing.T) {
+	ctx := context.Background()
+	spec := parseSpec(t, `{"version":1,"kind":"matrix","seed":11,
+		"matrix":{"experiments":["ablate-binding"],
+		          "grids":{"ablate-binding":[{"scale_div":40}]},"repeats":2}}`)
+	res, err := specEng(t).RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := specEng(t).RunMatrixCtx(ctx, MatrixSpec{
+		Experiments: []string{"ablate-binding"},
+		Grids:       map[string][]Params{"ablate-binding": {{"scale_div": 40}}},
+		Repeats:     2,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Elapsed = 0 // host wall time; the spec path zeroes it by contract
+	if !bytes.Equal(mustJSON(t, res.Matrix), mustJSON(t, want)) {
+		t.Fatal("spec-driven matrix differs from the typed RunMatrixCtx call")
+	}
+}
+
+func TestSpecEquivalenceTool(t *testing.T) {
+	ctx := context.Background()
+	spec := parseSpec(t, `{"version":1,"kind":"tool",
+		"workload":{"profile":"realapp","scale_div":40},
+		"topology":{"tasks":16,"hetero_link_maps":true}}`)
+	res, err := specEng(t).RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := specEng(t)
+	w, err := eng.GenerateCtx(ctx, RealAppModel().Scaled(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := cluster.Place(ZeusCluster(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fsim.New(fsim.Defaults(), place.NodesUsed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := ToolStartupConfig{Workload: w, Tasks: 16, FS: fs, HeterogeneousLinkMaps: true}
+	cold, err := eng.ToolAttachCtx(ctx, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.ToolAttachCtx(ctx, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &ToolColdWarm{Tasks: 16, Nodes: place.NodesUsed(), Cold: cold, Warm: warm}
+	if !bytes.Equal(mustJSON(t, res.Tool), mustJSON(t, want)) {
+		t.Fatal("spec-driven tool attach differs from the typed ToolAttachCtx pair")
+	}
+}
+
+// TestSpecExpansionHashMatchesSpecHash: the hash the expansion carries
+// is the document's Hash — one identity everywhere.
+func TestSpecExpansionHashMatchesSpecHash(t *testing.T) {
+	for _, doc := range []string{
+		`{"version":1,"kind":"run"}`,
+		`{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm"}}`,
+		`{"version":1,"kind":"matrix","matrix":{"experiments":["nfs"]}}`,
+	} {
+		s := parseSpec(t, doc)
+		exp, err := specEng(t).ExpandSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := mustHash(t, s); h != exp.Hash {
+			t.Fatalf("doc %s: expansion hash %s != spec hash %s", doc, exp.Hash, h)
+		}
+	}
+}

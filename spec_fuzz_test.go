@@ -1,0 +1,78 @@
+package pynamic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecDecode fuzzes the strict spec decoder and the
+// canonicalization pipeline behind Hash. Properties:
+//
+//   - ParseSpec never panics, whatever the bytes;
+//   - a spec that parses and validates canonicalizes, and its
+//     canonical form is a fixed point: it re-parses strictly,
+//     re-validates, and re-canonicalizes to the same bytes (hence the
+//     same hash) — the property the service's hash-keyed job store
+//     depends on.
+//
+// Seed corpus: testdata/fuzz/FuzzSpecDecode plus every committed spec
+// document under testdata/specs.
+func FuzzSpecDecode(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("testdata", "specs", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"kind":"run"}`))
+	f.Add([]byte(`{"version":1,"kind":"job","topology":{"tasks":16,"ranks":0}}`))
+	f.Add([]byte(`{"version":1,"kind":"scenario","scenario":{"name":"scenario:rank-skew","knobs":{"tasks":8}}}`))
+	f.Add([]byte(`{"version":1,"kind":"matrix","matrix":{"experiments":["nfs","dllcount"]}}`))
+	f.Add([]byte(`{"version":1,"kind":"tool","workload":{"profile":"realapp"}}`))
+	f.Add([]byte(`{"version":1,"kind":"run","bogus":true}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // malformed input must only ever produce an error
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			// Parsed but invalid: Validate must agree.
+			if verr := s.Validate(); verr == nil {
+				t.Fatalf("Canonical failed (%v) but Validate passed for %s", err, data)
+			}
+			return
+		}
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("canonicalizable spec failed to hash: %v", err)
+		}
+
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, canon)
+		}
+		canon2, err := s2.Canonical()
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\n%s", err, canon)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonicalization not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		h2, err := s2.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash not stable across canonicalization: %s vs %s", h1, h2)
+		}
+	})
+}

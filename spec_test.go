@@ -1,0 +1,524 @@
+package pynamic
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// ctxb is shorthand for the background context in spec tests.
+func ctxb() context.Context { return context.Background() }
+
+// specFiles returns the committed spec documents, sorted by name.
+func specFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no spec documents under testdata/specs")
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestSpecGoldens is the round-trip golden gate over every committed
+// spec document: each must parse strictly, survive a
+// marshal→parse round trip unchanged, canonicalize to the committed
+// golden bytes, and hash to the committed hash. Regenerate after a
+// deliberate schema change with:
+//
+//	PYNAMIC_UPDATE_SPECS=1 go test -run TestSpecGoldens .
+func TestSpecGoldens(t *testing.T) {
+	update := os.Getenv("PYNAMIC_UPDATE_SPECS") != ""
+	var hashLines []string
+	for _, file := range specFiles(t) {
+		base := strings.TrimSuffix(filepath.Base(file), ".json")
+		t.Run(base, func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ParseSpec(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+
+			// Round trip: encode → strict parse → identical struct.
+			enc, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := ParseSpec(enc)
+			if err != nil {
+				t.Fatalf("re-parse of round-tripped spec: %v", err)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("round trip changed the spec:\n%+v\nvs\n%+v", s, s2)
+			}
+
+			// Canonical form: stable bytes, committed as a golden.
+			canon, err := s.Canonical()
+			if err != nil {
+				t.Fatalf("canonicalize: %v", err)
+			}
+			golden := filepath.Join("testdata", "specs", "golden", base+".canonical.json")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, append(canon, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%v (regenerate with PYNAMIC_UPDATE_SPECS=1)", err)
+				}
+				if string(want) != string(canon)+"\n" {
+					t.Fatalf("canonical form drifted from golden\n got: %s\nwant: %s", canon, want)
+				}
+			}
+
+			// The canonical form is a fixed point: it must itself
+			// parse strictly and canonicalize to the same bytes (and
+			// therefore the same hash).
+			cs, err := ParseSpec(canon)
+			if err != nil {
+				t.Fatalf("canonical form does not parse: %v", err)
+			}
+			canon2, err := cs.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(canon) != string(canon2) {
+				t.Fatalf("canonicalization is not idempotent:\n%s\nvs\n%s", canon, canon2)
+			}
+
+			h, err := s.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashLines = append(hashLines, fmt.Sprintf("%s %s", base, h))
+		})
+	}
+
+	hashGolden := filepath.Join("testdata", "specs", "hashes.golden")
+	got := strings.Join(hashLines, "\n") + "\n"
+	if update {
+		if err := os.WriteFile(hashGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("spec goldens updated")
+		return
+	}
+	want, err := os.ReadFile(hashGolden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with PYNAMIC_UPDATE_SPECS=1)", err)
+	}
+	if string(want) != got {
+		t.Fatalf("spec hashes drifted\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// mustHash hashes a spec or fails the test.
+func mustHash(t *testing.T, s Spec) string {
+	t.Helper()
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	return h
+}
+
+// parseSpec parses inline JSON or fails the test.
+func parseSpec(t *testing.T, doc string) Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse %s: %v", doc, err)
+	}
+	return s
+}
+
+// TestSpecHashEquivalences: semantically-equal specs must hash
+// identically — the canonicalization property the service's job
+// dedup and the caches rely on.
+func TestSpecHashEquivalences(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{
+			"omitted defaults vs explicit defaults",
+			`{"version":1,"kind":"run"}`,
+			`{"version":1,"kind":"run","seed":42,
+			  "workload":{"profile":"llnl","modules":280,"avg_funcs":1850,"utils":215,
+			              "avg_util_funcs":1850,"depth":10,"cross_module":true},
+			  "build":{"mode":"vanilla","backend":"analytic"},
+			  "topology":{"tasks":32,"placement":"block","coverage":1}}`,
+		},
+		{
+			"scale divisor vs resolved counts",
+			`{"version":1,"kind":"run","workload":{"scale_div":20}}`,
+			`{"version":1,"kind":"run","workload":{"modules":14,"utils":10}}`,
+		},
+		{
+			"coverage 0 means full coverage",
+			`{"version":1,"kind":"run","topology":{"coverage":0}}`,
+			`{"version":1,"kind":"run","topology":{"coverage":1}}`,
+		},
+		{
+			"job ranks 0 means every task",
+			`{"version":1,"kind":"job","topology":{"tasks":16,"ranks":0}}`,
+			`{"version":1,"kind":"job","topology":{"tasks":16,"ranks":16}}`,
+		},
+		{
+			"straggler io scale is moot without stragglers",
+			`{"version":1,"kind":"job","topology":{"straggler_io_scale":7}}`,
+			`{"version":1,"kind":"job","topology":{"straggler_io_scale":4}}`,
+		},
+		{
+			"scenario name accepts the registry prefix",
+			`{"version":1,"kind":"scenario","scenario":{"name":"scenario:nfs-cold-warm"}}`,
+			`{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm"}}`,
+		},
+		{
+			"name and workers are execution hints",
+			`{"version":1,"kind":"run","name":"a","workers":8}`,
+			`{"version":1,"kind":"run","name":"b"}`,
+		},
+		{
+			"build mode spelling normalizes",
+			`{"version":1,"kind":"run","build":{"mode":"linkbind"}}`,
+			`{"version":1,"kind":"run","build":{"mode":"link-bind"}}`,
+		},
+		{
+			"placement spelling normalizes",
+			`{"version":1,"kind":"job","topology":{"tasks":8,"placement":"rr"}}`,
+			`{"version":1,"kind":"job","topology":{"tasks":8,"placement":"round-robin"}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ha := mustHash(t, parseSpec(t, tc.a))
+			hb := mustHash(t, parseSpec(t, tc.b))
+			if ha != hb {
+				t.Fatalf("hashes differ:\n a: %s\n b: %s", ha, hb)
+			}
+		})
+	}
+}
+
+// TestSpecHashSensitivity: any knob change that affects results must
+// change the hash. Each mutation is applied to a base document and
+// must produce a distinct hash from the base and from every other
+// mutation.
+func TestSpecHashSensitivity(t *testing.T) {
+	base := `{"version":1,"kind":"job","seed":7,
+	  "workload":{"scale_div":40,"funcs_div":10},
+	  "build":{"mode":"link"},
+	  "topology":{"tasks":16,"ranks":4,"rank_skew":0.3}}`
+	mutations := map[string]string{
+		"kind":           `{"version":1,"kind":"run","seed":7,"workload":{"scale_div":40,"funcs_div":10},"build":{"mode":"link"},"topology":{"tasks":16}}`,
+		"seed":           strings.Replace(base, `"seed":7`, `"seed":8`, 1),
+		"scale":          strings.Replace(base, `"scale_div":40`, `"scale_div":20`, 1),
+		"funcs":          strings.Replace(base, `"funcs_div":10`, `"funcs_div":5`, 1),
+		"mode":           strings.Replace(base, `"mode":"link"`, `"mode":"vanilla"`, 1),
+		"backend":        strings.Replace(base, `"build":{"mode":"link"}`, `"build":{"mode":"link","backend":"detailed"}`, 1),
+		"tasks":          strings.Replace(base, `"tasks":16`, `"tasks":32`, 1),
+		"ranks":          strings.Replace(base, `"ranks":4`, `"ranks":8`, 1),
+		"skew":           strings.Replace(base, `"rank_skew":0.3`, `"rank_skew":0.5`, 1),
+		"placement":      strings.Replace(base, `"tasks":16`, `"tasks":16,"placement":"round-robin"`, 1),
+		"coverage":       strings.Replace(base, `"tasks":16`, `"tasks":16,"coverage":0.5`, 1),
+		"aslr":           strings.Replace(base, `"tasks":16`, `"tasks":16,"aslr":true`, 1),
+		"mpi":            strings.Replace(base, `"tasks":16`, `"tasks":16,"mpi_test":true`, 1),
+		"stragglers":     strings.Replace(base, `"rank_skew":0.3`, `"rank_skew":0.3,"straggler_frac":0.25`, 1),
+		"straggler_io":   strings.Replace(base, `"rank_skew":0.3`, `"rank_skew":0.3,"straggler_frac":0.25,"straggler_io_scale":8`, 1),
+		"warm_nodes":     strings.Replace(base, `"rank_skew":0.3`, `"rank_skew":0.3,"warm_node_frac":0.5`, 1),
+		"modules":        strings.Replace(base, `"scale_div":40`, `"scale_div":40,"modules":99`, 1),
+		"profile":        strings.Replace(base, `"workload":{`, `"workload":{"profile":"realapp",`, 1),
+		"depth":          strings.Replace(base, `"scale_div":40`, `"scale_div":40,"depth":5`, 1),
+		"cross_module":   strings.Replace(base, `"scale_div":40`, `"scale_div":40,"cross_module":false`, 1),
+		"cluster":        strings.Replace(base, `"mode":"link"`, `"mode":"link","cluster":{"nodes":64,"cores_per_node":8,"core_hz":2.4e9}`, 1),
+		"utils":          strings.Replace(base, `"scale_div":40`, `"scale_div":40,"utils":3`, 1),
+		"avg_util_funcs": strings.Replace(base, `"scale_div":40`, `"scale_div":40,"avg_util_funcs":50`, 1),
+	}
+	seen := map[string]string{mustHash(t, parseSpec(t, base)): "base"}
+	for name, doc := range mutations {
+		h := mustHash(t, parseSpec(t, doc))
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q hashes identically to %q", name, prev)
+		}
+		seen[h] = name
+	}
+
+	// Scenario knob change and matrix grid change must also move the
+	// hash.
+	s1 := mustHash(t, parseSpec(t, `{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm","knobs":{"scale_div":80}}}`))
+	s2 := mustHash(t, parseSpec(t, `{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm","knobs":{"scale_div":40}}}`))
+	s3 := mustHash(t, parseSpec(t, `{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm"}}`))
+	if s1 == s2 || s1 == s3 || s2 == s3 {
+		t.Fatalf("scenario knob variants collide: %s %s %s", s1, s2, s3)
+	}
+	m1 := mustHash(t, parseSpec(t, `{"version":1,"kind":"matrix","matrix":{"experiments":["ablate-binding"],"grids":{"ablate-binding":[{"scale_div":40}]}}}`))
+	m2 := mustHash(t, parseSpec(t, `{"version":1,"kind":"matrix","matrix":{"experiments":["ablate-binding"],"grids":{"ablate-binding":[{"scale_div":20}]}}}`))
+	m3 := mustHash(t, parseSpec(t, `{"version":1,"kind":"matrix","matrix":{"experiments":["ablate-binding"],"grids":{"ablate-binding":[{"scale_div":40}]},"repeats":3}}`))
+	if m1 == m2 || m1 == m3 {
+		t.Fatalf("matrix variants collide")
+	}
+}
+
+// TestSpecValidation: malformed specs fail with *FieldError values
+// wrapping ErrBadConfig, carrying the offending field path.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		doc  string
+		path string // expected FieldError path substring
+	}{
+		{`{"kind":"run"}`, "version"},
+		{`{"version":2,"kind":"run"}`, "version"},
+		{`{"version":1}`, "kind"},
+		{`{"version":1,"kind":"turbo"}`, "kind"},
+		{`{"version":1,"kind":"run","workload":{"profile":"windows"}}`, "workload.profile"},
+		{`{"version":1,"kind":"run","workload":{"modules":-1}}`, "workload.modules"},
+		{`{"version":1,"kind":"run","build":{"mode":"turbo"}}`, "build.mode"},
+		{`{"version":1,"kind":"run","build":{"backend":"exact"}}`, "build.backend"},
+		{`{"version":1,"kind":"run","build":{"cluster":{"nodes":0,"cores_per_node":8,"core_hz":1e9}}}`, "build.cluster"},
+		{`{"version":1,"kind":"run","topology":{"tasks":4,"ranks":9}}`, "topology.ranks"},
+		{`{"version":1,"kind":"run","topology":{"ranks":2}}`, "topology.ranks"},
+		{`{"version":1,"kind":"run","topology":{"rank_skew":0.5}}`, "topology.rank_skew"},
+		{`{"version":1,"kind":"run","topology":{"coverage":1.5}}`, "topology.coverage"},
+		{`{"version":1,"kind":"job","topology":{"hetero_link_maps":true}}`, "topology.hetero_link_maps"},
+		{`{"version":1,"kind":"tool","topology":{"aslr":true}}`, "topology.aslr"},
+		{`{"version":1,"kind":"scenario"}`, "scenario"},
+		{`{"version":1,"kind":"scenario","scenario":{"name":"nope"}}`, "scenario.name"},
+		{`{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm","knobs":{"bogus":1}}}`, "scenario.knobs.bogus"},
+		{`{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm","knobs":{"scale_div":"big"}}}`, "scenario.knobs.scale_div"},
+		{`{"version":1,"kind":"scenario","scenario":{"name":"nfs-cold-warm"},"workload":{}}`, "workload"},
+		{`{"version":1,"kind":"matrix"}`, "matrix"},
+		{`{"version":1,"kind":"matrix","matrix":{"experiments":[]}}`, "matrix.experiments"},
+		{`{"version":1,"kind":"matrix","matrix":{"experiments":["nope"]}}`, "matrix.experiments[0]"},
+		{`{"version":1,"kind":"matrix","matrix":{"experiments":["nfs"],"grids":{"dllcount":[{"dsos":8}]}}}`, "matrix.grids.dllcount"},
+		{`{"version":1,"kind":"run","scenario":{"name":"nfs-cold-warm"}}`, "scenario"},
+		{`{"version":1,"kind":"run","matrix":{"experiments":["nfs"]}}`, "matrix"},
+	}
+	for _, tc := range cases {
+		s, err := ParseSpec([]byte(tc.doc))
+		if err != nil {
+			t.Fatalf("doc %s: parse error %v (validation, not parsing, should fail)", tc.doc, err)
+		}
+		err = s.Validate()
+		if err == nil {
+			t.Errorf("doc %s: validated, want field error at %s", tc.doc, tc.path)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("doc %s: error %v does not wrap ErrBadConfig", tc.doc, err)
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("doc %s: error %v carries no *FieldError", tc.doc, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.path) {
+			t.Errorf("doc %s: error %q does not name field %q", tc.doc, err, tc.path)
+		}
+	}
+
+	// Strict parsing: unknown fields and trailing garbage are errors.
+	for _, doc := range []string{
+		`{"version":1,"kind":"run","bogus":1}`,
+		`{"version":1,"kind":"run","workload":{"dso_count":4}}`,
+		`{"version":1,"kind":"run"} trailing`,
+	} {
+		if _, err := ParseSpec([]byte(doc)); err == nil {
+			t.Errorf("doc %s: parsed, want strict-mode error", doc)
+		} else if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("doc %s: parse error %v does not wrap ErrBadConfig", doc, err)
+		}
+	}
+
+	// Multiple failures are all reported, each with its path.
+	err := parseSpec(t, `{"version":3,"kind":"run","workload":{"modules":-2},"build":{"mode":"x"}}`).Validate()
+	if err == nil {
+		t.Fatal("multi-error spec validated")
+	}
+	for _, want := range []string{"version", "workload.modules", "build.mode"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestSpecCompose covers With, Scaled, and the named profiles.
+func TestSpecCompose(t *testing.T) {
+	base := MustProfile("llnl")
+	job := base.With(Spec{
+		Kind:     SpecJob,
+		Seed:     9,
+		Topology: &TopologySpec{Tasks: 64, Ranks: 8},
+	})
+	if job.Kind != SpecJob || job.Seed != 9 {
+		t.Fatalf("overlay did not apply: %+v", job)
+	}
+	if job.Topology.Tasks != 64 || !job.Topology.MPITest {
+		t.Fatalf("topology merge lost fields: %+v", job.Topology)
+	}
+	if job.Workload.Profile != "llnl" {
+		t.Fatalf("base workload lost: %+v", job.Workload)
+	}
+
+	scaled := job.Scaled(20).Scaled(2)
+	if scaled.Workload.ScaleDiv != 40 {
+		t.Fatalf("Scaled composition: got %d, want 40", scaled.Workload.ScaleDiv)
+	}
+	if job.Workload.ScaleDiv != 0 {
+		t.Fatalf("Scaled mutated the receiver: %+v", job.Workload)
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatalf("composed spec invalid: %v", err)
+	}
+
+	// Scenario profiles exist for the whole catalog and validate.
+	names := ProfileNames()
+	if len(names) < 2+len(Scenarios()) {
+		t.Fatalf("profile names missing scenarios: %v", names)
+	}
+	for _, name := range names {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Profile(%q) invalid: %v", name, err)
+		}
+	}
+	if _, err := Profile("nope"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown profile error: %v", err)
+	}
+
+	// Float knobs accept non-integral overrides even when the default
+	// grid happens to hold integral values (io_scale defaults 4/16).
+	fl := parseSpec(t, `{"version":1,"kind":"scenario",
+		"scenario":{"name":"straggler-node","knobs":{"io_scale":2.5}}}`)
+	if err := fl.Validate(); err != nil {
+		t.Fatalf("float knob rejected a non-integral override: %v", err)
+	}
+
+	// Knob overlays through With.
+	sc := MustProfile("scenario:nfs-cold-warm").With(Spec{
+		Scenario: &ScenarioSpec{Knobs: Params{"scale_div": 80}},
+	})
+	if sc.Scenario.Name != "nfs-cold-warm" || sc.Scenario.Knobs["scale_div"] != 80 {
+		t.Fatalf("scenario overlay: %+v", sc.Scenario)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("scenario overlay invalid: %v", err)
+	}
+}
+
+// TestScenariosCatalog: the public catalog exposes every scenario with
+// typed, value-carrying knobs.
+func TestScenariosCatalog(t *testing.T) {
+	cat := Scenarios()
+	if len(cat) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(cat))
+	}
+	for _, sc := range cat {
+		if sc.Name == "" || !strings.HasPrefix(sc.Experiment, "scenario:") ||
+			sc.Description == "" || sc.GridPoints == 0 {
+			t.Fatalf("bad catalog entry: %+v", sc)
+		}
+		if len(sc.Knobs) == 0 {
+			t.Fatalf("scenario %s has no knobs", sc.Name)
+		}
+		for i, k := range sc.Knobs {
+			if i > 0 && sc.Knobs[i-1].Name >= k.Name {
+				t.Fatalf("scenario %s: knobs not sorted: %v", sc.Name, sc.Knobs)
+			}
+			switch k.Type {
+			case "int", "float", "string", "bool":
+			default:
+				t.Fatalf("scenario %s knob %s: bad type %q", sc.Name, k.Name, k.Type)
+			}
+			if len(k.Values) == 0 {
+				t.Fatalf("scenario %s knob %s: no values", sc.Name, k.Name)
+			}
+		}
+	}
+}
+
+// TestSpecWorkloadCacheSharing: a typed GenerateCtx and a spec-driven
+// run over the same workload configuration share one workload-cache
+// entry — the "identical specs hit the caches" property.
+func TestSpecWorkloadCacheSharing(t *testing.T) {
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LLNLModel().Scaled(40).ScaledFuncs(10)
+	if _, err := eng.GenerateCtx(ctxb(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	spec := parseSpec(t, `{"version":1,"kind":"run",
+		"workload":{"scale_div":40,"funcs_div":10},
+		"topology":{"tasks":4}}`)
+	if _, err := eng.RunSpecCtx(ctxb(), spec); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.WorkloadCacheStats()
+	if st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("spec run did not share the typed call's workload: %+v", st)
+	}
+}
+
+// TestSpecResultCacheSharing: a spec-expanded matrix and the typed
+// matrix call produce identical result-cache traffic — second run all
+// hits, zero executions.
+func TestSpecResultCacheSharing(t *testing.T) {
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMemResultCache()
+	spec := parseSpec(t, `{"version":1,"kind":"matrix","seed":5,
+		"matrix":{"experiments":["ablate-binding"],"grids":{"ablate-binding":[{"scale_div":40}]},"repeats":2}}`)
+	exp, err := eng.ExpandSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := *exp.Matrix
+	ms.Cache = cache
+	first, err := eng.RunMatrixCtx(ctxb(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 {
+		t.Fatalf("first run hit the cache: %+v", first)
+	}
+	// The typed equivalent of the same document must be served fully
+	// from the cache the spec expansion populated.
+	second, err := eng.RunMatrixCtx(ctxb(), MatrixSpec{
+		Experiments: []string{"ablate-binding"},
+		Grids:       map[string][]Params{"ablate-binding": {{"scale_div": 40}}},
+		Repeats:     2,
+		Seed:        5,
+		Cache:       cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 || second.CacheHits == 0 {
+		t.Fatalf("typed run missed the spec-populated cache: hits=%d misses=%d",
+			second.CacheHits, second.CacheMisses)
+	}
+}
