@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench lint ci clean
+.PHONY: build test bench bench-load lint ci clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Re-measure the committed load trajectory (12 cells, ~25s) and
+# regenerate EXPERIMENTS.md's tables from it.
+bench-load:
+	$(GO) run ./cmd/pynamic-load -duration 2s -concurrency 1,2,4,8 \
+		-cache-size 0,4,16 -out "" -bench-out BENCH_pr6.json -pr pr6
+	$(GO) run ./cmd/pynamic-load -render BENCH_pr6.json -update-doc EXPERIMENTS.md
 
 lint:
 	@unformatted=$$(gofmt -l .); \

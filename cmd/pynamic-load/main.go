@@ -1,0 +1,207 @@
+// Command pynamic-load is the load harness: it replays seeded,
+// Zipfian-distributed Spec traffic against a live pynamic-serve
+// instance (-target URL) or an in-process Engine (default), sweeping
+// concurrency × spec-mix skew × workload-cache size, and records
+// latency percentiles, throughput, error rate, and cache/dedup hit
+// ratios per cell.
+//
+//	# 12-cell in-process sweep, 2s per cell, emit the PR trajectory file
+//	pynamic-load -duration 2s -concurrency 1,2,4,8 -cache-size 0,4,16 \
+//	             -bench-out BENCH_pr6.json -pr pr6
+//
+//	# drive a live service (closed loop, 4 workers)
+//	pynamic-serve -addr :8080 &
+//	pynamic-load -target http://127.0.0.1:8080 -duration 2s -concurrency 4
+//
+//	# open loop at 200 req/s
+//	pynamic-load -target http://127.0.0.1:8080 -mode open -rate 200 -duration 5s
+//
+//	# validate a committed trajectory file (CI gate)
+//	pynamic-load -validate BENCH_pr6.json
+//
+//	# regenerate EXPERIMENTS.md's load-harness tables from a trajectory
+//	pynamic-load -render BENCH_pr6.json -update-doc EXPERIMENTS.md
+//
+// Artifacts land under <out>/<stamp>/loadgen/ as sweep.json + cells.csv;
+// -bench-out additionally distills the sweep into a schema-validated
+// BENCH_*.json trajectory file, and -tables-out writes its paper-ready
+// markdown tables. The request schedule is a pure function of
+// (-seed, -skew, -specs): identical flags replay identical traffic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "", "pynamic-serve base URL (empty = in-process Engine)")
+		mode      = flag.String("mode", "closed", `loop model: "closed" (fixed workers) or "open" (fixed arrival rate)`)
+		duration  = flag.Duration("duration", 2*time.Second, "wall-clock budget per cell (ignored when -requests > 0)")
+		requests  = flag.Int("requests", 0, "fixed request count per cell (0 = duration-bounded)")
+		concList  = flag.String("concurrency", "4", "comma-separated closed-loop worker counts (sweep axis)")
+		skewList  = flag.String("skew", "1.1", "comma-separated Zipfian exponents over the spec mix (sweep axis)")
+		cacheList = flag.String("cache-size", "8", "comma-separated workload-cache capacities (sweep axis; applied in-process, recorded against -target)")
+		rate      = flag.Float64("rate", 100, "open-loop arrival rate, requests/sec")
+		specs     = flag.Int("specs", 16, "request-mix size: number of distinct specs, Zipf-ranked")
+		seed      = flag.Uint64("seed", 1, "schedule + mix seed (same seed → byte-identical request schedule)")
+		out       = flag.String("out", "runs", `artifact root ("" disables artifacts)`)
+		benchOut  = flag.String("bench-out", "", "write a BENCH_*.json trajectory file here")
+		pr        = flag.String("pr", "pr6", "trajectory point label recorded in -bench-out")
+		tablesOut = flag.String("tables-out", "", "write the trajectory's markdown tables here")
+		poll      = flag.Duration("poll", 5*time.Millisecond, "HTTP status-poll interval")
+
+		validate  = flag.String("validate", "", "validate a BENCH_*.json file against the schema and exit")
+		render    = flag.String("render", "", "render tables from an existing BENCH_*.json instead of sweeping")
+		updateDoc = flag.String("update-doc", "", "regenerate the pynamic-load marker section of this document (with -render or after a sweep)")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		b, err := loadgen.ReadBench(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pynamic-load: %s is a valid %s trajectory (%s, %d cells)\n",
+			*validate, loadgen.BenchSchema, b.PR, len(b.Cells))
+		return
+	}
+	if *render != "" {
+		b, err := loadgen.ReadBench(*render)
+		if err != nil {
+			fatal(err)
+		}
+		emit(b, *tablesOut, *updateDoc, true)
+		return
+	}
+
+	base := loadgen.CellConfig{
+		Mode:       *mode,
+		RatePerSec: *rate,
+		Duration:   *duration,
+		Requests:   *requests,
+		Specs:      *specs,
+		Seed:       *seed,
+	}
+	if *mode == loadgen.ModeClosed {
+		base.RatePerSec = 0
+	}
+	sc := loadgen.SweepConfig{
+		Base:          base,
+		Concurrencies: mustInts("concurrency", *concList),
+		Skews:         mustFloats("skew", *skewList),
+		CacheSizes:    mustInts("cache-size", *cacheList),
+		TargetURL:     *target,
+		PollInterval:  *poll,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	targetName := *target
+	if targetName == "" {
+		targetName = "in-process engine"
+	}
+	fmt.Printf("pynamic-load: %d cells (%s loop) against %s, %d-spec mix, seed %d\n",
+		sc.Cells(), *mode, targetName, *specs, *seed)
+	res, err := loadgen.RunSweep(ctx, sc, func(format string, args ...any) {
+		fmt.Printf("pynamic-load: "+format+"\n", args...)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		dir := filepath.Join(*out, strings.ReplaceAll(res.Stamp, ":", "-"), "loadgen")
+		files, err := loadgen.WriteRun(dir, res)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range files {
+			fmt.Println("pynamic-load: wrote", f)
+		}
+	}
+
+	b := loadgen.NewBench(*pr, res)
+	if *benchOut != "" {
+		if err := loadgen.WriteBench(*benchOut, b); err != nil {
+			fatal(err)
+		}
+		fmt.Println("pynamic-load: wrote", *benchOut)
+	}
+	emit(b, *tablesOut, *updateDoc, *benchOut == "" && *tablesOut == "" && *updateDoc == "")
+}
+
+// emit writes the trajectory's tables to the requested sinks; stdout
+// when the caller asked for nothing else.
+func emit(b *loadgen.BenchFile, tablesOut, updateDoc string, stdout bool) {
+	md := loadgen.Markdown(b)
+	if tablesOut != "" {
+		if err := os.WriteFile(tablesOut, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("pynamic-load: wrote", tablesOut)
+	}
+	if updateDoc != "" {
+		if err := loadgen.RenderInto(updateDoc, b); err != nil {
+			fatal(err)
+		}
+		fmt.Println("pynamic-load: regenerated tables in", updateDoc)
+	}
+	if stdout {
+		fmt.Print(md)
+	}
+}
+
+func mustInts(flagName, csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("-%s: %q is not an integer", flagName, part))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-%s: empty list", flagName))
+	}
+	return out
+}
+
+func mustFloats(flagName, csv string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-%s: %q is not a number", flagName, part))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-%s: empty list", flagName))
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pynamic-load:", err)
+	os.Exit(1)
+}

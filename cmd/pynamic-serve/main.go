@@ -1,7 +1,8 @@
 // Command pynamic-serve exposes the Pynamic Engine over HTTP: a
 // long-lived service that accepts benchmark jobs, runs them through
 // the per-rank job engine on a shared workload cache, and serves
-// status, results, and the experiment/scenario catalogs as JSON.
+// status, results, metrics, and the experiment/scenario catalogs as
+// JSON.
 //
 //	pynamic-serve -addr :8080 -max-concurrent 4 -cache-size 16
 //
@@ -16,13 +17,19 @@
 //	curl localhost:8080/v1/specs/<hash>/result  # inner canonical result JSON
 //	curl localhost:8080/v1/experiments
 //	curl localhost:8080/v1/scenarios            # typed knob catalog
+//	curl localhost:8080/v1/metrics              # counter catalog (flat JSON)
 //
-// SIGINT/SIGTERM shut the server down gracefully, canceling in-flight
-// jobs through their contexts.
+// SIGINT/SIGTERM trigger a graceful drain: the server stops accepting
+// new submissions (503), finishes every in-flight job, flushes the
+// final /v1/metrics counters to stdout, and exits 0. A drain that
+// outlives -drain-timeout (or a second signal) escalates to canceling
+// the remaining jobs — still flushing metrics and exiting 0, since an
+// operator-requested shutdown is not a failure.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,9 +45,11 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		maxConc   = flag.Int("max-concurrent", 2, "jobs simulating concurrently (others queue)")
-		cacheSize = flag.Int("cache-size", 16, "workload cache capacity (0 disables)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxConc      = flag.Int("max-concurrent", 2, "jobs simulating concurrently (others queue)")
+		cacheSize    = flag.Int("cache-size", 16, "workload cache capacity (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long a signal-triggered drain waits for in-flight jobs before canceling them")
 	)
 	flag.Parse()
 
@@ -61,18 +70,52 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		fmt.Println("pynamic-serve: shutting down")
-		sv.Close() // cancel in-flight jobs before draining connections
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fatal(err)
-		}
+		stop() // restore default handling: a third signal kills us outright
+		shutdown(sv, httpSrv, *drainTimeout)
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
 	}
+}
+
+// shutdown is the graceful exit path: drain (bounded by timeout and by
+// a second signal), then cancel whatever remains, flush the final
+// counter state, and close the listener. It always exits 0 — the
+// process was asked to stop and it stopped.
+func shutdown(sv *serve.Server, httpSrv *http.Server, timeout time.Duration) {
+	fmt.Println("pynamic-serve: draining (refusing new work, finishing in-flight jobs)")
+	drainCtx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	drainCtx, cancelTimeout := context.WithTimeout(drainCtx, timeout)
+	defer cancelTimeout()
+	if err := sv.Drain(drainCtx); err != nil {
+		fmt.Println("pynamic-serve: drain interrupted; canceling in-flight jobs")
+	}
+	// Cancel anything the drain left running (a no-op after a clean
+	// drain) before tearing the listener down.
+	sv.Close()
+
+	flushMetrics(sv)
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Println("pynamic-serve: shutdown complete")
+	os.Exit(0)
+}
+
+// flushMetrics writes the final counter catalog to stdout, so the
+// numbers a scraper would have read from /v1/metrics survive the
+// process (e.g. into a supervisor's log).
+func flushMetrics(sv *serve.Server) {
+	data, err := json.MarshalIndent(sv.Metrics(), "", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Printf("pynamic-serve: final metrics\n%s\n", data)
 }
 
 func fatal(err error) {

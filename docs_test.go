@@ -1,0 +1,81 @@
+package pynamic
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocsPresent is the godoc-presence gate: every package in
+// the module — the root library, every internal package, and every
+// command — must carry a package-level doc comment substantial enough
+// to orient a reader (one sentence is not a design note). New packages
+// fail this test until they explain themselves.
+func TestPackageDocsPresent(t *testing.T) {
+	var dirs []string
+	for _, root := range []string{".", "internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "runs" {
+				return filepath.SkipDir
+			}
+			matches, err := filepath.Glob(filepath.Join(path, "*.go"))
+			if err != nil {
+				return err
+			}
+			if len(matches) > 0 {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dirs) < 8 {
+		t.Fatalf("found only %d Go package dirs — the walk is broken", len(dirs))
+	}
+
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			doc := ""
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc = f.Doc.Text()
+					break
+				}
+			}
+			switch {
+			case doc == "":
+				t.Errorf("package %s (%s) has no package doc comment", name, dir)
+			case len(strings.TrimSpace(doc)) < 60:
+				t.Errorf("package %s (%s) doc is %d chars — write a real package comment", name, dir, len(strings.TrimSpace(doc)))
+			case !strings.HasPrefix(doc, "Package "+name) && !strings.HasPrefix(doc, "Command "):
+				t.Errorf("package %s (%s) doc %q does not open with the godoc convention", name, dir, firstLine(doc))
+			}
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -37,6 +37,7 @@ type Engine struct {
 	events     func(Event)
 	cache      *workloadCache
 	reg        *runner.Registry
+	stats      *engineStats
 }
 
 // Option configures an Engine at construction.
@@ -109,7 +110,7 @@ func WithEvents(fn func(Event)) Option {
 // New constructs an Engine. Option validation failures return an error
 // wrapping ErrBadConfig.
 func New(opts ...Option) (*Engine, error) {
-	e := &Engine{cacheSize: 8, reg: experiments.RunnerRegistry()}
+	e := &Engine{cacheSize: 8, reg: experiments.RunnerRegistry(), stats: newEngineStats()}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
 			return nil, wrapErr("New", "config", err)
@@ -185,6 +186,7 @@ func (e *Engine) GenerateCtx(ctx context.Context, cfg Config) (*Workload, error)
 		return nil, wrapErr(op, "generate", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "generate", CacheHit: hit})
+	e.stats.countGenerate()
 	return w, nil
 }
 
@@ -236,6 +238,7 @@ func (e *Engine) RunCtx(ctx context.Context, cfg RunConfig) (*Metrics, error) {
 		return nil, wrapErr(op, "run", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "job", Sec: m.TotalSec()})
+	e.stats.countRun(m)
 	return m, nil
 }
 
@@ -259,6 +262,7 @@ func (e *Engine) RunJobCtx(ctx context.Context, cfg JobConfig) (*JobResult, erro
 		return nil, wrapErr(op, "run", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "job", Sec: res.TotalSec()})
+	e.stats.countJob(res)
 	return res, nil
 }
 
@@ -276,6 +280,7 @@ func (e *Engine) ToolAttachCtx(ctx context.Context, cfg ToolStartupConfig) (Tool
 		return ph, wrapErr(op, "attach", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "attach", Sec: ph.Total()})
+	e.stats.countToolAttach()
 	return ph, nil
 }
 
@@ -362,6 +367,7 @@ func (e *Engine) RunMatrixCtx(ctx context.Context, spec MatrixSpec) (*MatrixResu
 		return res, wrapErr(op, "matrix", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "matrix"})
+	e.stats.countMatrix()
 	return res, nil
 }
 

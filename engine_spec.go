@@ -283,6 +283,7 @@ func (e *Engine) RunSpecCtx(ctx context.Context, s Spec) (*SpecResult, error) {
 		}
 		res.Tool = tr
 	}
+	e.stats.countSpec()
 	return res, nil
 }
 

@@ -1,0 +1,120 @@
+package pynamic
+
+import "sync"
+
+// EngineStats is a snapshot of an Engine's lifetime operation counters:
+// how many operations of each kind completed successfully, the summed
+// simulated seconds per job phase, and the workload-cache counters.
+// The serving layer exposes this snapshot (flattened) at /v1/metrics so
+// a load harness can compute cache hit ratios and simulated-work totals
+// from outside the process; see internal/loadgen.
+type EngineStats struct {
+	// Generates counts completed GenerateCtx calls (cache hits
+	// included; the cache counters below split hit from miss).
+	Generates int64 `json:"generates"`
+	// Runs, Jobs, Matrices and ToolAttaches count completed RunCtx,
+	// RunJobCtx, RunMatrixCtx and ToolAttachCtx calls. Experiment and
+	// scenario runs dispatch through the matrix path and are counted
+	// under Matrices.
+	Runs         int64 `json:"runs"`
+	Jobs         int64 `json:"jobs"`
+	Matrices     int64 `json:"matrices"`
+	ToolAttaches int64 `json:"tool_attaches"`
+	// Specs counts completed RunSpecCtx calls (each also increments the
+	// counter of the typed path it dispatched to).
+	Specs int64 `json:"specs"`
+	// PhaseSimSec sums simulated seconds per phase name ("startup",
+	// "import", "visit", "mpi") over every completed run and job —
+	// simulation work performed, not host wall time.
+	PhaseSimSec map[string]float64 `json:"phase_sim_sec"`
+	// WorkloadCache is the workload-cache counter snapshot (the same
+	// value WorkloadCacheStats returns).
+	WorkloadCache WorkloadCacheStats `json:"workload_cache"`
+}
+
+// engineStats is the mutable counter set behind Engine.Stats. One
+// mutex covers every field: the counters are touched once per Engine
+// operation, never on simulation hot paths.
+type engineStats struct {
+	mu           sync.Mutex
+	generates    int64
+	runs         int64
+	jobs         int64
+	matrices     int64
+	toolAttaches int64
+	specs        int64
+	phaseSimSec  map[string]float64
+}
+
+func newEngineStats() *engineStats {
+	return &engineStats{phaseSimSec: make(map[string]float64)}
+}
+
+func (s *engineStats) countGenerate() {
+	s.mu.Lock()
+	s.generates++
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countRun(m *Metrics) {
+	s.mu.Lock()
+	s.runs++
+	s.addPhasesLocked(m.StartupSec, m.ImportSec, m.VisitSec, m.MPISec)
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countJob(r *JobResult) {
+	s.mu.Lock()
+	s.jobs++
+	s.addPhasesLocked(r.StartupSec, r.ImportSec, r.VisitSec, r.MPISec)
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countMatrix() {
+	s.mu.Lock()
+	s.matrices++
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countToolAttach() {
+	s.mu.Lock()
+	s.toolAttaches++
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countSpec() {
+	s.mu.Lock()
+	s.specs++
+	s.mu.Unlock()
+}
+
+func (s *engineStats) addPhasesLocked(startup, imp, visit, mpi float64) {
+	s.phaseSimSec["startup"] += startup
+	s.phaseSimSec["import"] += imp
+	s.phaseSimSec["visit"] += visit
+	s.phaseSimSec["mpi"] += mpi
+}
+
+// Stats returns a snapshot of the engine's operation counters and the
+// workload-cache counters. Counters only ever increase over an engine's
+// lifetime, so two snapshots bracket the work between them — which is
+// exactly how the load harness computes per-cell deltas.
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	s.mu.Lock()
+	out := EngineStats{
+		Generates:    s.generates,
+		Runs:         s.runs,
+		Jobs:         s.jobs,
+		Matrices:     s.matrices,
+		ToolAttaches: s.toolAttaches,
+		Specs:        s.specs,
+		PhaseSimSec:  make(map[string]float64, len(s.phaseSimSec)),
+	}
+	for k, v := range s.phaseSimSec {
+		out.PhaseSimSec[k] = v
+	}
+	s.mu.Unlock()
+	out.WorkloadCache = e.cache.stats()
+	return out
+}

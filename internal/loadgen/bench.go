@@ -1,0 +1,199 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// BenchSchema is the BENCH_*.json trajectory schema identifier. A
+// trajectory file is the committed, schema-validated distillation of
+// one load sweep: the per-PR performance record the experiment-to-
+// paper pipeline renders tables from, and CI validates on every PR.
+const BenchSchema = "pynamic-load-bench/v1"
+
+// BenchCell is one measured grid cell of a trajectory file — the
+// flattened, unit-suffixed form of a CellResult.
+type BenchCell struct {
+	Mode          string  `json:"mode"`
+	Concurrency   int     `json:"concurrency"`
+	RatePerSec    float64 `json:"rate_per_sec,omitempty"`
+	Skew          float64 `json:"skew"`
+	CacheSize     int     `json:"cache_size"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	// CacheHitRatio and DedupRatio are in [0,1], or -1 when the
+	// target reported no counters for the dimension.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+}
+
+// BenchFile is one committed BENCH_*.json document.
+type BenchFile struct {
+	// Schema must be BenchSchema.
+	Schema string `json:"schema"`
+	// PR labels the trajectory point ("pr6", "pr7", ...).
+	PR string `json:"pr"`
+	// Stamp is the sweep's RFC3339 UTC start time.
+	Stamp string `json:"stamp"`
+	// Target labels the system under load ("engine" or a URL).
+	Target string `json:"target"`
+	// Specs and Seed reproduce the request mix; Cells the grid.
+	Specs int         `json:"specs"`
+	Seed  uint64      `json:"seed"`
+	Cells []BenchCell `json:"cells"`
+}
+
+// NewBench distills a sweep into a trajectory file labeled pr.
+func NewBench(pr string, res *SweepResult) *BenchFile {
+	b := &BenchFile{Schema: BenchSchema, PR: pr, Stamp: res.Stamp, Target: res.Target}
+	for _, c := range res.Cells {
+		if b.Specs == 0 {
+			b.Specs, b.Seed = c.Config.Specs, c.Config.Seed
+		}
+		b.Cells = append(b.Cells, BenchCell{
+			Mode:          c.Config.Mode,
+			Concurrency:   c.Config.Concurrency,
+			RatePerSec:    c.Config.RatePerSec,
+			Skew:          c.Config.Skew,
+			CacheSize:     c.Config.CacheSize,
+			Requests:      c.Requests,
+			Errors:        c.Errors,
+			ElapsedSec:    c.ElapsedSec,
+			ThroughputRPS: c.ThroughputRPS,
+			P50Ms:         c.Latency.P50Ms,
+			P95Ms:         c.Latency.P95Ms,
+			P99Ms:         c.Latency.P99Ms,
+			MaxMs:         c.Latency.MaxMs,
+			MeanMs:        c.Latency.MeanMs,
+			CacheHitRatio: c.CacheHitRatio,
+			DedupRatio:    c.DedupRatio,
+		})
+	}
+	return b
+}
+
+// Validate checks the document against the schema's structural rules.
+// It returns the first violation — the same check CI runs against
+// both the committed trajectory file and a freshly emitted one, so a
+// malformed harness cannot commit an unreadable record.
+func (b *BenchFile) Validate() error {
+	if b.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q (want %q)", b.Schema, BenchSchema)
+	}
+	if b.PR == "" {
+		return fmt.Errorf("bench: empty pr label")
+	}
+	if b.Stamp == "" {
+		return fmt.Errorf("bench: empty stamp")
+	}
+	if b.Target == "" {
+		return fmt.Errorf("bench: empty target")
+	}
+	if b.Specs <= 0 {
+		return fmt.Errorf("bench: specs %d <= 0", b.Specs)
+	}
+	if len(b.Cells) == 0 {
+		return fmt.Errorf("bench: no cells")
+	}
+	for i, c := range b.Cells {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("bench: cell %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (c BenchCell) validate() error {
+	if c.Mode != ModeClosed && c.Mode != ModeOpen {
+		return fmt.Errorf("mode %q", c.Mode)
+	}
+	if c.Concurrency <= 0 {
+		return fmt.Errorf("concurrency %d <= 0", c.Concurrency)
+	}
+	if c.Skew < 0 {
+		return fmt.Errorf("skew %v < 0", c.Skew)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("cache_size %d < 0", c.CacheSize)
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("requests %d <= 0 (an empty cell is not a measurement)", c.Requests)
+	}
+	if c.Errors < 0 || c.Errors > c.Requests {
+		return fmt.Errorf("errors %d outside [0, %d requests]", c.Errors, c.Requests)
+	}
+	for name, v := range map[string]float64{
+		"elapsed_sec": c.ElapsedSec, "throughput_rps": c.ThroughputRPS,
+		"p50_ms": c.P50Ms, "p95_ms": c.P95Ms, "p99_ms": c.P99Ms,
+		"max_ms": c.MaxMs, "mean_ms": c.MeanMs,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s %v is not a non-negative finite number", name, v)
+		}
+	}
+	if c.ElapsedSec == 0 {
+		return fmt.Errorf("elapsed_sec 0")
+	}
+	if !(c.P50Ms <= c.P95Ms && c.P95Ms <= c.P99Ms && c.P99Ms <= c.MaxMs) {
+		return fmt.Errorf("latency percentiles not monotonic: p50 %v p95 %v p99 %v max %v",
+			c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs)
+	}
+	for name, v := range map[string]float64{
+		"cache_hit_ratio": c.CacheHitRatio, "dedup_ratio": c.DedupRatio,
+	} {
+		if v != -1 && (v < 0 || v > 1) {
+			return fmt.Errorf("%s %v outside [0,1] (or -1 for unavailable)", name, v)
+		}
+	}
+	return nil
+}
+
+// ParseBench strictly decodes and validates a trajectory document:
+// unknown fields, trailing data, and schema violations are all errors.
+func ParseBench(data []byte) (*BenchFile, error) {
+	var b BenchFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("bench: parse: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("bench: trailing data after the document")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// ReadBench loads and validates the trajectory file at path.
+func ReadBench(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBench(data)
+}
+
+// WriteBench writes the validated document to path as indented JSON.
+func WriteBench(path string, b *BenchFile) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

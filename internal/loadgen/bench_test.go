@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodBench returns a minimal valid trajectory document.
+func goodBench() *BenchFile {
+	return &BenchFile{
+		Schema: BenchSchema,
+		PR:     "pr6",
+		Stamp:  "2026-01-01T00:00:00Z",
+		Target: "engine",
+		Specs:  16,
+		Seed:   1,
+		Cells: []BenchCell{{
+			Mode: ModeClosed, Concurrency: 4, Skew: 1.1, CacheSize: 8,
+			Requests: 100, Errors: 0, ElapsedSec: 2, ThroughputRPS: 50,
+			P50Ms: 1, P95Ms: 2, P99Ms: 3, MaxMs: 4, MeanMs: 1.2,
+			CacheHitRatio: 0.5, DedupRatio: -1,
+		}},
+	}
+}
+
+func TestBenchValidate(t *testing.T) {
+	if err := goodBench().Validate(); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+		want   string
+	}{
+		{"wrong schema", func(b *BenchFile) { b.Schema = "bogus/v9" }, "schema"},
+		{"empty pr", func(b *BenchFile) { b.PR = "" }, "pr label"},
+		{"empty stamp", func(b *BenchFile) { b.Stamp = "" }, "stamp"},
+		{"empty target", func(b *BenchFile) { b.Target = "" }, "target"},
+		{"zero specs", func(b *BenchFile) { b.Specs = 0 }, "specs"},
+		{"no cells", func(b *BenchFile) { b.Cells = nil }, "no cells"},
+		{"bad mode", func(b *BenchFile) { b.Cells[0].Mode = "burst" }, "mode"},
+		{"zero concurrency", func(b *BenchFile) { b.Cells[0].Concurrency = 0 }, "concurrency"},
+		{"negative skew", func(b *BenchFile) { b.Cells[0].Skew = -1 }, "skew"},
+		{"negative cache", func(b *BenchFile) { b.Cells[0].CacheSize = -1 }, "cache_size"},
+		{"empty cell", func(b *BenchFile) { b.Cells[0].Requests = 0 }, "requests"},
+		{"errors > requests", func(b *BenchFile) { b.Cells[0].Errors = 101 }, "errors"},
+		{"negative latency", func(b *BenchFile) { b.Cells[0].P95Ms = -2 }, "p95_ms"},
+		{"zero elapsed", func(b *BenchFile) { b.Cells[0].ElapsedSec = 0 }, "elapsed_sec"},
+		{"non-monotonic percentiles", func(b *BenchFile) { b.Cells[0].P99Ms = 0.5 }, "monotonic"},
+		{"hit ratio > 1", func(b *BenchFile) { b.Cells[0].CacheHitRatio = 1.5 }, "cache_hit_ratio"},
+		{"dedup ratio < 0 but not -1", func(b *BenchFile) { b.Cells[0].DedupRatio = -0.5 }, "dedup_ratio"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := goodBench()
+			tc.mutate(b)
+			err := b.Validate()
+			if err == nil {
+				t.Fatal("validation passed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBenchParseStrict checks that the decoder rejects what the
+// validator cannot see: unknown fields, trailing data, and syntax.
+func TestBenchParseStrict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBench(path, goodBench()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseBench(data)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if rt.PR != "pr6" || len(rt.Cells) != 1 || rt.Cells[0].DedupRatio != -1 {
+		t.Fatalf("round trip lost data: %+v", rt)
+	}
+
+	if _, err := ParseBench([]byte(`{"schema":"` + BenchSchema + `","mystery":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseBench(append(data, []byte("{}")...)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	if _, err := ParseBench([]byte(`{"schema":`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadBench(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestWriteBenchRejectsInvalid checks the harness cannot commit an
+// unreadable trajectory: WriteBench validates before writing.
+func TestWriteBenchRejectsInvalid(t *testing.T) {
+	b := goodBench()
+	b.Cells[0].Requests = 0
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBench(path, b); err == nil {
+		t.Fatal("WriteBench accepted an invalid document")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("invalid document was still written")
+	}
+}
+
+func TestTablesMarkdown(t *testing.T) {
+	b := goodBench()
+	b.Cells = append(b.Cells, BenchCell{
+		Mode: ModeClosed, Concurrency: 8, Skew: 1.1, CacheSize: 0,
+		Requests: 50, Errors: 1, ElapsedSec: 2, ThroughputRPS: 25,
+		P50Ms: 2, P95Ms: 3, P99Ms: 4, MaxMs: 5, MeanMs: 2.2,
+		CacheHitRatio: -1, DedupRatio: 0.25,
+	})
+	md := Markdown(b)
+	for _, want := range []string{
+		"### Load harness cells",
+		"| mode |",
+		"| closed | 4 | 1.1 | 8 | 100 | 0 | 50.0 |",
+		"Throughput (req/s), closed loop, skew 1.1",
+		"p99 latency (ms), closed loop, skew 1.1",
+		"| concurrency \\ cache | cache 0 | cache 8 |",
+		"| 4 | - | 50.0 |", // missing grid points render as "-"
+		"0.50",             // hit ratio
+		"-",                // unavailable ratio marker
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown lacks %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderInto(t *testing.T) {
+	doc := "# Results\n\nprose before\n\n" + DocBegin + "\nstale tables\n" + DocEnd + "\n\nprose after\n"
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := goodBench()
+	if err := RenderInto(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if strings.Contains(s, "stale tables") {
+		t.Fatal("stale content survived regeneration")
+	}
+	for _, want := range []string{"prose before", "prose after", DocBegin, DocEnd, "### Load harness cells"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("regenerated doc lacks %q", want)
+		}
+	}
+	// Regeneration must be idempotent: render twice, same bytes.
+	if err := RenderInto(path, b); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != s {
+		t.Fatal("RenderInto is not idempotent")
+	}
+
+	bare := filepath.Join(t.TempDir(), "bare.md")
+	if err := os.WriteFile(bare, []byte("no markers here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderInto(bare, b); err == nil {
+		t.Fatal("RenderInto accepted a document without markers")
+	}
+}

@@ -1,0 +1,329 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Loop models. Closed-loop fixes the number of outstanding requests
+// (each worker issues its next request when the previous completes),
+// so offered load adapts to service speed; open-loop fixes the arrival
+// rate regardless of completions, so a slow service accumulates
+// outstanding work — the model that exposes queueing collapse.
+const (
+	ModeClosed = "closed"
+	ModeOpen   = "open"
+)
+
+// CellConfig is one sweep cell: the loop model, its load parameters,
+// and the mix parameters. Exactly one of Duration / Requests bounds
+// the cell (Requests wins when both are set).
+type CellConfig struct {
+	// Mode is ModeClosed or ModeOpen.
+	Mode string `json:"mode"`
+	// Concurrency is the closed-loop worker count. Open-loop cells use
+	// it only as a sanity cap on outstanding requests (10× its value).
+	Concurrency int `json:"concurrency"`
+	// RatePerSec is the open-loop arrival rate (ignored closed-loop).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Duration bounds the cell by wall clock.
+	Duration time.Duration `json:"duration,omitempty"`
+	// Requests bounds the cell by request count.
+	Requests int `json:"requests,omitempty"`
+	// Specs is the mix size K; Skew the Zipfian exponent over it.
+	Specs int     `json:"specs"`
+	Skew  float64 `json:"skew"`
+	// CacheSize is the workload-cache capacity the cell ran against.
+	// The harness applies it when it owns the target (in-process
+	// engine); against a live service it is recorded, not applied.
+	CacheSize int `json:"cache_size"`
+	// Seed fixes the request schedule (and the mix).
+	Seed uint64 `json:"seed"`
+}
+
+func (c CellConfig) validate() error {
+	if c.Mode != ModeClosed && c.Mode != ModeOpen {
+		return fmt.Errorf("loadgen: cell mode %q (want %q or %q)", c.Mode, ModeClosed, ModeOpen)
+	}
+	if c.Concurrency <= 0 {
+		return fmt.Errorf("loadgen: concurrency %d <= 0", c.Concurrency)
+	}
+	if c.Mode == ModeOpen && c.RatePerSec <= 0 {
+		return fmt.Errorf("loadgen: open loop needs rate_per_sec > 0")
+	}
+	if c.Duration <= 0 && c.Requests <= 0 {
+		return fmt.Errorf("loadgen: cell needs a duration or a request budget")
+	}
+	if c.Specs <= 0 {
+		return fmt.Errorf("loadgen: mix size %d <= 0", c.Specs)
+	}
+	if c.Skew < 0 {
+		return fmt.Errorf("loadgen: skew %v < 0", c.Skew)
+	}
+	return nil
+}
+
+// LatencyStats summarizes a cell's request latencies in milliseconds.
+type LatencyStats struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// newLatencyStats computes the summary. Percentiles use the
+// nearest-rank method (the same bias internal/job's Dist uses: small
+// samples round toward the tail).
+func newLatencyStats(samples []float64) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencyStats{
+		P50Ms:  rank(0.50),
+		P95Ms:  rank(0.95),
+		P99Ms:  rank(0.99),
+		MaxMs:  sorted[len(sorted)-1],
+		MeanMs: sum / float64(len(sorted)),
+	}
+}
+
+// CellResult is one measured sweep cell.
+type CellResult struct {
+	Config CellConfig `json:"config"`
+	// Target labels what was driven ("engine" or a URL).
+	Target string `json:"target"`
+	// Requests completed (including failures); Errors failed.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// ElapsedSec is the cell's wall-clock span; ThroughputRPS is
+	// completed requests per second over it.
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarizes successful-request latencies.
+	Latency LatencyStats `json:"latency"`
+	// CacheHitRatio is the workload-cache hit fraction over the cell
+	// (hits / (hits+misses) from the counter deltas; -1 when the
+	// target reported no counters).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// DedupRatio is the spec-dedup fraction over the cell
+	// (specs_deduped / specs_submitted deltas; -1 when unavailable —
+	// in-process targets have no dedup layer).
+	DedupRatio float64 `json:"dedup_ratio"`
+	// MetricsDelta is the raw counter movement over the cell (after
+	// minus before), for anything the ratios above do not cover.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// sample is one completed request.
+type sample struct {
+	latencyMs float64
+	err       bool
+}
+
+// recorder accumulates samples from concurrent workers.
+type recorder struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (r *recorder) add(latencyMs float64, failed bool) {
+	r.mu.Lock()
+	r.samples = append(r.samples, sample{latencyMs: latencyMs, err: failed})
+	r.mu.Unlock()
+}
+
+// RunCell measures one cell against t. The context bounds the whole
+// cell; a cancellation mid-cell returns the partial measurement with
+// ctx's error.
+func RunCell(ctx context.Context, t Target, mix Mix, cfg CellConfig) (*CellResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(mix) != cfg.Specs {
+		return nil, fmt.Errorf("loadgen: mix has %d entries, cell wants %d", len(mix), cfg.Specs)
+	}
+	sched, err := newScheduler(cfg.Seed, cfg.Specs, cfg.Skew)
+	if err != nil {
+		return nil, err
+	}
+
+	before, _ := t.Metrics(ctx)
+
+	cellCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 && cfg.Requests <= 0 {
+		cellCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	rec := &recorder{}
+	start := time.Now()
+	var runErr error
+	if cfg.Mode == ModeClosed {
+		runErr = runClosed(cellCtx, t, mix, cfg, sched, rec)
+	} else {
+		runErr = runOpen(cellCtx, t, mix, cfg, sched, rec)
+	}
+	elapsed := time.Since(start).Seconds()
+	// The cell's own deadline expiring is the normal end of a
+	// duration-bounded cell, not a failure.
+	if runErr != nil && ctx.Err() == nil && cellCtx.Err() != nil {
+		runErr = nil
+	}
+
+	after, _ := t.Metrics(ctx)
+
+	res := &CellResult{Config: cfg, Target: t.Name(), ElapsedSec: elapsed}
+	var ok []float64
+	for _, s := range rec.samples {
+		res.Requests++
+		if s.err {
+			res.Errors++
+		} else {
+			ok = append(ok, s.latencyMs)
+		}
+	}
+	res.Latency = newLatencyStats(ok)
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(res.Requests) / elapsed
+	}
+	res.CacheHitRatio, res.DedupRatio, res.MetricsDelta = counterDeltas(before, after)
+	return res, runErr
+}
+
+// counterDeltas derives the cell's hit/dedup ratios from the counter
+// snapshots that bracket it.
+func counterDeltas(before, after map[string]float64) (hitRatio, dedupRatio float64, delta map[string]float64) {
+	hitRatio, dedupRatio = -1, -1
+	if before == nil || after == nil {
+		return hitRatio, dedupRatio, nil
+	}
+	delta = make(map[string]float64, len(after))
+	for k, v := range after {
+		delta[k] = v - before[k]
+	}
+	hits, misses := delta["workload_cache_hits"], delta["workload_cache_misses"]
+	if hits+misses > 0 {
+		hitRatio = hits / (hits + misses)
+	}
+	if submitted := delta["specs_submitted"]; submitted > 0 {
+		dedupRatio = delta["specs_deduped"] / submitted
+	}
+	return hitRatio, dedupRatio, delta
+}
+
+// budget hands out request permits when the cell is request-bounded.
+type budget struct {
+	mu   sync.Mutex
+	left int // <0 = unbounded
+}
+
+func (b *budget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left < 0 {
+		return true
+	}
+	if b.left == 0 {
+		return false
+	}
+	b.left--
+	return true
+}
+
+func newBudget(cfg CellConfig) *budget {
+	if cfg.Requests > 0 {
+		return &budget{left: cfg.Requests}
+	}
+	return &budget{left: -1}
+}
+
+// runClosed drives cfg.Concurrency workers, each issuing its next
+// request as soon as the previous one completes.
+func runClosed(ctx context.Context, t Target, mix Mix, cfg CellConfig, sched *scheduler, rec *recorder) error {
+	bud := newBudget(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && bud.take() {
+				_, idx := sched.Next()
+				t0 := time.Now()
+				err := t.Do(ctx, mix[idx])
+				if err != nil && ctx.Err() != nil {
+					// The deadline cut this request short: not a sample.
+					return
+				}
+				rec.add(float64(time.Since(t0).Nanoseconds())/1e6, err != nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runOpen issues requests on a fixed arrival clock regardless of
+// completions, bounded only by a 10×concurrency outstanding-request
+// cap (arrivals past the cap are counted as errors — the harness
+// refusing to model an infinite client population on a finite host).
+func runOpen(ctx context.Context, t Target, mix Mix, cfg CellConfig, sched *scheduler, rec *recorder) error {
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	cap := cfg.Concurrency * 10
+	inflight := make(chan struct{}, cap)
+	bud := newBudget(cfg)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+loop:
+	for bud.take() {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+		}
+		select {
+		case inflight <- struct{}{}:
+		default:
+			// Outstanding-request cap hit: the service has fallen behind
+			// the arrival rate. Record a shed request as an error.
+			rec.add(0, true)
+			continue
+		}
+		_, idx := sched.Next()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			t0 := time.Now()
+			err := t.Do(ctx, mix[idx])
+			if err != nil && ctx.Err() != nil {
+				return
+			}
+			rec.add(float64(time.Since(t0).Nanoseconds())/1e6, err != nil)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// SweepConfig describes a full measurement grid: the cross product of
+// Concurrencies × Skews × CacheSizes, each cell run under Base's loop
+// model and budget.
+type SweepConfig struct {
+	// Base carries the per-cell loop model, budget, mix size and seed;
+	// its Concurrency/Skew/CacheSize fields are overwritten per cell.
+	Base CellConfig `json:"base"`
+	// The sweep axes. Empty axes default to the Base value alone.
+	Concurrencies []int     `json:"concurrencies"`
+	Skews         []float64 `json:"skews"`
+	CacheSizes    []int     `json:"cache_sizes"`
+	// TargetURL selects the system under load: a live pynamic-serve
+	// base URL, or "" for a fresh in-process Engine per cell (the only
+	// mode where the CacheSizes axis is actually applied).
+	TargetURL string `json:"target_url,omitempty"`
+	// PollInterval is the HTTP status-poll interval (HTTP targets).
+	PollInterval time.Duration `json:"-"`
+}
+
+// SweepResult is a completed grid of cells plus its provenance.
+type SweepResult struct {
+	// Stamp is the run's RFC3339 UTC start time.
+	Stamp string `json:"stamp"`
+	// Target labels the system under load.
+	Target string `json:"target"`
+	// Cells holds one result per grid point, cache-size-major then
+	// skew then concurrency (the loop order below).
+	Cells []CellResult `json:"cells"`
+}
+
+// axes returns the sweep axes with empty ones defaulted from Base.
+func (sc SweepConfig) axes() (concs []int, skews []float64, caches []int) {
+	concs, skews, caches = sc.Concurrencies, sc.Skews, sc.CacheSizes
+	if len(concs) == 0 {
+		concs = []int{sc.Base.Concurrency}
+	}
+	if len(skews) == 0 {
+		skews = []float64{sc.Base.Skew}
+	}
+	if len(caches) == 0 {
+		caches = []int{sc.Base.CacheSize}
+	}
+	return concs, skews, caches
+}
+
+// Cells returns the grid size.
+func (sc SweepConfig) Cells() int {
+	concs, skews, caches := sc.axes()
+	return len(concs) * len(skews) * len(caches)
+}
+
+// RunSweep measures every cell of the grid. Against an in-process
+// target each cell gets a fresh Engine sized to the cell's cache-size
+// knob (cold caches, clean counters); against a live service all cells
+// share the server's state, so the server's cache size is whatever it
+// was started with and only the counter deltas isolate each cell.
+// logf, when non-nil, receives one progress line per cell.
+func RunSweep(ctx context.Context, sc SweepConfig, logf func(format string, args ...any)) (*SweepResult, error) {
+	mix, err := DefaultMix(sc.Base.Seed, sc.Base.Specs)
+	if err != nil {
+		return nil, err
+	}
+	concs, skews, caches := sc.axes()
+	res := &SweepResult{Stamp: time.Now().UTC().Format(time.RFC3339)}
+
+	var shared Target
+	if sc.TargetURL != "" {
+		shared = NewHTTPTarget(sc.TargetURL, sc.PollInterval)
+		defer shared.Close()
+		res.Target = shared.Name()
+	} else {
+		res.Target = "engine"
+	}
+
+	cellNo := 0
+	for _, cache := range caches {
+		for _, skew := range skews {
+			for _, conc := range concs {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+				cellNo++
+				cfg := sc.Base
+				cfg.Concurrency, cfg.Skew, cfg.CacheSize = conc, skew, cache
+
+				t := shared
+				if t == nil {
+					et, err := NewEngineTarget(cache)
+					if err != nil {
+						return res, err
+					}
+					t = et
+				}
+				cell, err := RunCell(ctx, t, mix, cfg)
+				if t != shared {
+					t.Close()
+				}
+				if err != nil {
+					return res, fmt.Errorf("loadgen: cell %d (concurrency=%d skew=%v cache=%d): %w",
+						cellNo, conc, skew, cache, err)
+				}
+				res.Cells = append(res.Cells, *cell)
+				if logf != nil {
+					logf("cell %d/%d: conc=%d skew=%v cache=%d → %d req (%d err), %.1f req/s, p99 %.1fms, hit %.2f, dedup %.2f",
+						cellNo, sc.Cells(), conc, skew, cache,
+						cell.Requests, cell.Errors, cell.ThroughputRPS,
+						cell.Latency.P99Ms, cell.CacheHitRatio, cell.DedupRatio)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteRun writes the sweep's artifacts under dir (conventionally
+// runs/<stamp>/loadgen/):
+//
+//	dir/sweep.json   the full SweepResult (config + cells + deltas)
+//	dir/cells.csv    one row per cell, spreadsheet-ready
+//
+// and returns the files written.
+func WriteRun(dir string, res *SweepResult) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	jp := filepath.Join(dir, "sweep.json")
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(jp, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	files = append(files, jp)
+
+	cp := filepath.Join(dir, "cells.csv")
+	if err := writeCellsCSV(cp, res.Cells); err != nil {
+		return nil, err
+	}
+	return append(files, cp), nil
+}
+
+func writeCellsCSV(path string, cells []CellResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	header := []string{
+		"mode", "concurrency", "rate_per_sec", "skew", "cache_size", "specs", "seed",
+		"requests", "errors", "elapsed_sec", "throughput_rps",
+		"p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms",
+		"cache_hit_ratio", "dedup_ratio",
+	}
+	rows := [][]string{header}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Config.Mode,
+			strconv.Itoa(c.Config.Concurrency),
+			ff(c.Config.RatePerSec),
+			ff(c.Config.Skew),
+			strconv.Itoa(c.Config.CacheSize),
+			strconv.Itoa(c.Config.Specs),
+			strconv.FormatUint(c.Config.Seed, 10),
+			strconv.Itoa(c.Requests),
+			strconv.Itoa(c.Errors),
+			ff(c.ElapsedSec),
+			ff(c.ThroughputRPS),
+			ff(c.Latency.P50Ms),
+			ff(c.Latency.P95Ms),
+			ff(c.Latency.P99Ms),
+			ff(c.Latency.MaxMs),
+			ff(c.Latency.MeanMs),
+			ff(c.CacheHitRatio),
+			ff(c.DedupRatio),
+		})
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// counters is the server's lifetime counter set, exposed (together
+// with gauges derived from the record store and the engine's own
+// counters) at GET /v1/metrics. Everything is a monotonically
+// increasing count except the queue/running gauges, so a scraper can
+// bracket a measurement interval with two snapshots and subtract —
+// exactly what internal/loadgen does per sweep cell.
+type counters struct {
+	jobsSubmitted  atomic.Int64
+	specsSubmitted atomic.Int64
+	// specsDeduped counts POST /v1/specs submissions answered by an
+	// existing live record for the same canonical hash — work the
+	// content-addressed job key made unnecessary.
+	specsDeduped  atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	specsDone     atomic.Int64
+	specsFailed   atomic.Int64
+	specsCanceled atomic.Int64
+	// drainRejected counts submissions refused with 503 while the
+	// server was draining.
+	drainRejected atomic.Int64
+}
+
+// countFinish bumps the per-outcome counter for one finished record.
+func (c *counters) countFinish(isSpec bool, status string) {
+	switch {
+	case isSpec && status == StatusDone:
+		c.specsDone.Add(1)
+	case isSpec && status == StatusFailed:
+		c.specsFailed.Add(1)
+	case isSpec && status == StatusCanceled:
+		c.specsCanceled.Add(1)
+	case status == StatusDone:
+		c.jobsDone.Add(1)
+	case status == StatusFailed:
+		c.jobsFailed.Add(1)
+	case status == StatusCanceled:
+		c.jobsCanceled.Add(1)
+	}
+}
+
+// Metrics returns the full counter catalog as a flat name → value map:
+// the server's submission/outcome counters, queue-depth and running
+// gauges, and the engine's operation, per-phase simulated-time and
+// workload-cache counters. The catalog is documented in README.md
+// ("/v1/metrics counter catalog"); names are stable — the load harness
+// and the drain-time flush both key on them.
+func (s *Server) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"jobs_submitted":  float64(s.ctr.jobsSubmitted.Load()),
+		"specs_submitted": float64(s.ctr.specsSubmitted.Load()),
+		"specs_deduped":   float64(s.ctr.specsDeduped.Load()),
+		"jobs_done":       float64(s.ctr.jobsDone.Load()),
+		"jobs_failed":     float64(s.ctr.jobsFailed.Load()),
+		"jobs_canceled":   float64(s.ctr.jobsCanceled.Load()),
+		"specs_done":      float64(s.ctr.specsDone.Load()),
+		"specs_failed":    float64(s.ctr.specsFailed.Load()),
+		"specs_canceled":  float64(s.ctr.specsCanceled.Load()),
+		"drain_rejected":  float64(s.ctr.drainRejected.Load()),
+	}
+	var queued, running float64
+	s.mu.Lock()
+	for _, id := range s.order {
+		switch s.jobs[id].statusOf() {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		}
+	}
+	s.mu.Unlock()
+	m["queue_depth"] = queued
+	m["running"] = running
+	if s.draining.Load() {
+		m["draining"] = 1
+	} else {
+		m["draining"] = 0
+	}
+
+	es := s.eng.Stats()
+	m["engine_generates"] = float64(es.Generates)
+	m["engine_runs"] = float64(es.Runs)
+	m["engine_jobs"] = float64(es.Jobs)
+	m["engine_matrices"] = float64(es.Matrices)
+	m["engine_tool_attaches"] = float64(es.ToolAttaches)
+	m["engine_specs"] = float64(es.Specs)
+	for phase, sec := range es.PhaseSimSec {
+		m["engine_phase_sim_sec_"+phase] = sec
+	}
+	m["workload_cache_hits"] = float64(es.WorkloadCache.Hits)
+	m["workload_cache_misses"] = float64(es.WorkloadCache.Misses)
+	m["workload_cache_entries"] = float64(es.WorkloadCache.Entries)
+	m["workload_cache_capacity"] = float64(es.WorkloadCache.Capacity)
+	return m
+}
+
+// handleMetrics serves GET /v1/metrics: the flat counter map as JSON
+// (keys sorted by encoding/json's map ordering, so the body is stable
+// for a fixed counter state).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -25,12 +25,23 @@
 //	GET    /v1/experiments   the experiment registry (sweeps, ablations,
 //	                         scenario catalog)
 //	GET    /v1/scenarios     the scenario catalog with typed knobs
+//	GET    /v1/metrics       flat counter map: submissions, dedups,
+//	                         outcomes, queue depth, engine operation and
+//	                         per-phase simulated-time counters, workload
+//	                         cache hits/misses (see README.md for the
+//	                         catalog)
 //	GET    /healthz          liveness probe
 //
 // Jobs run asynchronously: submission returns 202 with an id, and the
 // client polls GET /v1/jobs/{id} until status is "done" (or "failed" /
 // "canceled"). A bounded semaphore caps concurrently simulating jobs;
 // everything else queues.
+//
+// Shutdown comes in two strengths: Close cancels every in-flight job
+// immediately, while Drain stops accepting new work (submissions get
+// 503) and waits for everything already admitted to finish —
+// cmd/pynamic-serve drains on SIGTERM so a redeploy never kills a job
+// mid-simulation.
 package serve
 
 import (
@@ -42,6 +53,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	pynamic "repro"
 )
@@ -176,6 +188,12 @@ type Server struct {
 	sem        chan struct{}
 	maxHistory int
 
+	// ctr is the /v1/metrics counter set; draining gates submissions;
+	// workers tracks worker goroutines so Drain can wait them out.
+	ctr      counters
+	draining atomic.Bool
+	workers  sync.WaitGroup
+
 	mu     sync.Mutex
 	jobs   map[string]*record
 	order  []string
@@ -204,6 +222,27 @@ func New(eng *pynamic.Engine, opts Options) *Server {
 // Close cancels every in-flight job and stops accepting work.
 func (s *Server) Close() { s.stop() }
 
+// Drain switches the server into draining mode — new submissions are
+// refused with 503 — and waits until every already-admitted job and
+// spec has reached a terminal status. It returns nil on a clean drain,
+// or ctx.Err() if ctx expires first (in-flight work keeps running; the
+// caller decides whether to escalate to Close). Drain is idempotent and
+// safe to call concurrently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Handler returns the HTTP handler for the v1 API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -216,7 +255,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/specs/", s.handleSpec)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// refuseDraining writes the 503 a draining server answers submissions
+// with, and reports whether the request was refused.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.ctr.drainRejected.Add(1)
+	writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new work")
+	return true
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -248,6 +299,9 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 // engine's content-keyed caches. A failed or canceled record is
 // replaced so a retry can succeed.
 func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
@@ -271,6 +325,8 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 		if st != StatusFailed && st != StatusCanceled {
 			s.mu.Unlock()
 			cancel()
+			s.ctr.specsSubmitted.Add(1)
+			s.ctr.specsDeduped.Add(1)
 			writeJSON(w, http.StatusOK, map[string]string{
 				"id": exp.Hash, "status": st, "dedup": "true",
 			})
@@ -294,6 +350,8 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, rec.id)
 	s.mu.Unlock()
 
+	s.ctr.specsSubmitted.Add(1)
+	s.workers.Add(1)
 	go s.runSpec(ctx, rec)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
 }
@@ -311,11 +369,13 @@ func (s *Server) removeOrderLocked(id string) {
 
 // runSpec is the per-spec worker: semaphore slot, RunSpecCtx, outcome.
 func (s *Server) runSpec(ctx context.Context, rec *record) {
+	defer s.workers.Done()
 	defer rec.cancel()
 	finish := func(status, errMsg string, res *pynamic.SpecResult) {
 		rec.mu.Lock()
 		rec.status, rec.err, rec.specResult = status, errMsg, res
 		rec.mu.Unlock()
+		s.ctr.countFinish(true, status)
 		s.pruneHistory()
 	}
 	select {
@@ -375,6 +435,9 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 // submit validates the request, registers the job and launches its
 // worker goroutine, then replies 202 with the job id.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -401,6 +464,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, rec.id)
 	s.mu.Unlock()
 
+	s.ctr.jobsSubmitted.Add(1)
+	s.workers.Add(1)
 	go s.runJob(ctx, rec, req, cfg)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
 }
@@ -413,11 +478,13 @@ func (s *Server) runJob(ctx context.Context, rec *record, req JobRequest, cfg jo
 	// and Close also cancel; CancelFunc is idempotent) and bound the
 	// finished-job history — without this a long-lived server would
 	// leak one context plus one result per job ever submitted.
+	defer s.workers.Done()
 	defer rec.cancel()
 	finish := func(status, errMsg string, res *pynamic.JobResult) {
 		rec.mu.Lock()
 		rec.status, rec.err, rec.result = status, errMsg, res
 		rec.mu.Unlock()
+		s.ctr.countFinish(false, status)
 		s.pruneHistory()
 	}
 	select {
