@@ -86,7 +86,10 @@ func (c *workloadCache) getOrGenerate(ctx context.Context, key string,
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
-			c.hits++
+			// Deliberately not counted as a hit yet: a waiter that is
+			// canceled, or that observes the originator's failure and
+			// retries, never received a workload from the cache. The
+			// hit is recorded only on the successful return below.
 			c.touchLocked(key)
 			c.mu.Unlock()
 			select {
@@ -110,6 +113,9 @@ func (c *workloadCache) getOrGenerate(ctx context.Context, key string,
 				}
 				continue
 			}
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
 			return e.w, true, nil
 		}
 		c.misses++
@@ -178,8 +184,10 @@ func (c *workloadCache) stats() WorkloadCacheStats {
 // WorkloadCacheStats is a snapshot of an Engine's workload-cache
 // counters (see Engine.WorkloadCacheStats).
 type WorkloadCacheStats struct {
-	// Hits counts GenerateCtx calls served from the cache, including
-	// waiters that joined an in-flight generation.
+	// Hits counts GenerateCtx calls that actually received a workload
+	// from the cache, including waiters that joined an in-flight
+	// generation and got its result. Canceled waiters and waiters
+	// that observed a failed generation are not hits.
 	Hits int
 	// Misses counts calls that had to generate.
 	Misses int

@@ -1,0 +1,114 @@
+package pynamic
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// blockingGeneration starts an originator whose generation blocks
+// until release is closed, and returns once the entry is in flight.
+func blockingGeneration(t *testing.T, c *workloadCache, key string,
+	result func() (*Workload, error)) (release chan struct{}, done chan error) {
+	t.Helper()
+	started := make(chan struct{})
+	release = make(chan struct{})
+	done = make(chan error, 1)
+	go func() {
+		_, _, err := c.getOrGenerate(context.Background(), key, func() (*Workload, error) {
+			close(started)
+			<-release
+			return result()
+		})
+		done <- err
+	}()
+	<-started
+	return release, done
+}
+
+// mruPlaceholder generates a throwaway entry so the key under test is
+// not already at the MRU end (see waitCacheJoin).
+func mruPlaceholder(t *testing.T, c *workloadCache) {
+	t.Helper()
+	if _, _, err := c.getOrGenerate(context.Background(), "placeholder",
+		func() (*Workload, error) { return &Workload{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCanceledWaiterIsNotAHit pins the stat-skew fix: a waiter
+// that joins an in-flight generation and is then canceled received
+// nothing from the cache, so it must not count as a hit (the old code
+// counted the hit at join time, inflating every ratio built on it).
+func TestCacheCanceledWaiterIsNotAHit(t *testing.T) {
+	c := newWorkloadCache(4)
+	release, origDone := blockingGeneration(t, c, "k",
+		func() (*Workload, error) { return &Workload{}, nil })
+	mruPlaceholder(t, c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.getOrGenerate(ctx, "k", func() (*Workload, error) {
+			return &Workload{}, nil
+		})
+		waiterDone <- err
+	}()
+	waitCacheJoin(c, "k")
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled waiter: %v, want ErrCanceled", err)
+	}
+	// Two misses (originator + placeholder); the canceled waiter is
+	// neither a hit nor a miss — it was never served.
+	if s := c.stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("after canceled waiter: hits/misses = %d/%d, want 0/2", s.Hits, s.Misses)
+	}
+
+	// The in-flight generation was undisturbed: it completes, and a
+	// later caller is the first real hit.
+	close(release)
+	if err := <-origDone; err != nil {
+		t.Fatalf("originator: %v", err)
+	}
+	w, hit, err := c.getOrGenerate(context.Background(), "k",
+		func() (*Workload, error) { return &Workload{}, nil })
+	if err != nil || w == nil || !hit {
+		t.Fatalf("post-completion lookup: hit=%v err=%v", hit, err)
+	}
+	if s := c.stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("after real hit: hits/misses = %d/%d, want 1/2", s.Hits, s.Misses)
+	}
+}
+
+// TestCacheWaiterHitCountedOnDelivery is the positive half of the
+// same pin: a waiter that joins an in-flight generation and receives
+// its workload is exactly one hit.
+func TestCacheWaiterHitCountedOnDelivery(t *testing.T) {
+	c := newWorkloadCache(4)
+	release, origDone := blockingGeneration(t, c, "k",
+		func() (*Workload, error) { return &Workload{}, nil })
+	mruPlaceholder(t, c)
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		w, hit, err := c.getOrGenerate(context.Background(), "k", func() (*Workload, error) {
+			return &Workload{}, nil
+		})
+		if err == nil && (w == nil || !hit) {
+			err = errors.New("waiter not served from the in-flight entry")
+		}
+		waiterDone <- err
+	}()
+	waitCacheJoin(c, "k")
+	close(release)
+	if err := <-origDone; err != nil {
+		t.Fatalf("originator: %v", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+	if s := c.stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", s.Hits, s.Misses)
+	}
+}

@@ -2,8 +2,8 @@
 // Zipfian-distributed Spec traffic against a live pynamic-serve
 // instance (-target URL) or an in-process Engine (default), sweeping
 // concurrency × spec-mix skew × workload-cache size, and records
-// latency percentiles, throughput, error rate, and cache/dedup hit
-// ratios per cell.
+// latency percentiles, throughput, error rate, and cache/dedup/
+// persistent-store hit ratios per cell.
 //
 //	# 12-cell in-process sweep, 2s per cell, emit the PR trajectory file
 //	pynamic-load -duration 2s -concurrency 1,2,4,8 -cache-size 0,4,16 \
@@ -55,6 +55,7 @@ func main() {
 		rate      = flag.Float64("rate", 100, "open-loop arrival rate, requests/sec")
 		specs     = flag.Int("specs", 16, "request-mix size: number of distinct specs, Zipf-ranked")
 		seed      = flag.Uint64("seed", 1, "schedule + mix seed (same seed → byte-identical request schedule)")
+		cacheDir  = flag.String("cache-dir", "", "persistent store directory for in-process engines (shared across cells; ignored with -target)")
 		out       = flag.String("out", "runs", `artifact root ("" disables artifacts)`)
 		benchOut  = flag.String("bench-out", "", "write a BENCH_*.json trajectory file here")
 		pr        = flag.String("pr", "pr6", "trajectory point label recorded in -bench-out")
@@ -102,6 +103,7 @@ func main() {
 		Skews:         mustFloats("skew", *skewList),
 		CacheSizes:    mustInts("cache-size", *cacheList),
 		TargetURL:     *target,
+		CacheDir:      *cacheDir,
 		PollInterval:  *poll,
 	}
 

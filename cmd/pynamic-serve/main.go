@@ -6,6 +6,10 @@
 //
 //	pynamic-serve -addr :8080 -max-concurrent 4 -cache-size 16
 //
+//	# with a persistent result store: a restart (or a sibling replica
+//	# sharing the directory) answers already-computed specs from disk
+//	pynamic-serve -addr :8080 -cache-dir /var/cache/pynamic
+//
 //	curl -X POST localhost:8080/v1/jobs \
 //	     -d '{"mode":"link","tasks":16,"ranks":2,"scale":40,"funcs_div":10,"seed":42}'
 //	curl localhost:8080/v1/jobs/j0001           # poll status → result
@@ -45,15 +49,21 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		maxConc      = flag.Int("max-concurrent", 2, "jobs simulating concurrently (others queue)")
-		cacheSize    = flag.Int("cache-size", 16, "workload cache capacity (0 disables)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxConc   = flag.Int("max-concurrent", 2, "jobs simulating concurrently (others queue)")
+		cacheSize = flag.Int("cache-size", 16, "workload cache capacity (0 disables)")
+		cacheDir  = flag.String("cache-dir", "",
+			"persistent content-addressed store directory; a restarted or sibling server sharing it answers already-computed specs from disk (empty disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long a signal-triggered drain waits for in-flight jobs before canceling them")
 	)
 	flag.Parse()
 
-	eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(*cacheSize))
+	opts := []pynamic.Option{pynamic.WithWorkloadCacheSize(*cacheSize)}
+	if *cacheDir != "" {
+		opts = append(opts, pynamic.WithCacheDir(*cacheDir))
+	}
+	eng, err := pynamic.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,8 +73,12 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("pynamic-serve: listening on %s (max-concurrent %d, cache %d)\n",
-		*addr, *maxConc, *cacheSize)
+	store := *cacheDir
+	if store == "" {
+		store = "none"
+	}
+	fmt.Printf("pynamic-serve: listening on %s (max-concurrent %d, cache %d, store %s)\n",
+		*addr, *maxConc, *cacheSize, store)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

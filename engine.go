@@ -1,11 +1,14 @@
 package pynamic
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 
 	"repro/internal/api"
+	"repro/internal/castore"
 	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/experiments"
@@ -34,8 +37,10 @@ type Engine struct {
 	backendSet bool
 	clust      ClusterConfig
 	cacheSize  int
+	cacheDir   string
 	events     func(Event)
 	cache      *workloadCache
+	store      castore.Store
 	reg        *runner.Registry
 	stats      *engineStats
 }
@@ -93,6 +98,25 @@ func WithWorkloadCacheSize(n int) Option {
 	}
 }
 
+// WithCacheDir attaches a persistent content-addressed store rooted at
+// dir (created if needed), shared across engines, processes, and
+// restarts: generated workload manifests and completed spec results
+// are written through to it and read back by content hash, so a fresh
+// process pointed at a warmed directory answers an already-computed
+// spec without re-simulating. The directory may safely be shared with
+// runner disk caches (NewDiskResultCache) — all tiers live under one
+// store with distinct schema labels. See README.md, "Persistent
+// cache".
+func WithCacheDir(dir string) Option {
+	return func(e *Engine) error {
+		if dir == "" {
+			return badConfig("empty cache dir")
+		}
+		e.cacheDir = dir
+		return nil
+	}
+}
+
 // WithEvents registers a streaming event sink. Events are delivered
 // sequentially (never concurrently) per operation, in an order that is
 // deterministic for a given configuration regardless of worker counts:
@@ -117,6 +141,13 @@ func New(opts ...Option) (*Engine, error) {
 		}
 	}
 	e.cache = newWorkloadCache(e.cacheSize)
+	if e.cacheDir != "" {
+		st, err := castore.Open(e.cacheDir, castore.Options{Compress: true})
+		if err != nil {
+			return nil, wrapErr("New", "config", err)
+		}
+		e.store = st
+	}
 	return e, nil
 }
 
@@ -179,14 +210,49 @@ func (e *Engine) GenerateCtx(ctx context.Context, cfg Config) (*Workload, error)
 	}
 	emit := e.emitter("generate")
 	emit.Emit(api.Event{Kind: api.PhaseStart, Phase: "generate"})
-	w, hit, err := e.cache.getOrGenerate(ctx, workloadKey(cfg), func() (*Workload, error) {
-		return pygen.GenerateCtx(ctx, cfg)
+	key := workloadKey(cfg)
+	w, hit, err := e.cache.getOrGenerate(ctx, key, func() (*Workload, error) {
+		return e.generateWorkload(ctx, key, cfg)
 	})
 	if err != nil {
 		return nil, wrapErr(op, "generate", err)
 	}
 	emit.Emit(api.Event{Kind: api.PhaseDone, Phase: "generate", CacheHit: hit})
 	e.stats.countGenerate()
+	return w, nil
+}
+
+// generateWorkload is the in-memory workload cache's fill function:
+// with a persistent store attached, a miss first consults the stored
+// canonical manifest for key. LoadManifest regenerates from the
+// manifest's own Config and verifies the result against its recorded
+// sizes, so what the store tier buys is cross-process *identity* — a
+// sibling or restarted engine provably rebuilds the same workload, and
+// model drift or a corrupt entry is detected (and healed by
+// regeneration) instead of silently served. The compute win of the
+// store lives in the result tiers (spec results, runner cell metrics),
+// which skip simulation entirely.
+func (e *Engine) generateWorkload(ctx context.Context, key string, cfg Config) (*Workload, error) {
+	if e.store == nil {
+		return pygen.GenerateCtx(ctx, cfg)
+	}
+	if data, ok := e.store.Get(workloadSchema, key); ok {
+		if w, err := pygen.LoadManifest(bytes.NewReader(data)); err == nil {
+			e.stats.countStoreWorkloadHit()
+			return w, nil
+		}
+		// Undecodable or drifted manifest: fall through, regenerate,
+		// and overwrite the stale entry.
+	}
+	w, err := pygen.GenerateCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if data, merr := json.Marshal(w.Manifest()); merr == nil {
+		// Best effort: a full store or unwritable directory must not
+		// fail a generation that already succeeded.
+		_ = e.store.Put(workloadSchema, key, data)
+	}
 	return w, nil
 }
 
@@ -478,6 +544,10 @@ func NewMemResultCache() ResultCache { return runner.NewMemCache() }
 // NewDiskResultCache opens (creating if needed) an on-disk ResultCache
 // rooted at dir.
 func NewDiskResultCache(dir string) (ResultCache, error) { return runner.NewDiskCache(dir) }
+
+// StoreStats is a snapshot of the persistent store's counters (see
+// WithCacheDir and EngineStats.Store).
+type StoreStats = castore.Stats
 
 // TableIResult carries the three build-mode runs of Tables I and II.
 type TableIResult = experiments.TableIResult

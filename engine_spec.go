@@ -2,6 +2,7 @@ package pynamic
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -197,6 +198,11 @@ type SpecResult struct {
 	Matrix *MatrixResult `json:"matrix,omitempty"`
 	// Tool is the tool kind's cold/warm attach pair.
 	Tool *ToolColdWarm `json:"tool,omitempty"`
+	// FromStore reports that this result was served from the engine's
+	// persistent store (WithCacheDir) rather than computed by this
+	// call. It is excluded from the JSON encoding so stored and
+	// freshly computed results stay byte-identical.
+	FromStore bool `json:"-"`
 }
 
 // Payload returns the kind-specific inner result (the value of
@@ -229,6 +235,11 @@ func (e *Engine) RunSpecCtx(ctx context.Context, s Spec) (*SpecResult, error) {
 	exp, err := e.ExpandSpec(s)
 	if err != nil {
 		return nil, err
+	}
+	if cached := e.LookupSpecResult(exp.Hash); cached != nil {
+		// Served from the persistent store: nothing ran, so the typed
+		// operation counters (and countSpec) deliberately do not move.
+		return cached, nil
 	}
 	res := &SpecResult{Kind: exp.Kind, Hash: exp.Hash}
 	switch exp.Kind {
@@ -284,7 +295,54 @@ func (e *Engine) RunSpecCtx(ctx context.Context, s Spec) (*SpecResult, error) {
 		res.Tool = tr
 	}
 	e.stats.countSpec()
+	e.persistSpecResult(res)
 	return res, nil
+}
+
+// specResultSchema labels persisted spec results in the content store.
+// The key is the spec's canonical hash, so the entry a restarted or
+// sibling process finds is exactly the one an identical document would
+// recompute. Bump this label when SpecResult's canonical encoding
+// changes; old entries then simply stop being addressed.
+const specResultSchema = "pynamic-specresult-v1"
+
+// LookupSpecResult returns the persisted result for a spec hash, or
+// nil when the engine has no store (WithCacheDir unset), the hash is
+// unknown, or the stored bytes do not decode to a plausible result.
+// A non-nil result has FromStore set and counts one store spec hit;
+// nothing is executed. The serving layer uses this to answer a
+// resubmitted spec across process restarts (dedup:"store").
+func (e *Engine) LookupSpecResult(hash string) *SpecResult {
+	if e.store == nil {
+		return nil
+	}
+	data, ok := e.store.Get(specResultSchema, hash)
+	if !ok {
+		return nil
+	}
+	var res SpecResult
+	if err := json.Unmarshal(data, &res); err != nil || res.Hash != hash || res.Payload() == nil {
+		// The store's own integrity checks passed but the payload is
+		// not a usable result (e.g. written by a future field layout
+		// under the same schema label). Treat as absent; the caller
+		// recomputes and overwrites.
+		return nil
+	}
+	res.FromStore = true
+	e.stats.countStoreSpecHit()
+	return &res
+}
+
+// persistSpecResult writes a completed spec result through to the
+// persistent store, best effort: persistence failures never fail the
+// run that produced the result.
+func (e *Engine) persistSpecResult(res *SpecResult) {
+	if e.store == nil {
+		return
+	}
+	if data, err := json.Marshal(res); err == nil {
+		_ = e.store.Put(specResultSchema, res.Hash, data)
+	}
 }
 
 // runToolSpec runs the tool kind: generate the workload, place the

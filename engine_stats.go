@@ -30,20 +30,34 @@ type EngineStats struct {
 	// WorkloadCache is the workload-cache counter snapshot (the same
 	// value WorkloadCacheStats returns).
 	WorkloadCache WorkloadCacheStats `json:"workload_cache"`
+	// StoreSpecHits counts RunSpecCtx calls (and LookupSpecResult
+	// lookups) answered from the persistent store — specs that ran
+	// nothing because an identical document had already been computed,
+	// possibly by another process. StoreWorkloadHits counts workload
+	// generations rebuilt from a stored manifest instead of a fresh
+	// configuration. Both are zero without WithCacheDir.
+	StoreSpecHits     int64 `json:"store_spec_hits"`
+	StoreWorkloadHits int64 `json:"store_workload_hits"`
+	// Store is the persistent store's own counter snapshot (hits,
+	// misses, puts, evictions, corruptions across every schema tier);
+	// all zero without WithCacheDir.
+	Store StoreStats `json:"store"`
 }
 
 // engineStats is the mutable counter set behind Engine.Stats. One
 // mutex covers every field: the counters are touched once per Engine
 // operation, never on simulation hot paths.
 type engineStats struct {
-	mu           sync.Mutex
-	generates    int64
-	runs         int64
-	jobs         int64
-	matrices     int64
-	toolAttaches int64
-	specs        int64
-	phaseSimSec  map[string]float64
+	mu                sync.Mutex
+	generates         int64
+	runs              int64
+	jobs              int64
+	matrices          int64
+	toolAttaches      int64
+	specs             int64
+	storeSpecHits     int64
+	storeWorkloadHits int64
+	phaseSimSec       map[string]float64
 }
 
 func newEngineStats() *engineStats {
@@ -88,6 +102,18 @@ func (s *engineStats) countSpec() {
 	s.mu.Unlock()
 }
 
+func (s *engineStats) countStoreSpecHit() {
+	s.mu.Lock()
+	s.storeSpecHits++
+	s.mu.Unlock()
+}
+
+func (s *engineStats) countStoreWorkloadHit() {
+	s.mu.Lock()
+	s.storeWorkloadHits++
+	s.mu.Unlock()
+}
+
 func (s *engineStats) addPhasesLocked(startup, imp, visit, mpi float64) {
 	s.phaseSimSec["startup"] += startup
 	s.phaseSimSec["import"] += imp
@@ -103,18 +129,23 @@ func (e *Engine) Stats() EngineStats {
 	s := e.stats
 	s.mu.Lock()
 	out := EngineStats{
-		Generates:    s.generates,
-		Runs:         s.runs,
-		Jobs:         s.jobs,
-		Matrices:     s.matrices,
-		ToolAttaches: s.toolAttaches,
-		Specs:        s.specs,
-		PhaseSimSec:  make(map[string]float64, len(s.phaseSimSec)),
+		Generates:         s.generates,
+		Runs:              s.runs,
+		Jobs:              s.jobs,
+		Matrices:          s.matrices,
+		ToolAttaches:      s.toolAttaches,
+		Specs:             s.specs,
+		StoreSpecHits:     s.storeSpecHits,
+		StoreWorkloadHits: s.storeWorkloadHits,
+		PhaseSimSec:       make(map[string]float64, len(s.phaseSimSec)),
 	}
 	for k, v := range s.phaseSimSec {
 		out.PhaseSimSec[k] = v
 	}
 	s.mu.Unlock()
 	out.WorkloadCache = e.cache.stats()
+	if e.store != nil {
+		out.Store = e.store.Stats()
+	}
 	return out
 }

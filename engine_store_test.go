@@ -1,0 +1,131 @@
+package pynamic
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// storeEngine builds an engine over dir's persistent store.
+func storeEngine(t *testing.T, dir string) *Engine {
+	t.Helper()
+	eng, err := New(WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineStoreSpecReplay is the cross-process contract at engine
+// level: a second engine sharing only a cache directory answers an
+// already-computed spec byte-identically from the store, without
+// simulating anything — run counters stay zero, the store spec-hit
+// counter moves.
+func TestEngineStoreSpecReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := parseSpec(t, `{"version":1,"kind":"job","seed":7,
+		"workload":{"scale_div":40,"funcs_div":10},
+		"build":{"mode":"link"},
+		"topology":{"tasks":8,"ranks":2}}`)
+
+	warm := storeEngine(t, dir)
+	first, err := warm.RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FromStore {
+		t.Fatal("first run claims to come from an empty store")
+	}
+	ws := warm.Stats()
+	if ws.Specs != 1 || ws.Jobs != 1 || ws.StoreSpecHits != 0 {
+		t.Fatalf("warm engine stats: %+v", ws)
+	}
+	if ws.Store.Puts < 2 { // workload manifest + spec result
+		t.Fatalf("store puts = %d, want ≥ 2", ws.Store.Puts)
+	}
+	firstJSON, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := storeEngine(t, dir)
+	second, err := cold.RunSpecCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromStore {
+		t.Fatal("replay on a warmed store was recomputed")
+	}
+	secondJSON, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstJSON, secondJSON) {
+		t.Fatalf("stored result drifted:\nfirst  %s\nsecond %s", firstJSON, secondJSON)
+	}
+	// Nothing executed: every typed-path counter on the cold engine is
+	// still zero. Only the store hit moved.
+	cs := cold.Stats()
+	if cs.Specs != 0 || cs.Jobs != 0 || cs.Generates != 0 || cs.Runs != 0 {
+		t.Fatalf("store replay re-simulated: %+v", cs)
+	}
+	if cs.StoreSpecHits != 1 || cs.Store.Hits != 1 {
+		t.Fatalf("store hit counters: spec %d store %d, want 1/1", cs.StoreSpecHits, cs.Store.Hits)
+	}
+
+	// The lookup surface serves the same bytes directly by hash, and a
+	// store-less engine correctly has no answer.
+	if got := cold.LookupSpecResult(first.Hash); got == nil {
+		t.Fatal("LookupSpecResult missed a stored hash")
+	}
+	if cold.LookupSpecResult("0000000000000000000000000000000000000000000000000000000000000000") != nil {
+		t.Fatal("LookupSpecResult invented a result for an unknown hash")
+	}
+	plain, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LookupSpecResult(first.Hash) != nil {
+		t.Fatal("engine without a store served a stored result")
+	}
+}
+
+// TestEngineStoreWorkloadManifestReplay: the workload tier rebuilds a
+// sibling engine's workload from its stored canonical manifest — the
+// regeneration is verified against the recorded sizes, and counted.
+func TestEngineStoreWorkloadManifestReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := LLNLModel().Scaled(50).ScaledFuncs(10)
+
+	a := storeEngine(t, dir)
+	w1, err := a.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := a.Stats().StoreWorkloadHits; hits != 0 {
+		t.Fatalf("first generation hit the store %d times", hits)
+	}
+
+	b := storeEngine(t, dir)
+	w2, err := b.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := b.Stats().StoreWorkloadHits; hits != 1 {
+		t.Fatalf("store workload hits = %d, want 1", hits)
+	}
+	m1, err := json.Marshal(w1.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := json.Marshal(w2.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("manifest-rebuilt workload differs from the original")
+	}
+}

@@ -293,6 +293,15 @@ func TestWorkloadCacheWaiterNotPoisoned(t *testing.T) {
 		origDone <- err
 	}()
 	<-started
+	// Park a second key at the MRU end so the waiter's join — which
+	// touches "k" back to the MRU position — is observable. (Joining
+	// itself is deliberately not a cache hit, so the hit counter
+	// cannot serve as the join signal.)
+	if _, _, err := c.getOrGenerate(context.Background(), "other", func() (*Workload, error) {
+		return &Workload{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	waiterDone := make(chan error, 1)
 	go func() {
@@ -304,17 +313,34 @@ func TestWorkloadCacheWaiterNotPoisoned(t *testing.T) {
 		}
 		waiterDone <- err
 	}()
-	// The waiter has joined once the hit counter ticks; only then may
-	// the originator fail.
-	for c.stats().Hits == 0 {
-		runtime.Gosched()
-	}
+	waitCacheJoin(c, "k")
 	close(release)
 	if err := <-origDone; !errors.Is(err, ErrCanceled) {
 		t.Fatalf("originator: %v", err)
 	}
 	if err := <-waiterDone; err != nil {
 		t.Fatalf("waiter inherited the originator's failure: %v", err)
+	}
+	// Counter pin: the failed originator and the retrying waiter were
+	// both misses ("other" makes three); nobody was handed a cached
+	// workload, so the hit count is exactly zero.
+	if s := c.stats(); s.Hits != 0 || s.Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 0/3", s.Hits, s.Misses)
+	}
+}
+
+// waitCacheJoin spins until a waiter for key has touched it to the
+// MRU end of the cache order — the join's only observable side
+// effect. Another key must occupy the MRU slot beforehand.
+func waitCacheJoin(c *workloadCache, key string) {
+	for {
+		c.mu.Lock()
+		joined := len(c.order) > 0 && c.order[len(c.order)-1] == key
+		c.mu.Unlock()
+		if joined {
+			return
+		}
+		runtime.Gosched()
 	}
 }
 

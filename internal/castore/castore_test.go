@@ -1,0 +1,391 @@
+package castore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const testSchema = "test-schema-v1"
+
+// stores builds one instance of every backend against a fresh root,
+// so each property below is checked across the whole matrix.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zdisk, err := Open(t.TempDir(), Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":       NewMem(),
+		"disk":      disk,
+		"disk-gzip": zdisk,
+	}
+}
+
+// TestRoundTrip: what goes in comes out byte-identical, across
+// backends and compression settings, including payloads that look like
+// the real ones (JSON workload manifests and spec results) plus
+// empty and binary edge cases.
+func TestRoundTrip(t *testing.T) {
+	payloads := map[string][]byte{
+		"manifest":   []byte(`{"format_version":1,"config":{"scale":40,"seed":7},"total_funcs":1234}`),
+		"specresult": []byte("{\n  \"kind\": \"job\",\n  \"metrics\": {\n    \"startup_sec\": 1.25\n  }\n}\n"),
+		"empty":      {},
+		"binary":     {0, 1, 2, 0xff, 0xfe, '\n', 0, 'x'},
+	}
+	for name, s := range stores(t) {
+		for pname, want := range payloads {
+			key := "k-" + pname
+			if _, ok := s.Get(testSchema, key); ok {
+				t.Fatalf("%s: hit before put", name)
+			}
+			if err := s.Put(testSchema, key, want); err != nil {
+				t.Fatalf("%s/%s: put: %v", name, pname, err)
+			}
+			got, ok := s.Get(testSchema, key)
+			if !ok {
+				t.Fatalf("%s/%s: miss after put", name, pname)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s/%s: round trip mutated payload:\n got %q\nwant %q",
+					name, pname, got, want)
+			}
+		}
+		st := s.Stats()
+		if st.Puts != int64(len(payloads)) || st.Hits != int64(len(payloads)) ||
+			st.Misses != int64(len(payloads)) || st.Corruptions != 0 {
+			t.Fatalf("%s: stats %+v, want %d puts/hits/misses and 0 corruptions",
+				name, st, len(payloads))
+		}
+	}
+}
+
+// TestDiskPersistsAcrossOpens: a second store on the same root serves
+// entries the first one wrote — the cross-process contract, with the
+// write and the read on instances that share no memory.
+func TestDiskPersistsAcrossOpens(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		first, err := Open(dir, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte(`{"payload":"survives restart"}`)
+		if err := first.Put(testSchema, "persist", want); err != nil {
+			t.Fatal(err)
+		}
+		second, err := Open(dir, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := second.Get(testSchema, "persist")
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("compress=%v: reopened store returned %q/%v, want %q",
+				compress, got, ok, want)
+		}
+	}
+}
+
+// TestDiskReadsBothEncodings: the per-entry header, not the store
+// option, decides decoding — a store opened with compression off reads
+// entries a compressed store wrote, and vice versa.
+func TestDiskReadsBothEncodings(t *testing.T) {
+	dir := t.TempDir()
+	plain, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := Open(dir, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(strings.Repeat("compressible ", 100))
+	if err := plain.Put(testSchema, "from-plain", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := zipped.Put(testSchema, "from-zip", want); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"from-plain", "from-zip"} {
+		for name, s := range map[string]*Disk{"plain": plain, "zipped": zipped} {
+			got, ok := s.Get(testSchema, key)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("%s reading %s: ok=%v", name, key, ok)
+			}
+		}
+	}
+}
+
+// TestDoFillsOnce: N concurrent Do calls for one key run the fill
+// exactly once; everyone gets the same bytes; exactly one caller
+// reports a store miss.
+func TestDoFillsOnce(t *testing.T) {
+	for name, s := range stores(t) {
+		var fills, fromStore atomic.Int64
+		want := []byte("expensive result")
+		const n = 16
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, hit, err := s.Do(testSchema, "hot-key", func() ([]byte, error) {
+					fills.Add(1)
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("%s: do: %v", name, err)
+					return
+				}
+				if hit {
+					fromStore.Add(1)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: do returned %q", name, got)
+				}
+			}()
+		}
+		wg.Wait()
+		if fills.Load() != 1 {
+			t.Fatalf("%s: fill ran %d times, want 1", name, fills.Load())
+		}
+		if fromStore.Load() != n-1 {
+			t.Fatalf("%s: %d store hits, want %d", name, fromStore.Load(), n-1)
+		}
+	}
+}
+
+// TestDoFillErrorNotCached: a failed fill stores nothing, so the next
+// Do retries and can succeed.
+func TestDoFillErrorNotCached(t *testing.T) {
+	for name, s := range stores(t) {
+		fail := fmt.Errorf("boom")
+		if _, _, err := s.Do(testSchema, "flaky", func() ([]byte, error) {
+			return nil, fail
+		}); err != fail {
+			t.Fatalf("%s: do error %v, want %v", name, err, fail)
+		}
+		got, hit, err := s.Do(testSchema, "flaky", func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+		if err != nil || hit || string(got) != "recovered" {
+			t.Fatalf("%s: retry after failed fill: %q hit=%v err=%v", name, got, hit, err)
+		}
+	}
+}
+
+// corrupt writes raw bytes directly over an entry's file.
+func corrupt(t *testing.T, dir, schema, key string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, schema, key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptEntriesAreMissesNotErrors: every flavor of on-disk damage
+// — truncation, garbage, header tampering, wrong schema, bad gzip
+// stream — bumps the corruption counter, deletes the entry, and reads
+// as a miss; a subsequent Put repairs it.
+func TestCorruptEntriesAreMissesNotErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty-file":     {},
+		"no-header":      []byte("not a castore entry at all"),
+		"bad-version":    []byte("castore/999 " + testSchema + " raw\npayload"),
+		"wrong-schema":   []byte("castore/1 some-other-schema raw\npayload"),
+		"bad-encoding":   []byte("castore/1 " + testSchema + " brotli\npayload"),
+		"truncated-gzip": []byte("castore/1 " + testSchema + " gzip\n\x1f\x8b\x08"),
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("good payload")
+	var wantCorruptions int64
+	for cname, raw := range cases {
+		key := "victim-" + cname
+		if err := s.Put(testSchema, key, want); err != nil {
+			t.Fatal(err)
+		}
+		corrupt(t, dir, testSchema, key, raw)
+		if got, ok := s.Get(testSchema, key); ok {
+			t.Fatalf("%s: corrupt entry served as a hit: %q", cname, got)
+		}
+		wantCorruptions++
+		if st := s.Stats(); st.Corruptions != wantCorruptions {
+			t.Fatalf("%s: corruptions = %d, want %d", cname, st.Corruptions, wantCorruptions)
+		}
+		// The damaged file was removed, so the key is writable again
+		// and the repaired entry reads back clean.
+		if _, err := os.Stat(filepath.Join(dir, testSchema, key)); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt file not deleted (stat err %v)", cname, err)
+		}
+		if err := s.Put(testSchema, key, want); err != nil {
+			t.Fatalf("%s: re-put after corruption: %v", cname, err)
+		}
+		if got, ok := s.Get(testSchema, key); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("%s: repaired entry: %q/%v", cname, got, ok)
+		}
+	}
+}
+
+// TestCrashAtomicity: a stray temp file (the only artifact a crash
+// mid-Put can leave, since commit is a rename) is never served as an
+// entry, never collides with a later Put, and does not break a reopen.
+func TestCrashAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that died between CreateTemp and Rename.
+	if err := os.MkdirAll(filepath.Join(dir, testSchema), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, testSchema, ".tmp-crashed-123456")
+	if err := os.WriteFile(stray, []byte("half-written garb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(testSchema, "crashed"); ok {
+		t.Fatal("temp leftover served as an entry")
+	}
+	want := []byte("the real payload")
+	if err := s.Put(testSchema, "crashed", want); err != nil {
+		t.Fatalf("put over stray temp: %v", err)
+	}
+	got, ok := s.Get(testSchema, "crashed")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("entry after stray temp: %q/%v", got, ok)
+	}
+	if st := s.Stats(); st.Corruptions != 0 {
+		t.Fatalf("stray temp counted as corruption: %+v", st)
+	}
+
+	// A fresh Open over the same litter works too.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(testSchema, "crashed"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened entry: %q/%v", got, ok)
+	}
+}
+
+// TestManifestBumpInvalidates: a root written under a different format
+// generation is wiped clean at Open, not misread.
+func TestManifestBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testSchema, "old-entry", []byte("old bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest as a future format and keep a foreign file
+	// around; reopening must drop the entries, keep the foreign file,
+	// and restore the current manifest.
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"format":"castore/999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("not castore's file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(testSchema, "old-entry"); ok {
+		t.Fatal("entry from a foreign format generation survived reopen")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign root file was touched: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil || !strings.Contains(string(data), formatVersion) {
+		t.Fatalf("manifest not restored: %q, %v", data, err)
+	}
+}
+
+// TestSizeBoundedEviction: pushing past MaxBytes evicts oldest entries
+// until the store fits, never the entry just written.
+func TestSizeBoundedEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 1000)
+	s, err := Open(dir, Options{MaxBytes: 3500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("entry-%d", i)
+		if err := s.Put(testSchema, key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Spread mtimes so "oldest" is well defined even on coarse
+		// filesystem clocks.
+		older := time.Now().Add(time.Duration(i-10) * time.Minute)
+		path := filepath.Join(dir, testSchema, key)
+		if err := os.Chtimes(path, older, older); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The last Put ran eviction before its own Chtimes; force one more
+	// write so the bound is applied over the staged mtimes.
+	if err := s.Put(testSchema, "entry-final", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions despite exceeding MaxBytes: %+v", st)
+	}
+	var total int64
+	var survivors []string
+	for _, e := range s.listEntries() {
+		total += e.size
+		survivors = append(survivors, filepath.Base(e.path))
+	}
+	if total > 3500 {
+		t.Fatalf("store still over bound after eviction: %d bytes (%v)", total, survivors)
+	}
+	if _, ok := s.Get(testSchema, "entry-final"); !ok {
+		t.Fatal("eviction removed the entry that triggered it")
+	}
+	if _, ok := s.Get(testSchema, "entry-0"); ok {
+		t.Fatal("oldest entry survived size-bounded eviction")
+	}
+}
+
+// TestInvalidNamesRejected: schema labels and keys that could escape
+// the root or collide with store metadata are refused on Put and read
+// as misses, never as paths.
+func TestInvalidNamesRejected(t *testing.T) {
+	bad := []string{"", ".", "..", ".hidden", "a/b", "a\\b", "a b", manifestName, "k\x00y"}
+	for name, s := range stores(t) {
+		for _, k := range bad {
+			if err := s.Put(testSchema, k, []byte("x")); err == nil {
+				t.Fatalf("%s: Put accepted key %q", name, k)
+			}
+			if err := s.Put(k, "key", []byte("x")); err == nil {
+				t.Fatalf("%s: Put accepted schema %q", name, k)
+			}
+			if _, ok := s.Get(testSchema, k); ok {
+				t.Fatalf("%s: Get hit for key %q", name, k)
+			}
+		}
+	}
+}

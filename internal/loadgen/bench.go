@@ -32,10 +32,13 @@ type BenchCell struct {
 	P99Ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
 	MeanMs        float64 `json:"mean_ms"`
-	// CacheHitRatio and DedupRatio are in [0,1], or -1 when the
-	// target reported no counters for the dimension.
+	// CacheHitRatio, DedupRatio, and StoreHitRatio are in [0,1], or -1
+	// when the target reported no counters for the dimension. Files
+	// written before the persistent store existed omit store_hit_ratio;
+	// it decodes as 0 (no store traffic).
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	DedupRatio    float64 `json:"dedup_ratio"`
+	StoreHitRatio float64 `json:"store_hit_ratio,omitempty"`
 }
 
 // BenchFile is one committed BENCH_*.json document.
@@ -78,6 +81,7 @@ func NewBench(pr string, res *SweepResult) *BenchFile {
 			MeanMs:        c.Latency.MeanMs,
 			CacheHitRatio: c.CacheHitRatio,
 			DedupRatio:    c.DedupRatio,
+			StoreHitRatio: c.StoreHitRatio,
 		})
 	}
 	return b
@@ -151,6 +155,7 @@ func (c BenchCell) validate() error {
 	}
 	for name, v := range map[string]float64{
 		"cache_hit_ratio": c.CacheHitRatio, "dedup_ratio": c.DedupRatio,
+		"store_hit_ratio": c.StoreHitRatio,
 	} {
 		if v != -1 && (v < 0 || v > 1) {
 			return fmt.Errorf("%s %v outside [0,1] (or -1 for unavailable)", name, v)

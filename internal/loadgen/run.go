@@ -127,6 +127,10 @@ type CellResult struct {
 	// (specs_deduped / specs_submitted deltas; -1 when unavailable —
 	// in-process targets have no dedup layer).
 	DedupRatio float64 `json:"dedup_ratio"`
+	// StoreHitRatio is the persistent-store hit fraction over the cell
+	// (store_hits / (store_hits+store_misses) deltas; -1 when the
+	// target has no store attached or it saw no traffic).
+	StoreHitRatio float64 `json:"store_hit_ratio"`
 	// MetricsDelta is the raw counter movement over the cell (after
 	// minus before), for anything the ratios above do not cover.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
@@ -205,16 +209,16 @@ func RunCell(ctx context.Context, t Target, mix Mix, cfg CellConfig) (*CellResul
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(res.Requests) / elapsed
 	}
-	res.CacheHitRatio, res.DedupRatio, res.MetricsDelta = counterDeltas(before, after)
+	res.CacheHitRatio, res.DedupRatio, res.StoreHitRatio, res.MetricsDelta = counterDeltas(before, after)
 	return res, runErr
 }
 
-// counterDeltas derives the cell's hit/dedup ratios from the counter
-// snapshots that bracket it.
-func counterDeltas(before, after map[string]float64) (hitRatio, dedupRatio float64, delta map[string]float64) {
-	hitRatio, dedupRatio = -1, -1
+// counterDeltas derives the cell's hit/dedup/store ratios from the
+// counter snapshots that bracket it.
+func counterDeltas(before, after map[string]float64) (hitRatio, dedupRatio, storeRatio float64, delta map[string]float64) {
+	hitRatio, dedupRatio, storeRatio = -1, -1, -1
 	if before == nil || after == nil {
-		return hitRatio, dedupRatio, nil
+		return hitRatio, dedupRatio, storeRatio, nil
 	}
 	delta = make(map[string]float64, len(after))
 	for k, v := range after {
@@ -227,7 +231,11 @@ func counterDeltas(before, after map[string]float64) (hitRatio, dedupRatio float
 	if submitted := delta["specs_submitted"]; submitted > 0 {
 		dedupRatio = delta["specs_deduped"] / submitted
 	}
-	return hitRatio, dedupRatio, delta
+	sh, sm := delta["store_hits"], delta["store_misses"]
+	if sh+sm > 0 {
+		storeRatio = sh / (sh + sm)
+	}
+	return hitRatio, dedupRatio, storeRatio, delta
 }
 
 // budget hands out request permits when the cell is request-bounded.

@@ -53,7 +53,7 @@ func TestRunCellClosedEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := NewEngineTarget(8)
+	tgt, err := NewEngineTarget(8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +69,13 @@ func TestRunCellClosedEngine(t *testing.T) {
 		t.Fatalf("cache hit ratio %v, want (0,1]", cell.CacheHitRatio)
 	}
 	// In-process targets have no dedup layer: the ratio is the
-	// unavailable marker, never a fake zero.
+	// unavailable marker, never a fake zero. Likewise the store ratio
+	// when no -cache-dir store is attached.
 	if cell.DedupRatio != -1 {
 		t.Fatalf("dedup ratio %v from an in-process target", cell.DedupRatio)
+	}
+	if cell.StoreHitRatio != -1 {
+		t.Fatalf("store hit ratio %v from a store-less target", cell.StoreHitRatio)
 	}
 	if cell.MetricsDelta["engine_specs"] != 12 {
 		t.Fatalf("engine_specs delta %v, want 12", cell.MetricsDelta["engine_specs"])
@@ -83,7 +87,7 @@ func TestRunCellOpenEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := NewEngineTarget(8)
+	tgt, err := NewEngineTarget(8, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +114,7 @@ func TestRunCellValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := NewEngineTarget(0)
+	tgt, err := NewEngineTarget(0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +186,61 @@ func TestRunSweepArtifactsAndBench(t *testing.T) {
 	}
 	if len(b.Cells) != 4 || b.Specs != 4 || b.Seed != 1 {
 		t.Fatalf("trajectory provenance: %+v", b)
+	}
+}
+
+// TestRunCellStoreHitRatio: a cell whose engine persists to a cache
+// directory records the store's hit fraction — misses-only on the cold
+// cell, real hits on a fresh engine warming from the same directory.
+func TestRunCellStoreHitRatio(t *testing.T) {
+	dir := t.TempDir()
+	mix, err := DefaultMix(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := NewEngineTarget(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	cell, err := RunCell(context.Background(), cold, mix, testCell(8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCell(t, cell, 8)
+	// The cold cell misses every first-seen spec (repeats within the
+	// cell already replay from the store — the store is the in-process
+	// engine's only cross-request result memo), so the ratio is real
+	// but below 1.
+	if cell.StoreHitRatio < 0 || cell.StoreHitRatio >= 1 {
+		t.Fatalf("cold store hit ratio %v, want [0,1)", cell.StoreHitRatio)
+	}
+	if cell.MetricsDelta["store_puts"] == 0 {
+		t.Fatal("cold cell persisted nothing")
+	}
+
+	// A second engine over the warmed directory — a sweep's next cell,
+	// or a restarted harness — replays specs from disk.
+	warm, err := NewEngineTarget(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	cell, err = RunCell(context.Background(), warm, mix, testCell(8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCell(t, cell, 8)
+	if cell.StoreHitRatio <= 0 || cell.StoreHitRatio > 1 {
+		t.Fatalf("warm store hit ratio %v, want (0,1]", cell.StoreHitRatio)
+	}
+	if cell.MetricsDelta["store_spec_hits"] == 0 {
+		t.Fatal("warm cell served no spec results from the store")
+	}
+	// Nothing was re-simulated for the store-served specs.
+	if jobs := cell.MetricsDelta["engine_jobs"]; jobs != 0 {
+		t.Fatalf("warm cell re-ran %v jobs", jobs)
 	}
 }
 

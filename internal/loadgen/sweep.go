@@ -26,6 +26,12 @@ type SweepConfig struct {
 	// base URL, or "" for a fresh in-process Engine per cell (the only
 	// mode where the CacheSizes axis is actually applied).
 	TargetURL string `json:"target_url,omitempty"`
+	// CacheDir, when non-empty, attaches the persistent store to every
+	// in-process engine (ignored against a live target, which owns its
+	// own -cache-dir). Because the directory is shared across cells,
+	// later cells replay earlier cells' specs from disk — the
+	// store_hit_ratio column measures exactly that.
+	CacheDir string `json:"cache_dir,omitempty"`
 	// PollInterval is the HTTP status-poll interval (HTTP targets).
 	PollInterval time.Duration `json:"-"`
 }
@@ -98,7 +104,7 @@ func RunSweep(ctx context.Context, sc SweepConfig, logf func(format string, args
 
 				t := shared
 				if t == nil {
-					et, err := NewEngineTarget(cache)
+					et, err := NewEngineTarget(cache, sc.CacheDir)
 					if err != nil {
 						return res, err
 					}
@@ -114,10 +120,10 @@ func RunSweep(ctx context.Context, sc SweepConfig, logf func(format string, args
 				}
 				res.Cells = append(res.Cells, *cell)
 				if logf != nil {
-					logf("cell %d/%d: conc=%d skew=%v cache=%d → %d req (%d err), %.1f req/s, p99 %.1fms, hit %.2f, dedup %.2f",
+					logf("cell %d/%d: conc=%d skew=%v cache=%d → %d req (%d err), %.1f req/s, p99 %.1fms, hit %.2f, dedup %.2f, store %.2f",
 						cellNo, sc.Cells(), conc, skew, cache,
 						cell.Requests, cell.Errors, cell.ThroughputRPS,
-						cell.Latency.P99Ms, cell.CacheHitRatio, cell.DedupRatio)
+						cell.Latency.P99Ms, cell.CacheHitRatio, cell.DedupRatio, cell.StoreHitRatio)
 				}
 			}
 		}
@@ -164,7 +170,7 @@ func writeCellsCSV(path string, cells []CellResult) error {
 		"mode", "concurrency", "rate_per_sec", "skew", "cache_size", "specs", "seed",
 		"requests", "errors", "elapsed_sec", "throughput_rps",
 		"p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms",
-		"cache_hit_ratio", "dedup_ratio",
+		"cache_hit_ratio", "dedup_ratio", "store_hit_ratio",
 	}
 	rows := [][]string{header}
 	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -188,6 +194,7 @@ func writeCellsCSV(path string, cells []CellResult) error {
 			ff(c.Latency.MeanMs),
 			ff(c.CacheHitRatio),
 			ff(c.DedupRatio),
+			ff(c.StoreHitRatio),
 		})
 	}
 	if err := w.WriteAll(rows); err != nil {

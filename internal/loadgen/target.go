@@ -40,9 +40,16 @@ type EngineTarget struct {
 }
 
 // NewEngineTarget builds an in-process target with the given
-// workload-cache capacity (0 disables caching).
-func NewEngineTarget(cacheSize int) (*EngineTarget, error) {
-	eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(cacheSize))
+// workload-cache capacity (0 disables caching). A non-empty cacheDir
+// attaches the engine's persistent content-addressed store — the
+// in-process equivalent of pynamic-serve's -cache-dir — so a sweep can
+// measure warm-store replay.
+func NewEngineTarget(cacheSize int, cacheDir string) (*EngineTarget, error) {
+	opts := []pynamic.Option{pynamic.WithWorkloadCacheSize(cacheSize)}
+	if cacheDir != "" {
+		opts = append(opts, pynamic.WithCacheDir(cacheDir))
+	}
+	eng, err := pynamic.New(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +81,13 @@ func (t *EngineTarget) Metrics(ctx context.Context) (map[string]float64, error) 
 		"workload_cache_misses":   float64(es.WorkloadCache.Misses),
 		"workload_cache_entries":  float64(es.WorkloadCache.Entries),
 		"workload_cache_capacity": float64(es.WorkloadCache.Capacity),
+		"store_hits":              float64(es.Store.Hits),
+		"store_misses":            float64(es.Store.Misses),
+		"store_puts":              float64(es.Store.Puts),
+		"store_evictions":         float64(es.Store.Evictions),
+		"store_corruptions":       float64(es.Store.Corruptions),
+		"store_spec_hits":         float64(es.StoreSpecHits),
+		"store_workload_hits":     float64(es.StoreWorkloadHits),
 	}
 	for phase, sec := range es.PhaseSimSec {
 		m["engine_phase_sim_sec_"+phase] = sec

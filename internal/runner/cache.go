@@ -3,12 +3,11 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
 
 	"repro/internal/api"
+	"repro/internal/castore"
 )
 
 // Cache stores cell results keyed by content: experiment name +
@@ -65,34 +64,36 @@ func (c *MemCache) Put(key string, m Metrics) {
 	c.m[key] = m.Clone()
 }
 
-// DiskCache persists results as one JSON file per key under a root
-// directory, fronted by an in-memory layer so repeated Gets within a
-// process never re-read the disk.
+// DiskCache persists results through the shared content-addressed
+// store (internal/castore) under the cacheSchema label — the same
+// atomic-write, corruption-checked persistence discipline the Engine's
+// workload and spec-result tiers use, so one cache directory can host
+// all three. An in-memory layer fronts the store so repeated Gets
+// within a process never re-read the disk.
 type DiskCache struct {
-	root string
-	mem  *MemCache
+	store *castore.Disk
+	mem   *MemCache
 }
 
 // NewDiskCache opens (creating if needed) a disk cache rooted at dir.
+// The directory may be shared with an Engine's WithCacheDir store.
 func NewDiskCache(dir string) (*DiskCache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("runner: create cache dir: %w", err)
+	st, err := castore.Open(dir, castore.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
 	}
-	return &DiskCache{root: dir, mem: NewMemCache()}, nil
-}
-
-func (c *DiskCache) path(key string) string {
-	return filepath.Join(c.root, key+".json")
+	return &DiskCache{store: st, mem: NewMemCache()}, nil
 }
 
 // Get returns the cached metrics for key, consulting memory first and
-// then disk. Corrupt or unreadable entries are treated as misses.
+// then the store. Corrupt or unreadable entries are treated as misses
+// (the store counts and discards them).
 func (c *DiskCache) Get(key string) (Metrics, bool) {
 	if m, ok := c.mem.Get(key); ok {
 		return m, true
 	}
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+	data, ok := c.store.Get(cacheSchema, key)
+	if !ok {
 		return nil, false
 	}
 	var m Metrics
@@ -103,28 +104,17 @@ func (c *DiskCache) Get(key string) (Metrics, bool) {
 	return m, true
 }
 
-// Put stores metrics under key in memory and on disk. The file is
-// written to a temp name and renamed so concurrent readers never see a
-// partial entry; disk errors are ignored (the memory layer still
-// serves the result for this process).
+// Put stores metrics under key in memory and in the store. Store
+// errors are ignored — the memory layer still serves the result for
+// this process.
 func (c *DiskCache) Put(key string, m Metrics) {
 	c.mem.Put(key, m)
 	data, err := json.Marshal(m)
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.root, key+".tmp*")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, c.path(key)); err != nil {
-		os.Remove(name)
-	}
+	_ = c.store.Put(cacheSchema, key, data)
 }
+
+// Stats reports the underlying store's counters.
+func (c *DiskCache) Stats() castore.Stats { return c.store.Stats() }

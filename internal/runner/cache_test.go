@@ -111,7 +111,13 @@ func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
 		t.Fatal("put entry not readable")
 	}
 
-	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{corrupt"), 0o644); err != nil {
+	// Entries now live under the castore layout:
+	// <dir>/<cacheSchema>/<key>. Damage the stored file in place.
+	path := filepath.Join(dir, cacheSchema, key)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("entry not at the expected store path: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	fresh, err := NewDiskCache(dir)
@@ -121,8 +127,11 @@ func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
 	if _, ok := fresh.Get(key); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
+	if st := fresh.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
 	// No stray temp files left behind by Put.
-	entries, err := os.ReadDir(dir)
+	entries, err := os.ReadDir(filepath.Join(dir, cacheSchema))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,14 +16,20 @@ type counters struct {
 	specsSubmitted atomic.Int64
 	// specsDeduped counts POST /v1/specs submissions answered by an
 	// existing live record for the same canonical hash — work the
-	// content-addressed job key made unnecessary.
-	specsDeduped  atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCanceled  atomic.Int64
-	specsDone     atomic.Int64
-	specsFailed   atomic.Int64
-	specsCanceled atomic.Int64
+	// content-addressed job key made unnecessary. specsStoreDeduped
+	// counts submissions answered from the engine's persistent store
+	// instead (no live record; the result was computed by a previous
+	// process life or a sibling replica sharing the cache directory).
+	// Store-deduped submissions register an immediately-done record,
+	// so they also count under specsDone.
+	specsDeduped      atomic.Int64
+	specsStoreDeduped atomic.Int64
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCanceled      atomic.Int64
+	specsDone         atomic.Int64
+	specsFailed       atomic.Int64
+	specsCanceled     atomic.Int64
 	// drainRejected counts submissions refused with 503 while the
 	// server was draining.
 	drainRejected atomic.Int64
@@ -54,20 +60,26 @@ func (c *counters) countFinish(isSpec bool, status string) {
 // ("/v1/metrics counter catalog"); names are stable — the load harness
 // and the drain-time flush both key on them.
 func (s *Server) Metrics() map[string]float64 {
+	// The server-side counters, gauges, and the draining flag are all
+	// read inside one s.mu section — the same lock every submission,
+	// dedup decision, and finish commits under — so a single scrape is
+	// a consistent cut: it can never see, say, a terminal record whose
+	// outcome counter has not ticked yet.
+	s.mu.Lock()
 	m := map[string]float64{
-		"jobs_submitted":  float64(s.ctr.jobsSubmitted.Load()),
-		"specs_submitted": float64(s.ctr.specsSubmitted.Load()),
-		"specs_deduped":   float64(s.ctr.specsDeduped.Load()),
-		"jobs_done":       float64(s.ctr.jobsDone.Load()),
-		"jobs_failed":     float64(s.ctr.jobsFailed.Load()),
-		"jobs_canceled":   float64(s.ctr.jobsCanceled.Load()),
-		"specs_done":      float64(s.ctr.specsDone.Load()),
-		"specs_failed":    float64(s.ctr.specsFailed.Load()),
-		"specs_canceled":  float64(s.ctr.specsCanceled.Load()),
-		"drain_rejected":  float64(s.ctr.drainRejected.Load()),
+		"jobs_submitted":      float64(s.ctr.jobsSubmitted.Load()),
+		"specs_submitted":     float64(s.ctr.specsSubmitted.Load()),
+		"specs_deduped":       float64(s.ctr.specsDeduped.Load()),
+		"specs_store_deduped": float64(s.ctr.specsStoreDeduped.Load()),
+		"jobs_done":           float64(s.ctr.jobsDone.Load()),
+		"jobs_failed":         float64(s.ctr.jobsFailed.Load()),
+		"jobs_canceled":       float64(s.ctr.jobsCanceled.Load()),
+		"specs_done":          float64(s.ctr.specsDone.Load()),
+		"specs_failed":        float64(s.ctr.specsFailed.Load()),
+		"specs_canceled":      float64(s.ctr.specsCanceled.Load()),
+		"drain_rejected":      float64(s.ctr.drainRejected.Load()),
 	}
 	var queued, running float64
-	s.mu.Lock()
 	for _, id := range s.order {
 		switch s.jobs[id].statusOf() {
 		case StatusQueued:
@@ -76,14 +88,14 @@ func (s *Server) Metrics() map[string]float64 {
 			running++
 		}
 	}
-	s.mu.Unlock()
 	m["queue_depth"] = queued
 	m["running"] = running
-	if s.draining.Load() {
+	if s.draining {
 		m["draining"] = 1
 	} else {
 		m["draining"] = 0
 	}
+	s.mu.Unlock()
 
 	es := s.eng.Stats()
 	m["engine_generates"] = float64(es.Generates)
@@ -99,6 +111,15 @@ func (s *Server) Metrics() map[string]float64 {
 	m["workload_cache_misses"] = float64(es.WorkloadCache.Misses)
 	m["workload_cache_entries"] = float64(es.WorkloadCache.Entries)
 	m["workload_cache_capacity"] = float64(es.WorkloadCache.Capacity)
+	// Persistent-store counters (all zero when the engine has no
+	// -cache-dir store attached).
+	m["store_hits"] = float64(es.Store.Hits)
+	m["store_misses"] = float64(es.Store.Misses)
+	m["store_puts"] = float64(es.Store.Puts)
+	m["store_evictions"] = float64(es.Store.Evictions)
+	m["store_corruptions"] = float64(es.Store.Corruptions)
+	m["store_spec_hits"] = float64(es.StoreSpecHits)
+	m["store_workload_hits"] = float64(es.StoreWorkloadHits)
 	return m
 }
 

@@ -16,6 +16,11 @@
 //	                         knobs, tool); the job key is the spec's
 //	                         canonical content hash, so resubmitting an
 //	                         identical spec joins the existing job
+//	                         (dedup:"true") — and when the engine has a
+//	                         persistent store (-cache-dir), a hash whose
+//	                         result was computed by a previous process
+//	                         life or a sibling replica is answered done
+//	                         immediately from disk (dedup:"store")
 //	GET    /v1/specs         list submitted specs (summaries)
 //	GET    /v1/specs/{hash}  spec status: resolved knobs, result once done
 //	GET    /v1/specs/{hash}/result  the inner canonical result JSON —
@@ -53,7 +58,6 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	pynamic "repro"
 )
@@ -188,16 +192,23 @@ type Server struct {
 	sem        chan struct{}
 	maxHistory int
 
-	// ctr is the /v1/metrics counter set; draining gates submissions;
-	// workers tracks worker goroutines so Drain can wait them out.
-	ctr      counters
-	draining atomic.Bool
-	workers  sync.WaitGroup
+	// ctr is the /v1/metrics counter set; workers tracks worker
+	// goroutines so Drain can wait them out.
+	ctr     counters
+	workers sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*record
-	order  []string
-	nextID int
+	// mu guards the record store AND the admission/drain handshake:
+	// draining flips under it, and every workers.Add happens under it,
+	// so a submission is either fully admitted before Drain's Wait or
+	// refused — never half-admitted. Counter bumps that must stay
+	// consistent with record state (submissions, dedups, finishes)
+	// also commit under mu; Metrics snapshots under it. Lock order is
+	// s.mu before record.mu, never the reverse.
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*record
+	order    []string
+	nextID   int
 }
 
 // New returns a Server over eng. Close releases its background work.
@@ -229,7 +240,16 @@ func (s *Server) Close() { s.stop() }
 // caller decides whether to escalate to Close). Drain is idempotent and
 // safe to call concurrently.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	// Flipping the flag under s.mu orders it against admission: once
+	// this section ends, every in-flight submission has either already
+	// called workers.Add (so Wait below covers it) or will observe
+	// draining inside its own locked section and refuse. Without this
+	// mutual exclusion a submission racing SIGTERM could Add after
+	// Wait started — orphaning admitted work past a "clean" drain, or
+	// tripping the WaitGroup's add-while-waiting reuse rule.
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -260,14 +280,30 @@ func (s *Server) Handler() http.Handler {
 }
 
 // refuseDraining writes the 503 a draining server answers submissions
-// with, and reports whether the request was refused.
+// with, and reports whether the request was refused. It is the cheap
+// pre-parse check; admission paths re-check under the same lock they
+// admit in (see rejectDrainingLocked).
 func (s *Server) refuseDraining(w http.ResponseWriter) bool {
-	if !s.draining.Load() {
+	s.mu.Lock()
+	draining := s.draining
+	if draining {
+		s.ctr.drainRejected.Add(1)
+	}
+	s.mu.Unlock()
+	if !draining {
 		return false
 	}
-	s.ctr.drainRejected.Add(1)
 	writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new work")
 	return true
+}
+
+// rejectDrainingLocked finalizes a refusal discovered inside an
+// admission critical section: bumps the counter, releases s.mu, and
+// writes the 503. Caller must hold s.mu and must not touch it after.
+func (s *Server) rejectDrainingLocked(w http.ResponseWriter) {
+	s.ctr.drainRejected.Add(1)
+	s.mu.Unlock()
+	writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new work")
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -295,9 +331,13 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 // submitSpec validates and resolves a declarative Spec, registers it
 // under its canonical hash, and launches its worker. Submitting a spec
 // whose hash matches a live record joins that record instead of
-// duplicating the work — the hash IS the job key, exactly like the
-// engine's content-keyed caches. A failed or canceled record is
-// replaced so a retry can succeed.
+// duplicating the work (dedup:"true"), and a hash whose result is
+// already in the engine's persistent store — computed by a previous
+// process life or a sibling replica sharing the cache directory — is
+// answered as an immediately-done record without running anything
+// (dedup:"store"). The hash IS the job key, exactly like the engine's
+// content-keyed caches. A failed or canceled record is replaced so a
+// retry can succeed.
 func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
@@ -318,25 +358,62 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithCancel(s.base)
+	// Live-record dedup first: no disk involved, and the whole
+	// decision — status snapshot, counter bumps, reply choice — sits
+	// in one critical section. Finishes also commit under s.mu, so a
+	// record finishing concurrently can no longer slip between the
+	// snapshot and the counts.
 	s.mu.Lock()
-	if prev, ok := s.jobs[exp.Hash]; ok {
-		st := prev.statusOf()
-		if st != StatusFailed && st != StatusCanceled {
-			s.mu.Unlock()
-			cancel()
-			s.ctr.specsSubmitted.Add(1)
-			s.ctr.specsDeduped.Add(1)
-			writeJSON(w, http.StatusOK, map[string]string{
-				"id": exp.Hash, "status": st, "dedup": "true",
-			})
-			return
-		}
-		// Replace the dead record: drop its order entry so the id is
-		// not listed twice.
-		delete(s.jobs, exp.Hash)
-		s.removeOrderLocked(exp.Hash)
+	if s.draining {
+		s.rejectDrainingLocked(w)
+		return
 	}
+	if s.replyLiveSpecLocked(w, exp.Hash) {
+		return
+	}
+	s.mu.Unlock()
+
+	// Persistent-store dedup: the disk read stays outside the lock.
+	stored := s.eng.LookupSpecResult(exp.Hash)
+
+	s.mu.Lock()
+	if s.draining {
+		s.rejectDrainingLocked(w)
+		return
+	}
+	// Re-check: a concurrent submitter may have registered this hash
+	// while the lock was dropped for the store read.
+	if s.replyLiveSpecLocked(w, exp.Hash) {
+		return
+	}
+	if stored != nil {
+		// Register a terminal record so GET /v1/specs/{hash} and
+		// /result serve the stored bytes exactly as if this process
+		// had computed them. It counts as done at registration — the
+		// record reached terminal state, a worker just never existed.
+		rec := &record{
+			id:         exp.Hash,
+			isSpec:     true,
+			spec:       spec,
+			kind:       exp.Kind,
+			knobs:      exp.Grid,
+			cancel:     func() {},
+			status:     StatusDone,
+			specResult: stored,
+		}
+		s.jobs[rec.id] = rec
+		s.order = append(s.order, rec.id)
+		s.ctr.specsSubmitted.Add(1)
+		s.ctr.specsStoreDeduped.Add(1)
+		s.ctr.countFinish(true, StatusDone)
+		s.mu.Unlock()
+		s.pruneHistory()
+		writeJSON(w, http.StatusOK, map[string]string{
+			"id": rec.id, "status": StatusDone, "dedup": "store",
+		})
+		return
+	}
+	ctx, cancel := context.WithCancel(s.base)
 	rec := &record{
 		id:     exp.Hash,
 		isSpec: true,
@@ -348,12 +425,40 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
-	s.mu.Unlock()
-
 	s.ctr.specsSubmitted.Add(1)
 	s.workers.Add(1)
+	s.mu.Unlock()
+
 	go s.runSpec(ctx, rec)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
+}
+
+// replyLiveSpecLocked answers a spec submission from an existing live
+// record for hash, bumping the submission and dedup counters in the
+// same critical section the status snapshot was taken in. It reports
+// whether it replied (having released s.mu); a dead (failed/canceled)
+// record is dropped for replacement and false is returned with s.mu
+// still held.
+func (s *Server) replyLiveSpecLocked(w http.ResponseWriter, hash string) bool {
+	prev, ok := s.jobs[hash]
+	if !ok {
+		return false
+	}
+	st := prev.statusOf()
+	if st == StatusFailed || st == StatusCanceled {
+		// Replace the dead record: drop its order entry so the id is
+		// not listed twice.
+		delete(s.jobs, hash)
+		s.removeOrderLocked(hash)
+		return false
+	}
+	s.ctr.specsSubmitted.Add(1)
+	s.ctr.specsDeduped.Add(1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"id": hash, "status": st, "dedup": "true",
+	})
+	return true
 }
 
 // removeOrderLocked drops id from the submission order (caller holds
@@ -372,10 +477,16 @@ func (s *Server) runSpec(ctx context.Context, rec *record) {
 	defer s.workers.Done()
 	defer rec.cancel()
 	finish := func(status, errMsg string, res *pynamic.SpecResult) {
+		// Status transition and outcome counter commit in one s.mu
+		// section (lock order s.mu → rec.mu), so a metrics scrape or a
+		// dedup decision never observes a terminal record whose finish
+		// is uncounted.
+		s.mu.Lock()
 		rec.mu.Lock()
 		rec.status, rec.err, rec.specResult = status, errMsg, res
 		rec.mu.Unlock()
 		s.ctr.countFinish(true, status)
+		s.mu.Unlock()
 		s.pruneHistory()
 	}
 	select {
@@ -453,6 +564,14 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(s.base)
 	s.mu.Lock()
+	if s.draining {
+		// Re-check under the admission lock: Drain may have flipped
+		// the flag after the pre-parse check, and workers.Add below
+		// must never race its Wait.
+		cancel()
+		s.rejectDrainingLocked(w)
+		return
+	}
 	s.nextID++
 	rec := &record{
 		id:     fmt.Sprintf("j%04d", s.nextID),
@@ -462,10 +581,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
-	s.mu.Unlock()
-
 	s.ctr.jobsSubmitted.Add(1)
 	s.workers.Add(1)
+	s.mu.Unlock()
+
 	go s.runJob(ctx, rec, req, cfg)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
 }
@@ -481,10 +600,14 @@ func (s *Server) runJob(ctx context.Context, rec *record, req JobRequest, cfg jo
 	defer s.workers.Done()
 	defer rec.cancel()
 	finish := func(status, errMsg string, res *pynamic.JobResult) {
+		// See runSpec's finish: transition and counter are atomic
+		// under s.mu.
+		s.mu.Lock()
 		rec.mu.Lock()
 		rec.status, rec.err, rec.result = status, errMsg, res
 		rec.mu.Unlock()
 		s.ctr.countFinish(false, status)
+		s.mu.Unlock()
 		s.pruneHistory()
 	}
 	select {

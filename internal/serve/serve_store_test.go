@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	pynamic "repro"
+)
+
+// storeServer builds a server whose engine persists to dir — the
+// serve-level equivalent of launching pynamic-serve with -cache-dir.
+func storeServer(t *testing.T, dir string, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, err := pynamic.New(pynamic.WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := New(eng, opts)
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(func() { ts.Close(); sv.Close() })
+	return sv, ts
+}
+
+// postSpecFull POSTs a spec and returns the decoded submission reply
+// plus the status code — unlike submitSpecBody it keeps the dedup
+// marker.
+func postSpecFull(t *testing.T, ts *httptest.Server, body []byte) (map[string]string, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/specs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]string{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// getBytes GETs a path and returns the raw body.
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSpecStoreDedupAcrossServers is the restart/replica contract the
+// persistent store exists for: a second server sharing only a cache
+// directory — a restarted process, or a sibling replica — answers an
+// already-computed spec as immediately done (dedup:"store") with
+// byte-identical result bytes, without simulating anything.
+func TestSpecStoreDedupAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := os.ReadFile(filepath.Join("testdata", "spec_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: compute and persist.
+	sv1, ts1 := storeServer(t, dir, Options{})
+	reply, code := postSpecFull(t, ts1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	id := reply["id"]
+	if st := pollSpec(t, ts1, id); st.Status != StatusDone {
+		t.Fatalf("first run finished %s", st.Status)
+	}
+	res1 := getBytes(t, ts1, "/v1/specs/"+id+"/result")
+	m1 := sv1.Metrics()
+	if m1["specs_store_deduped"] != 0 || m1["store_spec_hits"] != 0 {
+		t.Fatalf("fresh store produced hits: %+v", m1)
+	}
+	if m1["store_puts"] == 0 {
+		t.Fatal("first run persisted nothing")
+	}
+	ts1.Close()
+	sv1.Close()
+
+	// Second life over the same directory: answered from disk.
+	sv2, ts2 := storeServer(t, dir, Options{})
+	reply, code = postSpecFull(t, ts2, spec)
+	if code != http.StatusOK {
+		t.Fatalf("restart submit: status %d, want 200", code)
+	}
+	if reply["id"] != id || reply["status"] != StatusDone || reply["dedup"] != "store" {
+		t.Fatalf("restart submit reply: %+v", reply)
+	}
+	res2 := getBytes(t, ts2, "/v1/specs/"+id+"/result")
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("stored result bytes drifted:\nfirst  %s\nsecond %s", res1, res2)
+	}
+
+	// The polling surface serves the stored record like any other done
+	// spec.
+	if st := pollSpec(t, ts2, id); st.Status != StatusDone || st.Result == nil {
+		t.Fatalf("stored record polls as %s (result nil=%v)", st.Status, st.Result == nil)
+	}
+
+	// Nothing ran on the second server: its engine counters are still
+	// zero, only the store-hit counters moved, and the submission is
+	// accounted as done.
+	m2 := sv2.Metrics()
+	for key, want := range map[string]float64{
+		"specs_submitted":     1,
+		"specs_store_deduped": 1,
+		"specs_deduped":       0,
+		"specs_done":          1,
+		"store_spec_hits":     1,
+		"engine_specs":        0,
+		"engine_jobs":         0,
+		"engine_runs":         0,
+		"engine_generates":    0,
+		"queue_depth":         0,
+		"running":             0,
+	} {
+		if m2[key] != want {
+			t.Fatalf("restart metrics: %s = %v, want %v (all: %v)", key, m2[key], want, m2)
+		}
+	}
+
+	// A third submission on the live server now dedups against the
+	// registered record, not the disk.
+	reply, code = postSpecFull(t, ts2, spec)
+	if code != http.StatusOK || reply["dedup"] != "true" {
+		t.Fatalf("live resubmit: status %d reply %+v", code, reply)
+	}
+	m2 = sv2.Metrics()
+	if m2["specs_deduped"] != 1 || m2["specs_store_deduped"] != 1 {
+		t.Fatalf("live resubmit counters: deduped=%v store_deduped=%v",
+			m2["specs_deduped"], m2["specs_store_deduped"])
+	}
+}
