@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/dynld"
+	"repro/internal/elfimg"
 	"repro/internal/experiments"
 	"repro/internal/fsim"
 	"repro/internal/job"
@@ -268,6 +269,47 @@ func BenchmarkDynldSymbolLookup(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(sites)), "slots")
+	})
+}
+
+// BenchmarkDynldKernelSteadyState measures the zero-alloc simulation
+// kernel: a warm loader resolving every bound jump slot AND every data
+// GOT slot in the link map per op — the union of resolution paths the
+// visit phase hits in steady state. The fast variant must report
+// 0 B/op (arena-backed memos, flat symbol tables); CI gates both the
+// fast/baseline ratio and the allocation figure.
+func BenchmarkDynldKernelSteadyState(b *testing.B) {
+	benchFastBaseline(b, func(b *testing.B, noFast bool) {
+		ld, _, sites := benchDynldLoader(b, noFast)
+		var data []pltSite
+		for _, le := range ld.LinkMap() {
+			for ri, r := range le.Image.Relocs {
+				if r.Type == elfimg.RelocGOTData {
+					data = append(data, pltSite{le, ri})
+				}
+			}
+		}
+		// Warm the data-slot memos so the timed loop is pure steady state.
+		for _, s := range data {
+			if _, err := ld.ResolveData(s.le, s.ri); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sites {
+				if _, _, err := ld.ResolvePLTFunc(s.le, s.ri); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, s := range data {
+				if _, err := ld.ResolveData(s.le, s.ri); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites)+len(data)), "slots")
 	})
 }
 

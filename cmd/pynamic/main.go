@@ -76,14 +76,15 @@ func main() {
 		dumpSpec = flag.Bool("dump-spec", false, "print the invocation as a spec document and exit")
 		dryRun   = flag.Bool("dry-run", false, "validate and resolve the spec, print kind and canonical hash, and exit")
 
-		ranks       = flag.Int("ranks", 1, "simulated ranks: 1 = legacy rank-0 extrapolation, 0 = every task, N = first N tasks")
-		placement   = flag.String("placement", "block", "task placement policy: block or round-robin")
-		rankSkew    = flag.Float64("rank-skew", 0, "max fractional per-rank CPU slowdown (seeded)")
-		stragglers  = flag.Float64("straggler-frac", 0, "fraction of nodes with degraded I/O (seeded)")
-		stragglerIO = flag.Float64("straggler-io-scale", 4, "I/O time multiplier on straggler nodes")
-		warmNodes   = flag.Float64("warm-node-frac", 0, "fraction of nodes starting with warm buffer caches (seeded)")
-		rankWorkers = flag.Int("rank-workers", 0, "goroutines simulating ranks (0 = GOMAXPROCS; never affects results)")
-		rankJSON    = flag.String("rank-json", "", "write the full per-rank job result (JSON) to this file")
+		ranks        = flag.Int("ranks", 1, "simulated ranks: 1 = legacy rank-0 extrapolation, 0 = every task, N = first N tasks")
+		placement    = flag.String("placement", "block", "task placement policy: block or round-robin")
+		rankSkew     = flag.Float64("rank-skew", 0, "max fractional per-rank CPU slowdown (seeded)")
+		stragglers   = flag.Float64("straggler-frac", 0, "fraction of nodes with degraded I/O (seeded)")
+		stragglerIO  = flag.Float64("straggler-io-scale", 4, "I/O time multiplier on straggler nodes")
+		warmNodes    = flag.Float64("warm-node-frac", 0, "fraction of nodes starting with warm buffer caches (seeded)")
+		rankWorkers  = flag.Int("rank-workers", 0, "goroutines simulating ranks (0 = GOMAXPROCS; never affects results)")
+		relocWorkers = flag.Int("reloc-workers", 0, "goroutines resolving each rank's relocation batches (≤1 = serial; never affects results)")
+		rankJSON     = flag.String("rank-json", "", "write the full per-rank job result (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -191,10 +192,16 @@ func main() {
 	case pynamic.SpecRun, pynamic.SpecJob:
 		w := generate(ctx, eng, *exp.Gen, *manifest)
 		if exp.Kind == pynamic.SpecRun {
+			// -reloc-workers is an execution knob like -rank-workers: set
+			// post-expansion so it never enters the spec or its hash.
+			rc := *exp.Run
+			rc.RelocWorkers = *relocWorkers
+			exp.Run = &rc
 			runDriver(ctx, eng, exp, w)
 		} else {
 			jc := *exp.Job
 			jc.Workload = w
+			jc.RelocWorkers = *relocWorkers
 			runJob(ctx, eng, jc, *rankJSON)
 		}
 	case pynamic.SpecTool:

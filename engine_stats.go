@@ -1,6 +1,26 @@
 package pynamic
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/dynld"
+)
+
+// KernelCounters aggregates the simulation kernel's host-side
+// efficiency counters over every completed run and job: how many
+// relocations the simulated linkers processed, how many of those were
+// resolved through the batched zero-alloc fast path (and how many
+// batches ran their resolve pass in parallel), and the kernel's slab
+// arena accounting. Like every other EngineStats field the counters
+// are cumulative over the engine's lifetime; bytes-in-use sums each
+// run's final arena footprint rather than tracking a live gauge.
+type KernelCounters struct {
+	RelocsProcessed  int64 `json:"relocs_processed"`
+	RelocsResolved   int64 `json:"relocs_resolved"`
+	ParallelBatches  int64 `json:"parallel_batches"`
+	ArenaBytesInUse  int64 `json:"arena_bytes_in_use"`
+	ArenaBytesReused int64 `json:"arena_bytes_reused"`
+}
 
 // EngineStats is a snapshot of an Engine's lifetime operation counters:
 // how many operations of each kind completed successfully, the summed
@@ -30,6 +50,10 @@ type EngineStats struct {
 	// WorkloadCache is the workload-cache counter snapshot (the same
 	// value WorkloadCacheStats returns).
 	WorkloadCache WorkloadCacheStats `json:"workload_cache"`
+	// Kernel aggregates the simulation kernel's efficiency counters
+	// (relocations processed/batch-resolved, arena bytes) over every
+	// completed run and job.
+	Kernel KernelCounters `json:"kernel"`
 	// StoreSpecHits counts RunSpecCtx calls (and LookupSpecResult
 	// lookups) answered from the persistent store — specs that ran
 	// nothing because an identical document had already been computed,
@@ -58,6 +82,7 @@ type engineStats struct {
 	storeSpecHits     int64
 	storeWorkloadHits int64
 	phaseSimSec       map[string]float64
+	kernel            KernelCounters
 }
 
 func newEngineStats() *engineStats {
@@ -74,6 +99,7 @@ func (s *engineStats) countRun(m *Metrics) {
 	s.mu.Lock()
 	s.runs++
 	s.addPhasesLocked(m.StartupSec, m.ImportSec, m.VisitSec, m.MPISec)
+	s.addKernelLocked(m.Loader.RelocsProcessed, m.Kernel)
 	s.mu.Unlock()
 }
 
@@ -81,6 +107,11 @@ func (s *engineStats) countJob(r *JobResult) {
 	s.mu.Lock()
 	s.jobs++
 	s.addPhasesLocked(r.StartupSec, r.ImportSec, r.VisitSec, r.MPISec)
+	var relocs uint64
+	for i := range r.Ranks {
+		relocs += r.Ranks[i].Loader.RelocsProcessed
+	}
+	s.addKernelLocked(relocs, r.Kernel)
 	s.mu.Unlock()
 }
 
@@ -114,6 +145,14 @@ func (s *engineStats) countStoreWorkloadHit() {
 	s.mu.Unlock()
 }
 
+func (s *engineStats) addKernelLocked(relocs uint64, k dynld.KernelStats) {
+	s.kernel.RelocsProcessed += int64(relocs)
+	s.kernel.RelocsResolved += int64(k.RelocsResolved)
+	s.kernel.ParallelBatches += int64(k.ParallelBatches)
+	s.kernel.ArenaBytesInUse += int64(k.ArenaBytesInUse)
+	s.kernel.ArenaBytesReused += int64(k.ArenaBytesReused)
+}
+
 func (s *engineStats) addPhasesLocked(startup, imp, visit, mpi float64) {
 	s.phaseSimSec["startup"] += startup
 	s.phaseSimSec["import"] += imp
@@ -137,6 +176,7 @@ func (e *Engine) Stats() EngineStats {
 		Specs:             s.specs,
 		StoreSpecHits:     s.storeSpecHits,
 		StoreWorkloadHits: s.storeWorkloadHits,
+		Kernel:            s.kernel,
 		PhaseSimSec:       make(map[string]float64, len(s.phaseSimSec)),
 	}
 	for k, v := range s.phaseSimSec {

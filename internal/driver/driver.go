@@ -94,6 +94,10 @@ type Config struct {
 	// path (see internal/dynld); simulated results are unchanged. Used
 	// by equivalence tests and the before/after benchmarks.
 	NoFastPath bool
+	// RelocWorkers bounds goroutine parallelism within relocation
+	// batches (see dynld.Options.RelocWorkers; ≤1 = serial). An
+	// execution knob: results are byte-identical at any value.
+	RelocWorkers int
 
 	// Events, when non-nil, receives the underlying 1-rank job's
 	// streaming progress events (see job.Config.Events).
@@ -127,6 +131,11 @@ type Metrics struct {
 
 	ModulesImported int
 	FuncsVisited    uint64
+
+	// Kernel reports host-side simulation-kernel counters (batched
+	// relocations, arena accounting). Excluded from serialization so
+	// committed goldens only record simulated results.
+	Kernel dynld.KernelStats `json:"-"`
 }
 
 // TotalSec returns the Table I "total" column (startup+import+visit —
@@ -148,22 +157,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Metrics, error) {
 		return nil, fmt.Errorf("driver: no workload")
 	}
 	res, err := job.RunCtx(ctx, job.Config{
-		Mode:       cfg.Mode,
-		Backend:    cfg.Backend,
-		Workload:   cfg.Workload,
-		NTasks:     cfg.NTasks,
-		Ranks:      1,
-		Cluster:    cfg.Cluster,
-		Mem:        cfg.Mem,
-		FS:         cfg.FS,
-		RunMPITest: cfg.RunMPITest,
-		Coverage:   cfg.Coverage,
-		ASLR:       cfg.ASLR,
-		WarmFS:     cfg.WarmFS,
-		SharedFS:   cfg.SharedFS,
-		NoFastPath: cfg.NoFastPath,
-		Events:     cfg.Events,
-		Seed:       cfg.Seed,
+		Mode:         cfg.Mode,
+		Backend:      cfg.Backend,
+		Workload:     cfg.Workload,
+		NTasks:       cfg.NTasks,
+		Ranks:        1,
+		Cluster:      cfg.Cluster,
+		Mem:          cfg.Mem,
+		FS:           cfg.FS,
+		RunMPITest:   cfg.RunMPITest,
+		Coverage:     cfg.Coverage,
+		ASLR:         cfg.ASLR,
+		WarmFS:       cfg.WarmFS,
+		SharedFS:     cfg.SharedFS,
+		NoFastPath:   cfg.NoFastPath,
+		RelocWorkers: cfg.RelocWorkers,
+		Events:       cfg.Events,
+		Seed:         cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -183,5 +193,6 @@ func RunCtx(ctx context.Context, cfg Config) (*Metrics, error) {
 		FS:              r.FS,
 		ModulesImported: r.ModulesImported,
 		FuncsVisited:    r.FuncsVisited,
+		Kernel:          res.Kernel,
 	}, nil
 }

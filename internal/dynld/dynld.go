@@ -42,9 +42,20 @@
 // Host-side (not simulated) symbol resolution is served by a layered
 // fast path so large scenario workloads stay tractable:
 //
-//   - The first-definer index is presized from the per-object hashed
-//     symbol indexes of every installed image, so registering hundreds
-//     of thousands of definitions never rehashes incrementally.
+//   - The first-definer index is a flat open-addressed struct-of-arrays
+//     table (see defTable) presized from the per-object hashed symbol
+//     indexes of every installed image, so registering hundreds of
+//     thousands of definitions never rehashes incrementally and the
+//     hot defSite probe reads contiguous arrays, not map buckets.
+//   - Per-object scratch (lazy-binding bitmaps, relocation memo tables)
+//     and the relocation batch buffers are carved from per-loader slab
+//     arenas (see internal/arena), so a rank's steady-state relocation
+//     processing allocates nothing.
+//   - Relocation batches are split into a resolve pass — pure read-only
+//     first-definer probes, parallelizable across Options.RelocWorkers
+//     goroutines — and a serial in-table-order apply pass that issues
+//     all simulated traffic, so results are byte-identical at any
+//     worker count.
 //   - Each relocation slot memoizes its resolved definition (and, for
 //     jump slots, the target function index), turning the hot
 //     bound-PLT path from two hash lookups per call into two array
@@ -65,7 +76,10 @@ package dynld
 
 import (
 	"fmt"
+	"sync"
+	"unsafe"
 
+	"repro/internal/arena"
 	"repro/internal/elfimg"
 	"repro/internal/fsim"
 	"repro/internal/memsim"
@@ -111,6 +125,14 @@ type Options struct {
 	// of a per-loader definition map. The loader must map objects in
 	// the index's canonical load order.
 	Shared *SharedIndex
+	// RelocWorkers sets how many goroutines resolve a relocation
+	// batch's symbols (see relocateAll). Values ≤ 1 resolve serially.
+	// An execution knob, not part of a run's identity: simulated
+	// results are byte-identical at any worker count, because workers
+	// only perform read-only first-definer probes into disjoint batch
+	// slots — all simulated traffic is issued by a serial apply pass in
+	// relocation-table order. Ignored under NoFastPath.
+	RelocWorkers int
 }
 
 // Stats counts loader activity.
@@ -181,7 +203,29 @@ type Loader struct {
 
 	linkMap  []*LinkEntry
 	bySoname map[string]*LinkEntry
-	defs     map[elfimg.SymID]DefSite // first definition in scope order
+	// defs is the NoFastPath first-definer index: the straightforward
+	// Go map the fast path's flat table (below) replaced. Kept as the
+	// baseline for the equivalence gates and before/after benchmarks.
+	defs map[elfimg.SymID]DefSite
+	// flat is the fast-path first-definer index (Shared == nil):
+	// SymID → (scope position, symbol index) in struct-of-arrays form.
+	flat *defTable
+	// objEntries maps a SharedIndex's dense object indexes to this
+	// loader's link-map entries, so shared resolution is one flat-hash
+	// probe plus one array read (no soname map per lookup).
+	objEntries []*LinkEntry
+
+	// Slab arenas for per-object scratch that lives as long as the
+	// loader (LinkEntry structs, lazy-binding bitmaps, relocation memo
+	// tables) and, separately, for relocation batch buffers that are
+	// recycled per batch. Unused (nil slices carved) under NoFastPath.
+	entryArena *arena.Of[LinkEntry]
+	boolArena  *arena.Of[bool]
+	defArena   *arena.Of[DefSite]
+	i32Arena   *arena.Of[int32]
+	batchDef   *arena.Of[DefSite]
+	batchOK    *arena.Of[bool]
+	batchIdx   *arena.Of[int32]
 
 	// installedSyms counts symbols across installed images; the fast
 	// path presizes defs from it so registration never rehashes.
@@ -190,6 +234,14 @@ type Loader struct {
 	// memoized scope state is valid only while its stamped generation
 	// matches.
 	scopeGen uint64
+	// avgChain memo: chainVal is valid while chainGen == scopeGen+1
+	// (the +1 keeps the zero value invalid).
+	chainVal float64
+	chainGen uint64
+
+	// Kernel efficiency counters (host-side only; see KernelStats).
+	relocsBatched   uint64
+	parallelBatches uint64
 
 	nextBase uint64
 
@@ -247,15 +299,26 @@ func New(mem memsim.Memory, fs *fsim.FS, clock *simtime.Clock, opts Options) *Lo
 	if opts.NoFastPath {
 		opts.Shared = nil
 	}
+	var (
+		linkEntrySz = uint64(unsafe.Sizeof(LinkEntry{}))
+		defSiteSz   = uint64(unsafe.Sizeof(DefSite{}))
+	)
 	return &Loader{
-		mem:      mem,
-		fs:       fs,
-		clock:    clock,
-		opts:     opts,
-		rng:      xrand.New(opts.Seed ^ 0xd1f),
-		registry: make(map[string]*elfimg.Image),
-		bySoname: make(map[string]*LinkEntry),
-		nextBase: loadBase,
+		mem:        mem,
+		fs:         fs,
+		clock:      clock,
+		opts:       opts,
+		rng:        xrand.New(opts.Seed ^ 0xd1f),
+		registry:   make(map[string]*elfimg.Image),
+		bySoname:   make(map[string]*LinkEntry),
+		nextBase:   loadBase,
+		entryArena: arena.New[LinkEntry](linkEntrySz),
+		boolArena:  arena.New[bool](1),
+		defArena:   arena.New[DefSite](defSiteSz),
+		i32Arena:   arena.New[int32](4),
+		batchDef:   arena.New[DefSite](defSiteSz),
+		batchOK:    arena.New[bool](1),
+		batchIdx:   arena.New[int32](4),
 	}
 }
 
@@ -330,18 +393,23 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 	ld.stats.FreshLoads++
 	ld.stats.BytesMapped += img.MappedSize()
 
-	le := &LinkEntry{
-		Image:     img,
-		Base:      ld.chooseBase(img),
-		Refcount:  1,
-		ScopePos:  len(ld.linkMap),
-		Prelinked: prelinked,
-		pltBound:  make([]bool, len(img.Relocs)),
+	var le *LinkEntry
+	if ld.opts.NoFastPath {
+		le = &LinkEntry{pltBound: make([]bool, len(img.Relocs))}
+	} else {
+		// Fast path: the entry and its per-relocation scratch are carved
+		// from the loader's slab arenas — a handful of large slabs
+		// instead of four GC objects per mapped object.
+		le = &ld.entryArena.Make(1)[0]
+		le.pltBound = ld.boolArena.Make(len(img.Relocs))
+		le.relocDef = ld.defArena.Make(len(img.Relocs))
+		le.relocFunc = ld.i32Arena.Make(len(img.Relocs))
 	}
-	if !ld.opts.NoFastPath {
-		le.relocDef = make([]DefSite, len(img.Relocs))
-		le.relocFunc = make([]int32, len(img.Relocs))
-	}
+	le.Image = img
+	le.Base = ld.chooseBase(img)
+	le.Refcount = 1
+	le.ScopePos = len(ld.linkMap)
+	le.Prelinked = prelinked
 	ld.linkMap = append(ld.linkMap, le)
 	ld.bySoname[img.Name] = le
 	ld.scopeGen++
@@ -356,13 +424,19 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 	// incremental rehash of a table with 10^5+ entries. With a shared
 	// index the loop is skipped entirely — the job built the index once
 	// and every rank resolves against it read-only.
-	if ld.opts.Shared == nil {
+	switch {
+	case ld.opts.Shared != nil:
+		// Wire this entry into the dense object-index array so shared
+		// resolution never touches a soname map.
+		if ld.objEntries == nil {
+			ld.objEntries = make([]*LinkEntry, ld.opts.Shared.Objects())
+		}
+		if oi, ok := ld.opts.Shared.objIndex(img.Name); ok {
+			ld.objEntries[oi] = le
+		}
+	case ld.opts.NoFastPath:
 		if ld.defs == nil {
-			hint := 0
-			if !ld.opts.NoFastPath {
-				hint = ld.installedSyms
-			}
-			ld.defs = make(map[elfimg.SymID]DefSite, hint)
+			ld.defs = make(map[elfimg.SymID]DefSite)
 		}
 		for i, s := range img.Syms {
 			if s.Local {
@@ -371,6 +445,16 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 			if _, exists := ld.defs[s.ID]; !exists {
 				ld.defs[s.ID] = DefSite{Entry: le, SymIndex: i}
 			}
+		}
+	default:
+		if ld.flat == nil {
+			ld.flat = newDefTable(ld.installedSyms)
+		}
+		for i, s := range img.Syms {
+			if s.Local {
+				continue
+			}
+			ld.flat.insert(s.ID, int32(le.ScopePos), int32(i))
 		}
 	}
 	ld.totalSymtab += img.Layout.SymTab.Size
@@ -382,36 +466,52 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 }
 
 // avgChain is the expected hash-chain length across loaded objects.
+// Memoized per link-map generation: the inputs only change when an
+// object is mapped, and probeScope calls this once per lookup.
 func (ld *Loader) avgChain() float64 {
-	if ld.totalBkts == 0 {
-		return 1
+	if ld.chainGen == ld.scopeGen+1 {
+		return ld.chainVal
 	}
-	c := float64(ld.totalSyms) / float64(ld.totalBkts)
-	if c < 1 {
-		c = 1
+	c := 1.0
+	if ld.totalBkts != 0 {
+		c = float64(ld.totalSyms) / float64(ld.totalBkts)
+		if c < 1 {
+			c = 1
+		}
 	}
+	ld.chainVal, ld.chainGen = c, ld.scopeGen+1
 	return c
 }
 
 // defSite resolves symbol id to its first-in-scope definition: through
 // the shared read-only index when the job configured one (turning the
-// sharedDef into this loader's DefSite via the link map), else through
-// the per-loader definition map. Host-side only; issues no simulated
-// traffic.
+// dense object index into this loader's LinkEntry via objEntries),
+// through the flat per-loader table on the fast path, else through the
+// NoFastPath definition map. Host-side only; issues no simulated
+// traffic and performs no writes, so it is safe for the parallel
+// relocation resolvers to call concurrently between batch mapping and
+// batch apply.
 func (ld *Loader) defSite(id elfimg.SymID) (DefSite, bool) {
 	if sh := ld.opts.Shared; sh != nil {
-		sd, ok := sh.defs[id]
+		oi, si, ok := sh.lookup(id)
 		if !ok {
 			return DefSite{}, false
 		}
-		le, ok := ld.bySoname[sd.soname]
-		if !ok {
+		le := ld.objEntries[oi]
+		if le == nil {
 			// The canonical definer isn't mapped yet. Under the
 			// load-order invariant no earlier-in-scope definer can be
 			// mapped either, so the symbol is unresolved here and now.
 			return DefSite{}, false
 		}
-		return DefSite{Entry: le, SymIndex: sd.symIndex}, true
+		return DefSite{Entry: le, SymIndex: int(si)}, true
+	}
+	if ld.flat != nil {
+		sp, si, ok := ld.flat.get(id)
+		if !ok {
+			return DefSite{}, false
+		}
+		return DefSite{Entry: ld.linkMap[sp], SymIndex: int(si)}, true
 	}
 	def, ok := ld.defs[id]
 	return def, ok
@@ -424,12 +524,24 @@ func (ld *Loader) defSite(id elfimg.SymID) (DefSite, bool) {
 // per-object probes and O(1) per lookup); the defining object's chain
 // walk and name compare are issued against its real addresses.
 func (ld *Loader) lookup(from *LinkEntry, id elfimg.SymID) (DefSite, error) {
-	ld.stats.Lookups++
 	def, ok := ld.defSite(id)
+	if err := ld.lookupTraffic(from, id, def, ok); err != nil {
+		return DefSite{}, err
+	}
+	return def, nil
+}
+
+// lookupTraffic issues the scope-walk traffic and stats for a lookup
+// whose outcome (def, ok) was already resolved host-side — either just
+// now by lookup, or earlier by a parallel relocation resolve pass. It
+// is the single source of lookup traffic, so batched and unbatched
+// resolution are byte-identical by construction.
+func (ld *Loader) lookupTraffic(from *LinkEntry, id elfimg.SymID, def DefSite, ok bool) error {
+	ld.stats.Lookups++
 	if !ok {
 		// Unsuccessful lookup walks the *entire* scope before failing.
 		ld.probeScope(len(ld.linkMap), 0)
-		return DefSite{}, &UndefinedSymbolError{Sym: id, From: from.Image.Name}
+		return &UndefinedSymbolError{Sym: id, From: from.Image.Name}
 	}
 
 	// Hash the name once (requester-side): streams the name bytes from
@@ -458,7 +570,7 @@ func (ld *Loader) lookup(from *LinkEntry, id elfimg.SymID) (DefSite, error) {
 		ld.mem.Touch(memsim.Read, def.Entry.Addr(img.Layout.SymTab, off), 24)
 	}
 	ld.mem.Stream(memsim.Read, def.Entry.Addr(img.Layout.StrTab, 0), nameLen)
-	return def, nil
+	return nil
 }
 
 // probeScope issues the aggregate traffic for probing n objects that do
@@ -491,11 +603,13 @@ func (ld *Loader) probeScope(n int, extraLines uint64) {
 	}
 }
 
-// relocate processes the object's relocation table. Data (GLOB_DAT)
+// relocate processes one object's relocation table with interleaved
+// resolve-and-apply: the NoFastPath baseline. Data (GLOB_DAT)
 // relocations always resolve; JUMP_SLOT relocations resolve only when
 // eager is true, otherwise the slots stay lazy. Prelinked objects have
 // their data relocations pre-resolved to RELATIVE form: a base+addend
-// store with no symbol search.
+// store with no symbol search. The fast path processes whole batches
+// through relocateAll instead.
 func (ld *Loader) relocate(le *LinkEntry, eager bool) error {
 	img := le.Image
 	// Stream the relocation table itself.
@@ -535,6 +649,165 @@ func (ld *Loader) relocate(le *LinkEntry, eager bool) error {
 	}
 	le.gotResolved = true
 	return nil
+}
+
+// relocNeedsLookup reports whether a relocation of type t resolves by
+// symbol search during relocation processing (as opposed to a plain
+// slot write): non-prelinked GLOB_DAT always, JUMP_SLOT only under
+// eager binding.
+func relocNeedsLookup(t elfimg.RelocType, prelinked, eager bool) bool {
+	switch t {
+	case elfimg.RelocGOTData:
+		return !prelinked
+	case elfimg.RelocJumpSlot:
+		return eager
+	}
+	return false
+}
+
+// minParallelRelocs is the smallest per-worker share of a relocation
+// batch worth a goroutine; below it, spawn overhead beats the pure
+// table probes being parallelized.
+const minParallelRelocs = 256
+
+// relocateAll processes a batch of freshly mapped objects (in load
+// order) on the fast path in two passes:
+//
+//  1. Resolve: collect every slot that needs a symbol search into flat
+//     batch buffers (recycled from slab arenas — steady state
+//     allocates nothing) and resolve them with defSite, which is pure
+//     and read-only once the batch is mapped. With RelocWorkers > 1
+//     the batch is split into contiguous chunks resolved
+//     concurrently; workers write only their own disjoint slots.
+//  2. Apply: walk the relocation tables serially in exact load/table
+//     order, issuing all simulated traffic and stats through the same
+//     lookupTraffic the unbatched path uses.
+//
+// Because resolution has no simulated side effects and apply order is
+// fixed, results are byte-identical at any worker count — and to the
+// NoFastPath baseline, which relocates object-by-object with
+// interleaved resolve-and-apply.
+func (ld *Loader) relocateAll(fresh []*LinkEntry, eager bool) error {
+	if ld.opts.NoFastPath {
+		for _, le := range fresh {
+			if err := ld.relocate(le, eager); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	total := 0
+	for _, le := range fresh {
+		for _, r := range le.Image.Relocs {
+			if relocNeedsLookup(r.Type, le.Prelinked, eager) {
+				total++
+			}
+		}
+	}
+	ld.batchDef.Reset()
+	ld.batchOK.Reset()
+	ld.batchIdx.Reset()
+	defs := ld.batchDef.Make(total)
+	oks := ld.batchOK.Make(total)
+	ent := ld.batchIdx.Make(total)
+	rel := ld.batchIdx.Make(total)
+	k := 0
+	for ei, le := range fresh {
+		for ri, r := range le.Image.Relocs {
+			if relocNeedsLookup(r.Type, le.Prelinked, eager) {
+				ent[k], rel[k] = int32(ei), int32(ri)
+				k++
+			}
+		}
+	}
+	ld.resolveBatch(fresh, ent, rel, defs, oks)
+	ld.relocsBatched += uint64(total)
+
+	k = 0
+	for _, le := range fresh {
+		img := le.Image
+		ld.mem.Stream(memsim.Read, le.Addr(img.Layout.Rel, 0), img.Layout.Rel.Size)
+		for i, r := range img.Relocs {
+			slot := le.Addr(img.Layout.GOT, gotSlotOff(i))
+			switch {
+			case r.Type == elfimg.RelocGOTData && le.Prelinked:
+				ld.mem.Instructions(instrPerReloc / 4)
+				ld.mem.Touch(memsim.Write, slot, 8)
+				ld.stats.RelocsProcessed++
+			case r.Type == elfimg.RelocGOTData:
+				ld.mem.Instructions(instrPerReloc)
+				def, ok := defs[k], oks[k]
+				k++
+				if err := ld.lookupTraffic(le, r.Sym, def, ok); err != nil {
+					return err
+				}
+				le.memoizeReloc(i, def)
+				ld.mem.Touch(memsim.Write, slot, 8)
+				ld.stats.RelocsProcessed++
+			case r.Type == elfimg.RelocJumpSlot && eager:
+				ld.mem.Instructions(instrPerReloc)
+				def, ok := defs[k], oks[k]
+				k++
+				if err := ld.lookupTraffic(le, r.Sym, def, ok); err != nil {
+					return err
+				}
+				le.memoizeReloc(i, def)
+				ld.mem.Touch(memsim.Write, slot, 8)
+				le.pltBound[i] = true
+				ld.stats.RelocsProcessed++
+			default:
+				// Lazy JUMP_SLOT: point the slot at PLT0 (a write, no search).
+				ld.mem.Instructions(instrPerReloc / 4)
+				ld.mem.Touch(memsim.Write, slot, 8)
+			}
+		}
+		le.gotResolved = true
+	}
+	return nil
+}
+
+// resolveBatch fills defs/oks with the first-definer resolution of each
+// indexed slot, in parallel chunks when the batch is large enough and
+// RelocWorkers asks for it. Workers only read loader state (defSite is
+// pure once the batch is mapped) and write disjoint slots, so the
+// outcome is independent of scheduling.
+func (ld *Loader) resolveBatch(fresh []*LinkEntry, ent, rel []int32, defs []DefSite, oks []bool) {
+	total := len(defs)
+	workers := ld.opts.RelocWorkers
+	if max := total / minParallelRelocs; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		// Serial resolve stays a direct method call: the steady-state
+		// batch path allocates nothing, not even a closure.
+		ld.resolveRange(fresh, ent, rel, defs, oks, 0, total)
+		return
+	}
+	ld.parallelBatches++
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ld.resolveRange(fresh, ent, rel, defs, oks, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// resolveRange resolves the [lo, hi) slice of a relocation batch. Reads
+// only immutable loader state and writes only its own defs/oks slots.
+func (ld *Loader) resolveRange(fresh []*LinkEntry, ent, rel []int32, defs []DefSite, oks []bool, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		le := fresh[ent[k]]
+		defs[k], oks[k] = ld.defSite(le.Image.Relocs[rel[k]].Sym)
+	}
 }
 
 // gotSlotOff returns the GOT offset of relocation slot i (past the
@@ -607,10 +880,8 @@ func (ld *Loader) loadWithDeps(soname string, eager bool, prelinked bool) (*Link
 	if err != nil {
 		return nil, err
 	}
-	for _, le := range fresh {
-		if err := ld.relocate(le, eager); err != nil {
-			return nil, err
-		}
+	if err := ld.relocateAll(fresh, eager); err != nil {
+		return nil, err
 	}
 	return ld.bySoname[soname], nil
 }
@@ -635,12 +906,7 @@ func (ld *Loader) StartupPrelinked(sonames []string) error {
 	if err != nil {
 		return err
 	}
-	for _, le := range fresh {
-		if err := ld.relocate(le, ld.opts.BindNow); err != nil {
-			return err
-		}
-	}
-	return nil
+	return ld.relocateAll(fresh, ld.opts.BindNow)
 }
 
 // Dlopen models the dlopen(3) call the Python import machinery makes.

@@ -8,12 +8,21 @@ import (
 
 // SharedIndex is an immutable first-definer symbol index computed once
 // per workload and shared read-only across the loaders of a job's
-// ranks. Building the per-loader definition map is O(total symbols) —
-// with paper-scale workloads that is 10^5+ map inserts per rank — so an
+// ranks. Building the per-loader definition index is O(total symbols) —
+// with paper-scale workloads that is 10^5+ inserts per rank — so an
 // N-rank job that rebuilt it per rank would pay O(N × index-build). The
 // shared index moves that cost out of the rank loop: every rank's
-// loader resolves against one read-only map, and an N-rank job costs
+// loader resolves against one read-only table, and an N-rank job costs
 // O(work), not O(N × index-build).
+//
+// Storage is struct-of-arrays: an open-addressed key array (SymID+1;
+// zero means empty) with parallel arrays holding the definer as a
+// *dense object index* into the canonical load order plus the symbol's
+// index within that object. Loaders keep their own dense
+// object-index → *LinkEntry array (see Loader.objEntries), so shared
+// resolution is one flat-hash probe and one array read — no string
+// keys, no per-rank soname map, no pointer chasing through map
+// buckets.
 //
 // Validity: the index records, per symbol, its first definer under a
 // canonical load order (the sequence of IndexBuilder.Load calls). A
@@ -27,26 +36,71 @@ import (
 // of the symbol-lookup fast path, the index only changes host-side
 // cost; simulated traffic, clock time, and Stats are unchanged.
 //
-// A SharedIndex is safe for concurrent use by any number of loaders:
-// it is never mutated after IndexBuilder.Index returns it.
+// A SharedIndex is safe for concurrent use by any number of loaders —
+// including the parallel relocation resolvers within one loader: it is
+// never mutated after IndexBuilder.Index returns it.
 type SharedIndex struct {
-	defs map[elfimg.SymID]sharedDef
-	objs int
-}
+	keys []uint64 // SymID+1; 0 = empty
+	obj  []int32  // dense index of the defining object in load order
+	sym  []int32  // symbol index within the defining object
+	mask uint64
+	used int
 
-// sharedDef names a definition without binding it to a loader: the
-// defining object's soname plus the symbol's index within it. Loaders
-// turn it into a DefSite through their own link map.
-type sharedDef struct {
-	soname   string
-	symIndex int
+	// objOf maps soname → dense object index. Consulted once per
+	// mapObject (never per lookup) to wire a loader's LinkEntry into
+	// its objEntries array.
+	objOf map[string]int32
 }
 
 // Symbols returns how many distinct symbols the index resolves.
-func (si *SharedIndex) Symbols() int { return len(si.defs) }
+func (si *SharedIndex) Symbols() int { return si.used }
 
 // Objects returns how many objects the canonical load order covers.
-func (si *SharedIndex) Objects() int { return si.objs }
+func (si *SharedIndex) Objects() int { return len(si.objOf) }
+
+// lookup resolves id to (dense object index, symbol index). Read-only
+// and safe for concurrent use.
+func (si *SharedIndex) lookup(id elfimg.SymID) (obj, sym int32, ok bool) {
+	k := uint64(id) + 1
+	i := symMix(id) & si.mask
+	for {
+		switch si.keys[i] {
+		case k:
+			return si.obj[i], si.sym[i], true
+		case 0:
+			return 0, 0, false
+		}
+		i = (i + 1) & si.mask
+	}
+}
+
+// objIndex returns the dense load-order index of soname, if the
+// canonical order covers it.
+func (si *SharedIndex) objIndex(soname string) (int32, bool) {
+	oi, ok := si.objOf[soname]
+	return oi, ok
+}
+
+// insert registers id → (object oi, symbol symIdx) unless a definer is
+// already recorded: the SysV first-definer rule. The table is presized
+// by NewIndexBuilder and never grows.
+func (si *SharedIndex) insert(id elfimg.SymID, oi, symIdx int32) {
+	k := uint64(id) + 1
+	i := symMix(id) & si.mask
+	for {
+		switch si.keys[i] {
+		case k:
+			return // earlier definer wins
+		case 0:
+			si.keys[i] = k
+			si.obj[i] = oi
+			si.sym[i] = symIdx
+			si.used++
+			return
+		}
+		i = (i + 1) & si.mask
+	}
+}
 
 // IndexBuilder replays the canonical load order of a job's ranks — the
 // same breadth-first dependency walk the loader performs — without a
@@ -58,7 +112,8 @@ type IndexBuilder struct {
 }
 
 // NewIndexBuilder creates a builder over the installable image set
-// (every image a rank's loader will Install).
+// (every image a rank's loader will Install). The flat table is
+// presized for every image's symbols so registration never rehashes.
 func NewIndexBuilder(images ...*elfimg.Image) *IndexBuilder {
 	b := &IndexBuilder{
 		registry: make(map[string]*elfimg.Image, len(images)),
@@ -71,7 +126,17 @@ func NewIndexBuilder(images ...*elfimg.Image) *IndexBuilder {
 		}
 		b.registry[img.Name] = img
 	}
-	b.idx = &SharedIndex{defs: make(map[elfimg.SymID]sharedDef, syms)}
+	size := 1024
+	for size*2/3 < syms {
+		size *= 2
+	}
+	b.idx = &SharedIndex{
+		keys:  make([]uint64, size),
+		obj:   make([]int32, size),
+		sym:   make([]int32, size),
+		mask:  uint64(size - 1),
+		objOf: make(map[string]int32, len(images)),
+	}
 	return b
 }
 
@@ -123,14 +188,13 @@ func (b *IndexBuilder) Load(roots ...string) error {
 // register records img's global definitions, first definer in load
 // order winning — the SysV rule mapObject applies per loader.
 func (b *IndexBuilder) register(img *elfimg.Image) {
-	b.idx.objs++
+	oi := int32(len(b.idx.objOf))
+	b.idx.objOf[img.Name] = oi
 	for i, s := range img.Syms {
 		if s.Local {
 			continue
 		}
-		if _, exists := b.idx.defs[s.ID]; !exists {
-			b.idx.defs[s.ID] = sharedDef{soname: img.Name, symIndex: i}
-		}
+		b.idx.insert(s.ID, oi, int32(i))
 	}
 }
 

@@ -1,0 +1,107 @@
+package dynld
+
+import "repro/internal/elfimg"
+
+// defTable is the fast path's first-definer index: an open-addressed
+// flat table mapping SymID → (definer scope position, symbol index).
+// It replaces the per-loader Go map of DefSite values with three
+// parallel arrays — struct-of-arrays, no per-entry pointers — so the
+// hot defSite probe is one multiplicative hash and (almost always) one
+// key compare against contiguous memory, and registration of 10^5+
+// definitions at paper scale costs no incremental rehash: the table is
+// presized from the installed-symbol count, like the map hint it
+// replaces, and first-definer-wins is preserved by insert-if-absent.
+//
+// Keys store SymID+1 so the zero word means empty. Entries are never
+// deleted (the link map never shrinks; see Dlclose), so there are no
+// tombstones, and a loader's scope positions are stable once assigned,
+// so the stored definer never dangles.
+type defTable struct {
+	keys  []uint64 // SymID+1; 0 = empty
+	scope []int32  // definer's ScopePos in the link map
+	sym   []int32  // symbol index within the definer's image
+	mask  uint64
+	used  int
+	max   int
+}
+
+// defTableFor sizes a table for n definitions (next power of two with
+// load factor ≤ 2/3, floor 1024).
+func newDefTable(n int) *defTable {
+	size := 1024
+	for size*2/3 < n {
+		size *= 2
+	}
+	t := &defTable{}
+	t.init(size)
+	return t
+}
+
+func (t *defTable) init(size int) {
+	t.keys = make([]uint64, size)
+	t.scope = make([]int32, size)
+	t.sym = make([]int32, size)
+	t.mask = uint64(size - 1)
+	t.used = 0
+	t.max = size * 2 / 3
+}
+
+func symMix(id elfimg.SymID) uint64 { return uint64(id) * 0x9e3779b97f4a7c15 }
+
+// insert registers id → (scopePos, symIdx) unless id is already
+// present: the SysV first-definer rule.
+func (t *defTable) insert(id elfimg.SymID, scopePos, symIdx int32) {
+	if t.used >= t.max {
+		t.grow()
+	}
+	k := uint64(id) + 1
+	i := symMix(id) & t.mask
+	for {
+		switch t.keys[i] {
+		case k:
+			return // earlier definer wins
+		case 0:
+			t.keys[i] = k
+			t.scope[i] = scopePos
+			t.sym[i] = symIdx
+			t.used++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// get returns id's definer, if registered. Read-only: safe for
+// concurrent use by the parallel relocation resolvers once the batch's
+// objects are mapped.
+func (t *defTable) get(id elfimg.SymID) (scopePos, symIdx int32, ok bool) {
+	k := uint64(id) + 1
+	i := symMix(id) & t.mask
+	for {
+		switch t.keys[i] {
+		case k:
+			return t.scope[i], t.sym[i], true
+		case 0:
+			return 0, 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *defTable) grow() {
+	oldKeys, oldScope, oldSym := t.keys, t.scope, t.sym
+	t.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := symMix(elfimg.SymID(k-1)) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.scope[j] = oldScope[i]
+		t.sym[j] = oldSym[i]
+		t.used++
+	}
+}

@@ -138,6 +138,12 @@ type Config struct {
 	// Workers bounds goroutine parallelism across ranks (≤0 =
 	// GOMAXPROCS). It never affects results, only host wall time.
 	Workers int
+	// RelocWorkers bounds goroutine parallelism *within* a rank's
+	// relocation batches (see dynld.Options.RelocWorkers; ≤1 =
+	// serial). Like Workers it is an execution knob: results are
+	// byte-identical at any value, so it is not part of a run's
+	// spec identity.
+	RelocWorkers int
 
 	// Events, when non-nil, receives streaming progress events:
 	// RankDone per rank (delivered at the pipeline barrier, in rank
@@ -355,6 +361,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res.Ranks = make([]RankMetrics, len(ranks))
 	for r, rk := range ranks {
 		res.Ranks[r] = rk.metrics
+		res.Kernel = res.Kernel.Add(rk.kernel)
 	}
 	res.aggregate()
 

@@ -128,6 +128,12 @@ type Result struct {
 	// heterogeneity knobs selected (deterministic in the job seed).
 	StragglerNodes []int
 	WarmNodes      []int
+
+	// Kernel aggregates the ranks' host-side simulation-kernel
+	// counters (batched relocations, arena accounting). Excluded from
+	// serialization: it describes how the host executed the run, not
+	// the simulated result, and must not perturb committed goldens.
+	Kernel dynld.KernelStats `json:"-"`
 }
 
 // TotalSec returns the job's startup+import+visit time — each phase

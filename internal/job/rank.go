@@ -35,6 +35,10 @@ type Rank struct {
 	ctx     rankCtx
 	fs      *fsim.FS
 	metrics RankMetrics
+	// kernel holds host-side kernel efficiency counters, kept out of
+	// RankMetrics because that struct is serialized into committed
+	// goldens and kernel counters describe the host, not the simulation.
+	kernel dynld.KernelStats
 }
 
 func newRank(ctx rankCtx) *Rank {
@@ -87,13 +91,14 @@ func (rk *Rank) runPipeline(ctx context.Context, cfg Config, w *pygen.Workload) 
 	}
 	clock := simtime.NewClock(cfg.Cluster.CoreHz)
 	ld := dynld.New(mem, rk.fs, clock, dynld.Options{
-		BindNow:    cfg.Mode == LinkBind,
-		ASLR:       cfg.ASLR,
-		Seed:       rk.ctx.seed,
-		NodeID:     rk.ctx.node,
-		Clients:    rk.ctx.clients,
-		NoFastPath: cfg.NoFastPath,
-		Shared:     rk.ctx.shared,
+		BindNow:      cfg.Mode == LinkBind,
+		ASLR:         cfg.ASLR,
+		Seed:         rk.ctx.seed,
+		NodeID:       rk.ctx.node,
+		Clients:      rk.ctx.clients,
+		NoFastPath:   cfg.NoFastPath,
+		Shared:       rk.ctx.shared,
+		RelocWorkers: cfg.RelocWorkers,
 	})
 	for _, img := range w.AllImages() {
 		ld.Install(img)
@@ -106,7 +111,7 @@ func (rk *Rank) runPipeline(ctx context.Context, cfg Config, w *pygen.Workload) 
 		return err
 	}
 
-	var modules []*pyvm.Module
+	modules := make([]*pyvm.Module, 0, len(w.ModuleNames()))
 	pipeline := []phase{
 		{
 			// Startup: process launch to first driver line.
@@ -182,6 +187,7 @@ func (rk *Rank) runPipeline(ctx context.Context, cfg Config, w *pygen.Workload) 
 	}
 
 	m.Loader = ld.Stats()
+	rk.kernel = ld.Kernel()
 	m.VM = interp.Stats()
 	m.FS = rk.fs.Stats()
 	m.ModulesImported = len(modules)

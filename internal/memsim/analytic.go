@@ -37,13 +37,18 @@ const (
 type analyticLevel struct {
 	capLines uint64
 	fills    uint64 // total lines installed at this level
-	lastFill map[uint64]uint64
+	// lastFill records, per region, the fill counter at the region's
+	// previous use. It lives in an open-addressed flat table rather
+	// than a map: one find-or-insert per access serves both the read
+	// and the write-back, and in steady state it never allocates (see
+	// regionTable).
+	lastFill *regionTable
 }
 
 func newAnalyticLevel(size, lineSize uint64) *analyticLevel {
 	return &analyticLevel{
 		capLines: size / lineSize,
-		lastFill: make(map[uint64]uint64),
+		lastFill: newRegionTable(),
 	}
 }
 
@@ -75,7 +80,8 @@ func regionKey(base uint64) uint64 { return base >> 11 }
 // streamMisses estimates misses for a one-pass sequential touch of L
 // lines of region key at one level, then updates that level's state.
 func (lv *analyticLevel) streamMisses(key, L uint64) float64 {
-	last, seen := lv.lastFill[key]
+	idx, seen := lv.lastFill.slot(key)
+	last := lv.lastFill.vals[idx]
 	var miss float64
 	switch {
 	case !seen:
@@ -99,7 +105,7 @@ func (lv *analyticLevel) streamMisses(key, L uint64) float64 {
 		miss = float64(L - surv)
 	}
 	lv.fills += uint64(miss)
-	lv.lastFill[key] = lv.fills
+	lv.lastFill.vals[idx] = lv.fills
 	return miss
 }
 
@@ -116,7 +122,8 @@ func (lv *analyticLevel) probeMisses(key, S, n uint64) float64 {
 	if distinct > float64(n) {
 		distinct = float64(n)
 	}
-	last, seen := lv.lastFill[key]
+	idx, seen := lv.lastFill.slot(key)
+	last := lv.lastFill.vals[idx]
 	var miss float64
 	if !seen || lv.fills-last >= lv.capLines {
 		// Cold (or fully evicted): first touches of distinct lines all
@@ -126,7 +133,7 @@ func (lv *analyticLevel) probeMisses(key, S, n uint64) float64 {
 		miss = float64(n) * (1 - hitP)
 	}
 	lv.fills += uint64(miss)
-	lv.lastFill[key] = lv.fills
+	lv.lastFill.vals[idx] = lv.fills
 	return miss
 }
 

@@ -1,0 +1,84 @@
+package memsim
+
+// regionTable is an open-addressed hash table specialized for the
+// analytic model's per-level region tracking: region key → fill stamp.
+// It replaces the built-in map on the model's hottest path — every
+// Touch/Stream/Probe performs one find-or-insert per cache level — and
+// halves the per-access work: a single probe sequence serves both the
+// read of the previous stamp and the write of the new one, where the
+// map paid separate access and assign hash walks.
+//
+// Keys are never deleted (the simulated address space only grows), so
+// the table needs no tombstones. Slots store key+1 so the zero value
+// means empty and the zero key remains usable. Growth doubles the
+// arrays at 2/3 load; in steady state — once the workload's region set
+// has been seen — the table performs no allocation at all, which is
+// what lets the simulation kernel run allocation-free per relocation
+// and per visit.
+type regionTable struct {
+	keys []uint64 // key+1; 0 = empty
+	vals []uint64
+	mask uint64
+	used int
+	max  int // grow threshold (2/3 of capacity)
+}
+
+const regionTableMinSize = 1 << 10
+
+// fibMix spreads region keys over the table with a Fibonacci
+// multiplicative hash; region keys are page-scale address prefixes, so
+// low bits alone would cluster badly.
+func fibMix(key uint64) uint64 { return key * 0x9e3779b97f4a7c15 }
+
+func newRegionTable() *regionTable {
+	t := &regionTable{}
+	t.init(regionTableMinSize)
+	return t
+}
+
+func (t *regionTable) init(size int) {
+	t.keys = make([]uint64, size)
+	t.vals = make([]uint64, size)
+	t.mask = uint64(size - 1)
+	t.used = 0
+	t.max = size * 2 / 3
+}
+
+// slot returns the index holding key, inserting it (with value 0) if
+// absent. seen reports whether the key existed before the call.
+func (t *regionTable) slot(key uint64) (idx uint64, seen bool) {
+	k := key + 1
+	i := fibMix(key) & t.mask
+	for {
+		switch t.keys[i] {
+		case k:
+			return i, true
+		case 0:
+			if t.used >= t.max {
+				t.grow()
+				return t.slot(key)
+			}
+			t.keys[i] = k
+			t.used++
+			return i, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *regionTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := fibMix(k-1) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+		t.used++
+	}
+}

@@ -72,6 +72,22 @@ type Interp struct {
 	modules map[string]*Module // sys.modules
 	order   []string
 	stats   Stats
+
+	// frames is the visit loop's explicit call stack, reused across
+	// VisitEntry calls so steady-state visiting allocates nothing (the
+	// recursion it replaces allocated a Go stack frame per simulated
+	// call; see callEntry).
+	frames []frame
+}
+
+// frame is one simulated call frame on the visit loop's explicit
+// stack: a function's remaining call sites and the depth its callees
+// execute at.
+type frame struct {
+	le    *dynld.LinkEntry
+	calls []elfimg.Call
+	next  int // index of the next call site to dispatch
+	depth int // this frame's depth; callees run at depth+1
 }
 
 // Interpreter work constants (instructions per operation). The visit
@@ -195,7 +211,13 @@ func (ip *Interp) VisitEntry(m *Module) error {
 }
 
 // callEntry runs the entry function, applying the coverage knob to its
-// top-level chain launches.
+// top-level chain launches, then walks the generated call chains
+// depth-first with an explicit reusable frame stack. The loop
+// replicates the recursion it replaced exactly — pre-order body
+// execution, left-to-right call sites, PLT resolution before the
+// callee's depth check — so simulated traffic and error strings are
+// unchanged; only the host-side cost moves from O(depth) Go stack
+// frames per chain to appends into a retained slice.
 func (ip *Interp) callEntry(le *dynld.LinkEntry, fi int) error {
 	f := le.Image.Funcs[fi]
 	ip.execBody(le, f, 0)
@@ -204,48 +226,44 @@ func (ip *Interp) callEntry(le *dynld.LinkEntry, fi int) error {
 		limit = int(float64(limit)*ip.opts.Coverage + 0.5)
 		ip.stats.ChainsPruned += uint64(len(f.Calls) - limit)
 	}
-	for _, c := range f.Calls[:limit] {
-		if err := ip.dispatch(le, c, 1); err != nil {
-			return err
+	ip.frames = append(ip.frames[:0], frame{le: le, calls: f.Calls[:limit]})
+	for len(ip.frames) > 0 {
+		top := &ip.frames[len(ip.frames)-1]
+		if top.next >= len(top.calls) {
+			ip.frames = ip.frames[:len(ip.frames)-1]
+			continue
 		}
+		c := top.calls[top.next]
+		top.next++
+		// Route the call site (the old dispatch).
+		tle, depth := top.le, top.depth+1
+		var tfi int
+		switch c.Kind {
+		case elfimg.CallIntra:
+			tfi = c.Target
+		case elfimg.CallPLT:
+			ip.stats.PLTCalls++
+			def, fi, err := ip.ld.ResolvePLTFunc(tle, c.Target)
+			if err != nil {
+				return err
+			}
+			if fi < 0 {
+				return fmt.Errorf("call through PLT to non-function symbol in %s",
+					def.Entry.Image.Name)
+			}
+			tle, tfi = def.Entry, fi
+		default:
+			return fmt.Errorf("unknown call kind %d", c.Kind)
+		}
+		// Enter the callee (the old call).
+		if depth > ip.opts.MaxCallDepth {
+			return fmt.Errorf("maximum call depth %d exceeded", ip.opts.MaxCallDepth)
+		}
+		tf := tle.Image.Funcs[tfi]
+		ip.execBody(tle, tf, depth)
+		ip.frames = append(ip.frames, frame{le: tle, calls: tf.Calls, depth: depth})
 	}
 	return nil
-}
-
-// call executes function fi of object le at the given stack depth.
-func (ip *Interp) call(le *dynld.LinkEntry, fi int, depth int) error {
-	if depth > ip.opts.MaxCallDepth {
-		return fmt.Errorf("maximum call depth %d exceeded", ip.opts.MaxCallDepth)
-	}
-	f := le.Image.Funcs[fi]
-	ip.execBody(le, f, depth)
-	for _, c := range f.Calls {
-		if err := ip.dispatch(le, c, depth+1); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// dispatch routes one call site.
-func (ip *Interp) dispatch(le *dynld.LinkEntry, c elfimg.Call, depth int) error {
-	switch c.Kind {
-	case elfimg.CallIntra:
-		return ip.call(le, c.Target, depth)
-	case elfimg.CallPLT:
-		ip.stats.PLTCalls++
-		def, tfi, err := ip.ld.ResolvePLTFunc(le, c.Target)
-		if err != nil {
-			return err
-		}
-		if tfi < 0 {
-			return fmt.Errorf("call through PLT to non-function symbol in %s",
-				def.Entry.Image.Name)
-		}
-		return ip.call(def.Entry, tfi, depth)
-	default:
-		return fmt.Errorf("unknown call kind %d", c.Kind)
-	}
 }
 
 // execBody issues one function body's instruction fetch, retired

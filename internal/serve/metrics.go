@@ -120,6 +120,12 @@ func (s *Server) Metrics() map[string]float64 {
 	m["store_corruptions"] = float64(es.Store.Corruptions)
 	m["store_spec_hits"] = float64(es.StoreSpecHits)
 	m["store_workload_hits"] = float64(es.StoreWorkloadHits)
+	// Simulation-kernel efficiency counters (see pynamic.KernelCounters).
+	m["kernel_relocs_processed"] = float64(es.Kernel.RelocsProcessed)
+	m["kernel_relocs_resolved"] = float64(es.Kernel.RelocsResolved)
+	m["kernel_parallel_batches"] = float64(es.Kernel.ParallelBatches)
+	m["kernel_arena_bytes_in_use"] = float64(es.Kernel.ArenaBytesInUse)
+	m["kernel_arena_bytes_reused"] = float64(es.Kernel.ArenaBytesReused)
 	return m
 }
 

@@ -156,4 +156,12 @@ func TestMetricsCountsJobs(t *testing.T) {
 		t.Fatalf("job counters: submitted %v done %v failed %v",
 			m["jobs_submitted"], m["jobs_done"], m["jobs_failed"])
 	}
+	// A completed job must surface the simulation-kernel counters: the
+	// ranks processed relocations and their loaders carved arena memory.
+	if m["kernel_relocs_processed"] <= 0 {
+		t.Fatalf("kernel_relocs_processed = %v, want > 0", m["kernel_relocs_processed"])
+	}
+	if m["kernel_arena_bytes_in_use"] <= 0 {
+		t.Fatalf("kernel_arena_bytes_in_use = %v, want > 0", m["kernel_arena_bytes_in_use"])
+	}
 }
