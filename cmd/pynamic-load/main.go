@@ -1,9 +1,14 @@
 // Command pynamic-load is the load harness: it replays seeded,
 // Zipfian-distributed Spec traffic against a live pynamic-serve
-// instance (-target URL) or an in-process Engine (default), sweeping
+// instance (-target URL), a fleet of replicas (-targets, round-robin
+// with failover), or an in-process Engine (default), sweeping
 // concurrency × spec-mix skew × workload-cache size, and records
-// latency percentiles, throughput, error rate, and cache/dedup/
-// persistent-store hit ratios per cell.
+// latency percentiles, throughput, error rate, cache/dedup/
+// persistent-store hit ratios, and fleet forward/steal counters per
+// cell (-1 when the target is not a fleet).
+//
+//	# drive a two-replica fleet round-robin
+//	pynamic-load -targets http://h1:8080,http://h2:8080 -duration 2s
 //
 //	# 12-cell in-process sweep, 2s per cell, emit the PR trajectory file
 //	pynamic-load -duration 2s -concurrency 1,2,4,8 -cache-size 0,4,16 \
@@ -21,6 +26,9 @@
 //
 //	# regenerate EXPERIMENTS.md's load-harness tables from a trajectory
 //	pynamic-load -render BENCH_pr6.json -update-doc EXPERIMENTS.md
+//
+//	# merge an in-process sweep with a fleet cell into one trajectory
+//	pynamic-load -merge /tmp/base.json,/tmp/fleet.json -pr pr9 -bench-out BENCH_pr9.json
 //
 // Artifacts land under <out>/<stamp>/loadgen/ as sweep.json + cells.csv;
 // -bench-out additionally distills the sweep into a schema-validated
@@ -46,6 +54,7 @@ import (
 func main() {
 	var (
 		target    = flag.String("target", "", "pynamic-serve base URL (empty = in-process Engine)")
+		targets   = flag.String("targets", "", "comma-separated fleet of pynamic-serve base URLs, driven round-robin with failover (wins over -target)")
 		mode      = flag.String("mode", "closed", `loop model: "closed" (fixed workers) or "open" (fixed arrival rate)`)
 		duration  = flag.Duration("duration", 2*time.Second, "wall-clock budget per cell (ignored when -requests > 0)")
 		requests  = flag.Int("requests", 0, "fixed request count per cell (0 = duration-bounded)")
@@ -64,6 +73,7 @@ func main() {
 
 		validate  = flag.String("validate", "", "validate a BENCH_*.json file against the schema and exit")
 		render    = flag.String("render", "", "render tables from an existing BENCH_*.json instead of sweeping")
+		merge     = flag.String("merge", "", "comma-separated BENCH_*.json files to merge into one trajectory (labeled -pr, written to -bench-out)")
 		updateDoc = flag.String("update-doc", "", "regenerate the pynamic-load marker section of this document (with -render or after a sweep)")
 	)
 	flag.Parse()
@@ -83,6 +93,31 @@ func main() {
 			fatal(err)
 		}
 		emit(b, *tablesOut, *updateDoc, true)
+		return
+	}
+	if *merge != "" {
+		var files []*loadgen.BenchFile
+		for _, p := range strings.Split(*merge, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			b, err := loadgen.ReadBench(p)
+			if err != nil {
+				fatal(err)
+			}
+			files = append(files, b)
+		}
+		b, err := loadgen.MergeBench(*pr, files...)
+		if err != nil {
+			fatal(err)
+		}
+		if *benchOut != "" {
+			if err := loadgen.WriteBench(*benchOut, b); err != nil {
+				fatal(err)
+			}
+			fmt.Println("pynamic-load: wrote", *benchOut)
+		}
+		emit(b, *tablesOut, *updateDoc, *benchOut == "" && *tablesOut == "" && *updateDoc == "")
 		return
 	}
 
@@ -106,11 +141,21 @@ func main() {
 		CacheDir:      *cacheDir,
 		PollInterval:  *poll,
 	}
+	if *targets != "" {
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				sc.TargetURLs = append(sc.TargetURLs, u)
+			}
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	targetName := *target
+	if len(sc.TargetURLs) > 0 {
+		targetName = fmt.Sprintf("%d-replica fleet %s", len(sc.TargetURLs), strings.Join(sc.TargetURLs, ","))
+	}
 	if targetName == "" {
 		targetName = "in-process engine"
 	}

@@ -39,6 +39,7 @@ type Engine struct {
 	cacheSize  int
 	cacheDir   string
 	events     func(Event)
+	phaseObs   func(phase string, simSec float64)
 	cache      *workloadCache
 	store      castore.Store
 	reg        *runner.Registry
@@ -131,6 +132,22 @@ func WithEvents(fn func(Event)) Option {
 	}
 }
 
+// WithPhaseObserver registers a per-phase latency hook: after every
+// completed run or job, fn is called once per phase ("startup",
+// "import", "visit", "mpi") with that operation's simulated seconds
+// for the phase. This is the engine half of the serving layer's
+// histogram observability — EngineStats.PhaseSimSec already sums the
+// same numbers, but only an observer sees the per-operation values a
+// distribution needs. fn is called outside the engine's stats lock and
+// may be invoked concurrently from concurrent operations, so it must
+// be safe for concurrent use and must not block.
+func WithPhaseObserver(fn func(phase string, simSec float64)) Option {
+	return func(e *Engine) error {
+		e.phaseObs = fn
+		return nil
+	}
+}
+
 // New constructs an Engine. Option validation failures return an error
 // wrapping ErrBadConfig.
 func New(opts ...Option) (*Engine, error) {
@@ -140,6 +157,7 @@ func New(opts ...Option) (*Engine, error) {
 			return nil, wrapErr("New", "config", err)
 		}
 	}
+	e.stats.observer = e.phaseObs
 	e.cache = newWorkloadCache(e.cacheSize)
 	if e.cacheDir != "" {
 		st, err := castore.Open(e.cacheDir, castore.Options{Compress: true})

@@ -72,6 +72,12 @@ type EngineStats struct {
 // mutex covers every field: the counters are touched once per Engine
 // operation, never on simulation hot paths.
 type engineStats struct {
+	// observer, when set, receives each completed operation's per-phase
+	// simulated seconds. Written once at engine construction and only
+	// read afterwards, so calls need no lock — and are made outside the
+	// counter critical section to keep user code off the mutex.
+	observer func(phase string, simSec float64)
+
 	mu                sync.Mutex
 	generates         int64
 	runs              int64
@@ -101,6 +107,7 @@ func (s *engineStats) countRun(m *Metrics) {
 	s.addPhasesLocked(m.StartupSec, m.ImportSec, m.VisitSec, m.MPISec)
 	s.addKernelLocked(m.Loader.RelocsProcessed, m.Kernel)
 	s.mu.Unlock()
+	s.observePhases(m.StartupSec, m.ImportSec, m.VisitSec, m.MPISec)
 }
 
 func (s *engineStats) countJob(r *JobResult) {
@@ -113,6 +120,19 @@ func (s *engineStats) countJob(r *JobResult) {
 	}
 	s.addKernelLocked(relocs, r.Kernel)
 	s.mu.Unlock()
+	s.observePhases(r.StartupSec, r.ImportSec, r.VisitSec, r.MPISec)
+}
+
+// observePhases feeds one operation's phase times to the registered
+// observer, outside the counter lock.
+func (s *engineStats) observePhases(startup, imp, visit, mpi float64) {
+	if s.observer == nil {
+		return
+	}
+	s.observer("startup", startup)
+	s.observer("import", imp)
+	s.observer("visit", visit)
+	s.observer("mpi", mpi)
 }
 
 func (s *engineStats) countMatrix() {

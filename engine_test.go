@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -345,3 +346,45 @@ func waitCacheJoin(c *workloadCache, key string) {
 }
 
 var errNotRegenerated = errors.New("waiter did not regenerate a fresh workload")
+
+// TestPhaseObserver: WithPhaseObserver must see one call per phase per
+// completed operation, with values that sum to the engine's own
+// PhaseSimSec counters — the distribution and the totals describe the
+// same events.
+func TestPhaseObserver(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	calls := make(map[string]int)
+	sums := make(map[string]float64)
+	eng := freshEngine(t, WithPhaseObserver(func(phase string, simSec float64) {
+		mu.Lock()
+		calls[phase]++
+		sums[phase] += simSec
+		mu.Unlock()
+	}))
+	cfg := LLNLModel().Scaled(10)
+	cfg.Seed = 7
+	w, err := eng.GenerateCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, err := eng.RunCtx(ctx, RunConfig{
+			Mode: Vanilla, Workload: w, NTasks: 2, Coverage: 0.05, Seed: cfg.Seed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	stats := eng.Stats()
+	for _, phase := range []string{"startup", "import", "visit", "mpi"} {
+		if calls[phase] != runs {
+			t.Fatalf("observer calls for %s = %d, want %d", phase, calls[phase], runs)
+		}
+		if diff := sums[phase] - stats.PhaseSimSec[phase]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("observer sum for %s = %g, stats say %g", phase, sums[phase], stats.PhaseSimSec[phase])
+		}
+	}
+}

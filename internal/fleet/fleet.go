@@ -1,0 +1,196 @@
+// Package fleet shards spec submissions across a static set of
+// pynamic-serve replicas. Ownership is decided by consistent hashing
+// over the spec hash: every replica is given the same member list
+// (`-peers`), builds the same ring, and therefore routes any given
+// spec to the same owner with no coordination traffic — cluster-wide
+// dedup falls out, because identical specs always meet at one node,
+// whose jobstore row and content-addressed result the whole fleet
+// shares.
+//
+// The ring uses FNV-1a over virtual nodes so a small member list still
+// spreads keys evenly, and routing degrades gracefully: a submission
+// whose owner is unreachable falls back to local execution (the serve
+// layer records the fallback), and a crashed owner's queued work is
+// drained by siblings through jobstore lease stealing rather than by
+// any fleet-level failover protocol. Forwarded requests carry a marker
+// header so a misconfigured peer list can never bounce a spec in a
+// loop.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ForwardedHeader marks a submission that already went through one
+// ownership hop. A replica receiving it executes locally no matter
+// what its ring says, which terminates any potential forwarding loop
+// (e.g. replicas configured with disagreeing peer lists).
+const ForwardedHeader = "X-Pynamic-Forwarded"
+
+// vnodes is the number of ring points per member. 64 keeps the
+// largest/smallest ownership share within a few percent of each other
+// for small fleets without making ring construction noticeable.
+const vnodes = 64
+
+type point struct {
+	h      uint32
+	member string
+}
+
+// Fleet is one replica's view of the member ring. It is immutable
+// after New and safe for concurrent use.
+type Fleet struct {
+	self    string
+	members []string
+	ring    []point
+	client  *http.Client
+}
+
+// New builds the ring for self within members. Member URLs are
+// normalized (trailing slashes stripped) and deduplicated; self must
+// appear in the list — every replica's ring has to contain every
+// replica, or two nodes would route the same hash differently.
+func New(self string, members []string) (*Fleet, error) {
+	self = normalizeMember(self)
+	if self == "" {
+		return nil, fmt.Errorf("fleet: empty self address")
+	}
+	seen := make(map[string]bool)
+	var norm []string
+	for _, m := range members {
+		m = normalizeMember(m)
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		norm = append(norm, m)
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("fleet: self %q not in member list %v", self, norm)
+	}
+	if len(norm) < 2 {
+		return nil, fmt.Errorf("fleet: need at least 2 members, got %v", norm)
+	}
+	sort.Strings(norm)
+	ring := make([]point, 0, len(norm)*vnodes)
+	for _, m := range norm {
+		for i := 0; i < vnodes; i++ {
+			ring = append(ring, point{h: ringHash(fmt.Sprintf("%s|%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].h != ring[j].h {
+			return ring[i].h < ring[j].h
+		}
+		return ring[i].member < ring[j].member
+	})
+	return &Fleet{
+		self:    self,
+		members: norm,
+		ring:    ring,
+		client:  &http.Client{Timeout: 10 * time.Second},
+	}, nil
+}
+
+func normalizeMember(m string) string {
+	return strings.TrimRight(strings.TrimSpace(m), "/")
+}
+
+func ringHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// Self returns this replica's normalized address.
+func (f *Fleet) Self() string { return f.self }
+
+// Members returns the sorted member list (including self).
+func (f *Fleet) Members() []string {
+	return append([]string(nil), f.members...)
+}
+
+// Owner returns the member responsible for a spec hash: the first
+// ring point at or after the key's hash, wrapping at the top.
+func (f *Fleet) Owner(hash string) string {
+	h := ringHash(hash)
+	i := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].h >= h })
+	if i == len(f.ring) {
+		i = 0
+	}
+	return f.ring[i].member
+}
+
+// Owns reports whether this replica owns the hash.
+func (f *Fleet) Owns(hash string) bool { return f.Owner(hash) == f.self }
+
+// ForwardResult is the owner's reply to a forwarded submission,
+// relayed verbatim to the original client.
+type ForwardResult struct {
+	StatusCode  int
+	ContentType string
+	Body        []byte
+}
+
+// Forward re-submits spec bytes to the owning member, marked with
+// ForwardedHeader. A non-nil error means the owner was unreachable or
+// answered garbage, and the caller should fall back to local
+// execution; any well-formed HTTP response — including 4xx/5xx — is
+// returned as a result, because the owner has spoken and its verdict
+// (accepted, invalid spec, draining) is what the client should hear.
+func (f *Fleet) Forward(ctx context.Context, owner string, spec []byte) (ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/specs", bytes.NewReader(spec))
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: build forward request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: forward to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: read forward response: %w", err)
+	}
+	return ForwardResult{
+		StatusCode:  resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}
+
+// Fetch proxies a GET to another member's path (status or result
+// lookup for a job whose record lives on its owner). Like Forward, a
+// transport error is the only error; HTTP status is the caller's to
+// interpret.
+func (f *Fleet) Fetch(ctx context.Context, member, path string) (ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+path, nil)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: build fetch request: %w", err)
+	}
+	req.Header.Set(ForwardedHeader, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: fetch from %s: %w", member, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("fleet: read fetch response: %w", err)
+	}
+	return ForwardResult{
+		StatusCode:  resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("http://a:1", []string{"http://b:1", "http://c:1"}); err == nil {
+		t.Fatal("self missing from member list must error")
+	}
+	if _, err := New("http://a:1", []string{"http://a:1"}); err == nil {
+		t.Fatal("single-member fleet must error")
+	}
+	f, err := New("http://a:1/", []string{"http://a:1", "http://b:1/", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Members()
+	if len(m) != 2 || m[0] != "http://a:1" || m[1] != "http://b:1" {
+		t.Fatalf("members = %v", m)
+	}
+	if f.Self() != "http://a:1" {
+		t.Fatalf("self = %q", f.Self())
+	}
+}
+
+func TestOwnerAgreesAcrossReplicas(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	fa, err := New("http://a:1", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b gets the list in a different order; the ring must not care.
+	fb, err := New("http://b:1", []string{"http://c:1", "http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		hash := fmt.Sprintf("spechash-%04d", i)
+		if fa.Owner(hash) != fb.Owner(hash) {
+			t.Fatalf("replicas disagree on owner of %s: %s vs %s", hash, fa.Owner(hash), fb.Owner(hash))
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	f, err := New("http://a:1", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[f.Owner(fmt.Sprintf("spechash-%05d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] < n/len(members)/3 {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+func TestOwnerStableUnderMemberLoss(t *testing.T) {
+	// Consistent hashing's point: dropping a member only remaps the
+	// keys it owned; everyone else's keys stay put.
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	f3, err := New("http://a:1", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New("http://a:1", []string{"http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		hash := fmt.Sprintf("spechash-%04d", i)
+		before := f3.Owner(hash)
+		if before == "http://c:1" {
+			continue // c's keys are the ones that must move
+		}
+		if after := f2.Owner(hash); after != before {
+			t.Fatalf("key %s moved from %s to %s despite owner surviving", hash, before, after)
+		}
+	}
+}
+
+func TestForwardRelaysRequestAndResponse(t *testing.T) {
+	var gotHeader, gotBody, gotPath string
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(ForwardedHeader)
+		gotPath = r.URL.Path
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		fmt.Fprint(w, `{"dedup":"true"}`)
+	}))
+	defer owner.Close()
+
+	f, err := New("http://self:1", []string{"http://self:1", owner.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Forward(context.Background(), owner.URL, []byte(`{"spec":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/specs" || gotHeader != "http://self:1" || gotBody != `{"spec":1}` {
+		t.Fatalf("forwarded request wrong: path=%q header=%q body=%q", gotPath, gotHeader, gotBody)
+	}
+	if res.StatusCode != http.StatusConflict || string(res.Body) != `{"dedup":"true"}` || res.ContentType != "application/json" {
+		t.Fatalf("relay wrong: %+v", res)
+	}
+}
+
+func TestForwardUnreachableOwnerErrors(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	f, err := New("http://self:1", []string{"http://self:1", deadURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Forward(context.Background(), deadURL, []byte(`{}`)); err == nil {
+		t.Fatal("forward to dead owner must error (caller falls back to local)")
+	}
+}
+
+func TestFetchProxiesStatus(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/specs/abc" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, `{"status":"running"}`)
+	}))
+	defer owner.Close()
+	f, err := New("http://self:1", []string{"http://self:1", owner.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(context.Background(), owner.URL, "/v1/specs/abc")
+	if err != nil || res.StatusCode != http.StatusOK || string(res.Body) != `{"status":"running"}` {
+		t.Fatalf("fetch = %+v err=%v", res, err)
+	}
+}

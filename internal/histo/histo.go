@@ -1,0 +1,262 @@
+// Package histo is the fleet's latency-observability primitive: fixed-
+// bucket histograms behind a tiny API, exposed in the Prometheus text
+// exposition format. The flat counters at /v1/metrics (internal/serve)
+// answer "how much happened"; histograms answer "how was it
+// distributed" — per-phase engine latencies and per-request serve
+// latencies are the two recording sites the fleet subsystem wires up.
+//
+// The design is deliberately smaller than a metrics library: bucket
+// bounds are fixed at registration (no adaptive resizing, so two
+// replicas' histograms are always mergeable bucket-for-bucket), a
+// family carries at most one label key (enough for {phase=...} and
+// {route=...} without a label-set allocator on the hot path), and the
+// writer emits families sorted by name and series sorted by label
+// value, so the exposition bytes are deterministic for a fixed counter
+// state — greppable by the promtool-style line checks CI runs against
+// a live replica.
+package histo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefBuckets are the default request-latency bounds in seconds — the
+// conventional Prometheus ladder, wide enough for an HTTP serving path
+// that spans sub-millisecond dedup answers and multi-second simulated
+// jobs.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// SimSecondsBuckets are bounds for simulated-time observations, which
+// live on a very different scale from host latencies: a single job
+// phase can account for minutes of simulated cluster time.
+var SimSecondsBuckets = []float64{.01, .1, 1, 10, 60, 300, 1800, 7200}
+
+// Histogram is one fixed-bucket histogram series. Observations count
+// into the first bucket whose upper bound is >= the value; the writer
+// emits cumulative counts plus an implicit +Inf bucket, a sum, and a
+// count, matching the Prometheus histogram convention. Safe for
+// concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, seconds
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a histogram's state. Buckets are
+// cumulative: Buckets[i] counts observations <= Bounds[i], and Count
+// is the +Inf bucket.
+type Snapshot struct {
+	Bounds  []float64
+	Buckets []uint64
+	Sum     float64
+	Count   uint64
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]uint64, len(h.bounds)),
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Buckets[i] = cum
+	}
+	return s
+}
+
+// family is one registered histogram name: shared bounds, an optional
+// label key, and one series per observed label value.
+type family struct {
+	name     string
+	help     string
+	labelKey string // "" = unlabeled: exactly one series under value ""
+	bounds   []float64
+
+	mu     sync.Mutex
+	series map[string]*Histogram
+}
+
+// Registry holds a process's histogram families and renders them as
+// one Prometheus text document. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Register declares a histogram family. labelKey may be "" for an
+// unlabeled family. Registering an existing name is a no-op (the first
+// registration's bounds win), so wiring code can register defensively.
+func (r *Registry) Register(name, help, labelKey string, bounds []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		return
+	}
+	r.families[name] = &family{
+		name:     name,
+		help:     help,
+		labelKey: labelKey,
+		bounds:   append([]float64(nil), bounds...),
+		series:   make(map[string]*Histogram),
+	}
+}
+
+// Observe records v into the named family's series for labelValue
+// (pass "" for unlabeled families). Observing an unregistered name
+// lazily registers it with DefBuckets and no label, so a missed
+// Register call degrades to coarse buckets instead of dropped data.
+func (r *Registry) Observe(name, labelValue string, v float64) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, bounds: DefBuckets, series: make(map[string]*Histogram)}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+
+	f.mu.Lock()
+	h, ok := f.series[labelValue]
+	if !ok {
+		h = newHistogram(f.bounds)
+		f.series[labelValue] = h
+	}
+	f.mu.Unlock()
+	h.Observe(v)
+}
+
+// Snapshot returns every series keyed "name" or "name{key=value}" —
+// the test-friendly view of the registry.
+func (r *Registry) Snapshot() map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		for value, h := range f.series {
+			key := f.name
+			if f.labelKey != "" {
+				key = fmt.Sprintf("%s{%s=%s}", f.name, f.labelKey, value)
+			}
+			out[key] = h.Snapshot()
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE lines, cumulative
+// _bucket series ending at le="+Inf", then _sum and _count. Families
+// are sorted by name and series by label value, so the document is
+// byte-stable for a fixed counter state.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		values := make([]string, 0, len(f.series))
+		for v := range f.series {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		snaps := make([]Snapshot, len(values))
+		for i, v := range values {
+			snaps[i] = f.series[v].Snapshot()
+		}
+		f.mu.Unlock()
+		if len(values) == 0 {
+			continue
+		}
+
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
+		for i, value := range values {
+			s := snaps[i]
+			for bi, bound := range s.Bounds {
+				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+					f.name, labelPrefix(f.labelKey, value), formatBound(bound), s.Buckets[bi])
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, labelPrefix(f.labelKey, value), s.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSuffix(f.labelKey, value), formatValue(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSuffix(f.labelKey, value), s.Count)
+		}
+	}
+}
+
+// WriteGauges renders a flat name → value map as prefixed gauge
+// families, sorted by name — how /metrics re-exposes the /v1/metrics
+// counter catalog next to the histograms.
+func WriteGauges(w io.Writer, prefix string, values map[string]float64) {
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s%s gauge\n", prefix, name)
+		fmt.Fprintf(w, "%s%s %s\n", prefix, name, formatValue(values[name]))
+	}
+}
+
+func labelPrefix(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s=%q,", key, value)
+}
+
+func labelSuffix(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", key, value)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest round-trip decimal.
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,194 @@
+package histo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	// Cumulative: <=1 → {0.5, 1}, <=2 → +{1.5}, <=4 → +{3}; 100 only in +Inf.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket[le=%g] = %d, want %d", s.Bounds[i], s.Buckets[i], w)
+		}
+	}
+	if got, wantSum := s.Sum, 0.5+1+1.5+3+100; math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestObserveOnBoundCountsInBucket(t *testing.T) {
+	// Prometheus histograms are upper-bound inclusive: Observe(0.1) must
+	// land in the le="0.1" bucket, not only in the next one up.
+	h := newHistogram([]float64{0.1, 1})
+	h.Observe(0.1)
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 {
+		t.Fatalf("bucket[le=0.1] = %d, want 1", s.Buckets[0])
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Register("phase_seconds", "per-phase sim time", "phase", []float64{1, 10})
+	r.Observe("phase_seconds", "import", 0.5)
+	r.Observe("phase_seconds", "import", 20)
+	r.Observe("phase_seconds", "visit", 5)
+
+	snap := r.Snapshot()
+	imp, ok := snap[`phase_seconds{phase=import}`]
+	if !ok {
+		t.Fatalf("missing import series; have %v", keys(snap))
+	}
+	if imp.Count != 2 {
+		t.Fatalf("import count = %d, want 2", imp.Count)
+	}
+	vis := snap[`phase_seconds{phase=visit}`]
+	if vis.Count != 1 || vis.Buckets[1] != 1 {
+		t.Fatalf("visit snapshot = %+v", vis)
+	}
+}
+
+func TestRegisterIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Register("m", "h", "", []float64{1})
+	r.Observe("m", "", 0.5)
+	r.Register("m", "other help", "k", []float64{100}) // no-op
+	snap := r.Snapshot()
+	s, ok := snap["m"]
+	if !ok || s.Count != 1 || len(s.Bounds) != 1 || s.Bounds[0] != 1 {
+		t.Fatalf("re-register must not reset or relabel: %+v (ok=%v)", s, ok)
+	}
+}
+
+func TestLazyRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("surprise", "", 0.003)
+	s, ok := r.Snapshot()["surprise"]
+	if !ok || s.Count != 1 {
+		t.Fatalf("lazy series missing: %+v (ok=%v)", s, ok)
+	}
+	if len(s.Bounds) != len(DefBuckets) {
+		t.Fatalf("lazy bounds = %v, want DefBuckets", s.Bounds)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Register("req_seconds", "request latency", "route", []float64{0.1, 1})
+	r.Observe("req_seconds", "spec", 0.05)
+	r.Observe("req_seconds", "spec", 0.5)
+	r.Observe("req_seconds", "job", 2)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, line := range []string{
+		"# HELP req_seconds request latency",
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{route="job",le="0.1"} 0`,
+		`req_seconds_bucket{route="job",le="+Inf"} 1`,
+		`req_seconds_sum{route="job"} 2`,
+		`req_seconds_count{route="job"} 1`,
+		`req_seconds_bucket{route="spec",le="0.1"} 1`,
+		`req_seconds_bucket{route="spec",le="1"} 2`,
+		`req_seconds_bucket{route="spec",le="+Inf"} 2`,
+		`req_seconds_count{route="spec"} 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// job sorts before spec: deterministic series order.
+	if strings.Index(out, `route="job"`) > strings.Index(out, `route="spec"`) {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Register("b_metric", "", "k", []float64{1})
+		r.Register("a_metric", "", "", []float64{1})
+		r.Observe("b_metric", "z", 0.5)
+		r.Observe("b_metric", "a", 3)
+		r.Observe("a_metric", "", 0.2)
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		return buf.String()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("exposition not byte-stable:\n--- first\n%s\n--- got\n%s", first, got)
+		}
+	}
+	if strings.Index(first, "a_metric") > strings.Index(first, "b_metric") {
+		t.Fatalf("families not sorted:\n%s", first)
+	}
+}
+
+func TestWriteGauges(t *testing.T) {
+	var buf bytes.Buffer
+	WriteGauges(&buf, "pynamic_", map[string]float64{"b": 2, "a": 1.5})
+	out := buf.String()
+	wantOrder := []string{
+		"# TYPE pynamic_a gauge",
+		"pynamic_a 1.5",
+		"# TYPE pynamic_b gauge",
+		"pynamic_b 2",
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("gauge lines = %v", lines)
+	}
+	for i, w := range wantOrder {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	r.Register("c", "", "who", []float64{0.5})
+	const g, n = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label := []string{"x", "y"}[i%2]
+			for j := 0; j < n; j++ {
+				r.Observe("c", label, float64(j%3))
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	total := snap[`c{who=x}`].Count + snap[`c{who=y}`].Count
+	if total != g*n {
+		t.Fatalf("lost observations: %d, want %d", total, g*n)
+	}
+}
+
+func keys(m map[string]Snapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,521 @@
+package jobstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// diskFormat versions the on-disk layout. A directory whose
+	// MANIFEST disagrees is wiped and re-created, mirroring
+	// internal/castore's fail-forward manifest discipline.
+	diskFormat   = "pynamic-jobstore/1"
+	manifestName = "MANIFEST"
+	walPrefix    = "wal."
+	walSuffix    = ".log"
+	snapPrefix   = "snapshot."
+	snapSuffix   = ".json"
+
+	// compactEvery bounds WAL growth: once a node has appended this
+	// many records since its last snapshot, the next mutation folds the
+	// log into a snapshot and truncates it.
+	compactEvery = 128
+)
+
+// Disk is the durable Store: a shared directory where every node
+// appends mutations to a private JSON WAL (one record per line) and
+// periodically compacts it into a private snapshot via temp-file +
+// atomic rename. Reads merge the node's own table with every sibling
+// file in the directory, so a fleet sharing one -cache-dir sees one
+// converged job table without any locking across processes; the merge
+// rule (see mergeJob) makes concurrent claims safe because duplicate
+// execution of a content-addressed spec is idempotent.
+//
+// Crash safety: a record is recovered if its WAL line was fully
+// written. Snapshots carry the sequence number of the last folded
+// record, so replaying a stale WAL over a newer snapshot (the crash
+// window between snapshot rename and WAL truncation) cannot regress
+// state — replay skips records at or below the snapshot's watermark.
+type Disk struct {
+	dir  string
+	node string
+	stem string // sanitized node name used in this node's filenames
+
+	mu          sync.Mutex
+	t           *table
+	seq         uint64 // this node's monotonic mutation counter
+	wal         *os.File
+	walRecords  int
+	closed      bool
+	stamps      map[string]fileStamp // sibling path → last-loaded identity
+	siblingSeqs map[string]uint64    // sibling stem → snapshot watermark
+	recovered   int
+	compactions int
+}
+
+type fileStamp struct {
+	size  int64
+	mtime int64
+}
+
+type walRecord struct {
+	Seq uint64 `json:"seq"`
+	Job Job    `json:"job"`
+}
+
+type snapshotFile struct {
+	Format  string `json:"format"`
+	Node    string `json:"node"`
+	LastSeq uint64 `json:"last_seq"`
+	Jobs    []Job  `json:"jobs"`
+}
+
+// OpenDisk opens (creating if needed) the durable store rooted at dir
+// for the given node id. Two live processes must not share a node id
+// in one directory; they may — and in fleet mode do — share the
+// directory under distinct ids.
+func OpenDisk(dir, node string) (*Disk, error) {
+	if node == "" {
+		return nil, fmt.Errorf("jobstore: empty node id")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: create dir: %w", err)
+	}
+	if err := checkManifest(dir); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		dir:         dir,
+		node:        node,
+		stem:        nodeStem(node),
+		t:           newTable(),
+		stamps:      make(map[string]fileStamp),
+		siblingSeqs: make(map[string]uint64),
+	}
+	// Replay own state first (snapshot watermark, then WAL tail), then
+	// merge in whatever siblings have written.
+	ownSnap := filepath.Join(dir, snapPrefix+d.stem+snapSuffix)
+	ownWAL := filepath.Join(dir, walPrefix+d.stem+walSuffix)
+	watermark, err := d.loadSnapshot(ownSnap)
+	if err != nil {
+		return nil, err
+	}
+	if watermark > d.seq {
+		d.seq = watermark
+	}
+	maxSeq, err := d.loadWAL(ownWAL, watermark)
+	if err != nil {
+		return nil, err
+	}
+	if maxSeq > d.seq {
+		d.seq = maxSeq
+	}
+	if err := d.refreshLocked(); err != nil {
+		return nil, err
+	}
+	for _, j := range d.t.jobs {
+		if !j.Terminal() {
+			d.recovered++
+		}
+	}
+	// The WAL was just folded into memory; start a fresh log at the
+	// current watermark rather than re-appending behind old records.
+	if err := d.compactLocked(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(ownWAL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open wal: %w", err)
+	}
+	d.wal = f
+	return d, nil
+}
+
+func checkManifest(dir string) error {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err == nil && strings.TrimSpace(string(data)) == diskFormat {
+		return nil
+	}
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobstore: read manifest: %w", err)
+	}
+	// Unknown or missing format: drop any stale store files and stamp
+	// the directory with the current format.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("jobstore: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, walPrefix) || strings.HasPrefix(name, snapPrefix) {
+			if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("jobstore: clear stale store: %w", err)
+			}
+		}
+	}
+	return writeFileAtomic(path, []byte(diskFormat+"\n"))
+}
+
+// nodeStem turns a node id into a filesystem-safe, collision-resistant
+// filename fragment: sanitized name plus an FNV-1a disambiguator.
+func nodeStem(node string) string {
+	var b strings.Builder
+	for _, r := range node {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	return fmt.Sprintf("%s-%08x", b.String(), h.Sum32())
+}
+
+// loadSnapshot absorbs a snapshot file into the table and returns its
+// sequence watermark. Missing files are fine (fresh node).
+func (d *Disk) loadSnapshot(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("jobstore: read snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil || snap.Format != diskFormat {
+		// A torn snapshot cannot happen under rename discipline; treat
+		// garbage as absent rather than refusing to start.
+		return 0, nil
+	}
+	for _, j := range snap.Jobs {
+		d.t.absorb(j)
+	}
+	return snap.LastSeq, nil
+}
+
+// loadWAL replays a WAL file, skipping records at or below the
+// watermark, and returns the highest sequence seen. Replay stops at
+// the first torn line (a crash mid-append); everything before it is
+// kept.
+func (d *Disk) loadWAL(path string, watermark uint64) (uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("jobstore: read wal: %w", err)
+	}
+	defer f.Close()
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		if rec.Seq <= watermark {
+			continue
+		}
+		d.t.absorb(rec.Job)
+	}
+	return maxSeq, nil
+}
+
+// refreshLocked folds in sibling files that appeared or changed since
+// the last read. Callers hold d.mu.
+func (d *Disk) refreshLocked() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("jobstore: scan dir: %w", err)
+	}
+	ownSnap := snapPrefix + d.stem + snapSuffix
+	ownWAL := walPrefix + d.stem + walSuffix
+	// Snapshots first so each sibling's watermark is current before its
+	// WAL replays.
+	var walNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if name == ownSnap || name == ownWAL {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+			path := filepath.Join(d.dir, name)
+			stamp, fresh := d.changed(path, e)
+			if !fresh {
+				continue
+			}
+			var snap snapshotFile
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue // sibling may be mid-rename; next refresh catches it
+			}
+			if json.Unmarshal(data, &snap) != nil || snap.Format != diskFormat {
+				continue
+			}
+			d.stamps[path] = stamp
+			for _, j := range snap.Jobs {
+				d.t.absorb(j)
+			}
+			stem := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+			if snap.LastSeq > d.siblingSeqs[stem] {
+				d.siblingSeqs[stem] = snap.LastSeq
+			}
+		case strings.HasPrefix(name, walPrefix) && strings.HasSuffix(name, walSuffix):
+			walNames = append(walNames, name)
+		}
+	}
+	for _, name := range walNames {
+		path := filepath.Join(d.dir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime().UnixNano()}
+		if d.stamps[path] == stamp {
+			continue
+		}
+		stem := strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix)
+		if _, err := d.loadWAL(path, d.siblingSeqs[stem]); err != nil {
+			return err
+		}
+		d.stamps[path] = stamp
+	}
+	return nil
+}
+
+// changed stats a sibling file and reports whether it differs from
+// the last successfully loaded version; the caller records the stamp
+// once the load succeeds.
+func (d *Disk) changed(path string, e os.DirEntry) (fileStamp, bool) {
+	fi, err := e.Info()
+	if err != nil {
+		return fileStamp{}, false
+	}
+	stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime().UnixNano()}
+	return stamp, d.stamps[path] != stamp
+}
+
+// appendLocked writes one mutation to the WAL and compacts when the
+// log is due. Callers hold d.mu.
+func (d *Disk) appendLocked(j Job) error {
+	d.seq++
+	rec := walRecord{Seq: d.seq, Job: j}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode wal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := d.wal.Write(line); err != nil {
+		return fmt.Errorf("jobstore: append wal: %w", err)
+	}
+	d.walRecords++
+	if d.walRecords >= compactEvery {
+		if err := d.compactLocked(); err != nil {
+			return err
+		}
+		// Re-open a fresh, truncated log.
+		if err := d.wal.Close(); err != nil {
+			return fmt.Errorf("jobstore: rotate wal: %w", err)
+		}
+		path := filepath.Join(d.dir, walPrefix+d.stem+walSuffix)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("jobstore: rotate wal: %w", err)
+		}
+		d.wal = f
+	}
+	return nil
+}
+
+// compactLocked folds the current table into this node's snapshot and
+// truncates the WAL. Snapshot first (atomic rename), truncate second:
+// a crash between the two leaves a stale WAL whose records are all at
+// or below the snapshot watermark, which replay skips.
+func (d *Disk) compactLocked() error {
+	// Plain Marshal, not MarshalIndent: indenting would rewrite the
+	// embedded canonical spec bytes, and those must survive verbatim.
+	snap := snapshotFile{Format: diskFormat, Node: d.node, LastSeq: d.seq, Jobs: d.t.list()}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode snapshot: %w", err)
+	}
+	snapPath := filepath.Join(d.dir, snapPrefix+d.stem+snapSuffix)
+	if err := writeFileAtomic(snapPath, data); err != nil {
+		return err
+	}
+	walPath := filepath.Join(d.dir, walPrefix+d.stem+walSuffix)
+	if err := os.Truncate(walPath, 0); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobstore: truncate wal: %w", err)
+	}
+	d.walRecords = 0
+	d.compactions++
+	return nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobstore: rename: %w", err)
+	}
+	return nil
+}
+
+// RecoveredJobs reports how many non-terminal jobs were found in the
+// directory when this store opened — the number the serve layer logs
+// as its recovery line.
+func (d *Disk) RecoveredJobs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovered
+}
+
+// Compactions reports how many snapshot compactions this store has
+// performed (including the one at open and the one at close).
+func (d *Disk) Compactions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactions
+}
+
+// Put implements Store.
+func (d *Disk) Put(j Job) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.refreshLocked(); err != nil {
+		return err
+	}
+	row, changed := d.t.put(j, time.Now())
+	if !changed {
+		return nil
+	}
+	return d.appendLocked(row)
+}
+
+// Get implements Store.
+func (d *Disk) Get(hash string) (Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.closed {
+		_ = d.refreshLocked()
+	}
+	j, ok := d.t.jobs[hash]
+	return j, ok
+}
+
+// List implements Store.
+func (d *Disk) List() []Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.closed {
+		_ = d.refreshLocked()
+	}
+	return d.t.list()
+}
+
+// Claim implements Store.
+func (d *Disk) Claim(node, hash string, now time.Time, ttl time.Duration) (Job, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return Job{}, ErrClosed
+	}
+	if err := d.refreshLocked(); err != nil {
+		return Job{}, err
+	}
+	j, err := d.t.claim(node, hash, now, ttl)
+	if err != nil {
+		return Job{}, err
+	}
+	if err := d.appendLocked(j); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// Heartbeat implements Store.
+func (d *Disk) Heartbeat(hash, node string, now time.Time, ttl time.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	j, err := d.t.heartbeat(hash, node, now, ttl)
+	if err != nil {
+		return err
+	}
+	return d.appendLocked(j)
+}
+
+// Complete implements Store.
+func (d *Disk) Complete(hash, node, status, errMsg string, now time.Time) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.refreshLocked(); err != nil {
+		return err
+	}
+	j, changed, err := d.t.complete(hash, node, status, errMsg, now)
+	if err != nil || !changed {
+		return err
+	}
+	return d.appendLocked(j)
+}
+
+// Close implements Store: compact the WAL into a final snapshot and
+// close the log, so a clean shutdown leaves nothing to replay.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.compactLocked()
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

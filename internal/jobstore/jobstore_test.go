@@ -1,0 +1,241 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1700000000, 0)
+
+func mkJob(hash string, at time.Time) Job {
+	return Job{
+		Hash:      hash,
+		Spec:      json.RawMessage(`{"pynamic_spec":"v1","kind":"run"}`),
+		Submitted: at.UnixNano(),
+	}
+}
+
+func TestMemoryPutGetList(t *testing.T) {
+	m := NewMemory()
+	if err := m.Put(mkJob("b", t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(mkJob("a", t0)); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := m.Get("a")
+	if !ok || j.Status != StatusQueued || j.Attempt != 0 {
+		t.Fatalf("Get(a) = %+v ok=%v", j, ok)
+	}
+	list := m.List()
+	if len(list) != 2 || list[0].Hash != "a" || list[1].Hash != "b" {
+		t.Fatalf("List order wrong: %+v", list)
+	}
+}
+
+func TestPutIsIdempotentWhilePending(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	before, _ := m.Get("x")
+	must(t, m.Put(mkJob("x", t0)))
+	after, _ := m.Get("x")
+	if !sameRow(before, after) {
+		t.Fatalf("re-Put of queued job changed row: %+v vs %+v", before, after)
+	}
+	if _, err := m.Claim("n1", "x", t0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	must(t, m.Put(mkJob("x", t0)))
+	j, _ := m.Get("x")
+	if j.Status != StatusRunning || j.Owner != "n1" {
+		t.Fatalf("Put over running job must be a no-op: %+v", j)
+	}
+}
+
+func TestPutRequeuesFailed(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	j, err := m.Claim("n1", "x", t0, time.Minute)
+	if err != nil || j.Attempt != 1 {
+		t.Fatalf("claim: %+v err=%v", j, err)
+	}
+	must(t, m.Complete("x", "n1", StatusFailed, "boom", t0.Add(time.Second)))
+	must(t, m.Put(mkJob("x", t0)))
+	j, _ = m.Get("x")
+	if j.Status != StatusQueued || j.Attempt != 2 || j.Error != "" || j.Owner != "" {
+		t.Fatalf("failed job not re-queued cleanly: %+v", j)
+	}
+}
+
+func TestDoneIsAbsorbing(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	if _, err := m.Claim("n1", "x", t0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	must(t, m.Complete("x", "n1", StatusDone, "", t0.Add(time.Second)))
+	// Re-put, claim, and late non-done completion must all be no-ops.
+	must(t, m.Put(mkJob("x", t0)))
+	if _, err := m.Claim("n2", "x", t0, time.Minute); !errors.Is(err, ErrNotClaimable) {
+		t.Fatalf("claim of done job: err=%v", err)
+	}
+	must(t, m.Complete("x", "n2", StatusFailed, "late", t0.Add(2*time.Second)))
+	j, _ := m.Get("x")
+	if j.Status != StatusDone || j.Error != "" {
+		t.Fatalf("done not absorbing: %+v", j)
+	}
+}
+
+func TestClaimHeartbeatComplete(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	ttl := time.Minute
+	j, err := m.Claim("n1", "x", t0, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != StatusRunning || j.Owner != "n1" || j.LeaseExpiry != t0.Add(ttl).UnixNano() {
+		t.Fatalf("claim row: %+v", j)
+	}
+	// Another node cannot claim or heartbeat while the lease is live.
+	if _, err := m.Claim("n2", "x", t0.Add(time.Second), ttl); !errors.Is(err, ErrNotClaimable) {
+		t.Fatalf("live lease stolen: err=%v", err)
+	}
+	if err := m.Heartbeat("x", "n2", t0.Add(time.Second), ttl); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign heartbeat: err=%v", err)
+	}
+	must(t, m.Heartbeat("x", "n1", t0.Add(30*time.Second), ttl))
+	j, _ = m.Get("x")
+	if j.LeaseExpiry != t0.Add(30*time.Second+ttl).UnixNano() {
+		t.Fatalf("heartbeat did not extend lease: %+v", j)
+	}
+	// The foreign node cannot fail someone else's running job.
+	if err := m.Complete("x", "n2", StatusFailed, "nope", t0.Add(40*time.Second)); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign fail: err=%v", err)
+	}
+	must(t, m.Complete("x", "n1", StatusDone, "", t0.Add(time.Minute)))
+	j, _ = m.Get("x")
+	if j.Status != StatusDone || j.LeaseExpiry != 0 {
+		t.Fatalf("complete: %+v", j)
+	}
+}
+
+func TestLeaseExpirySteal(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	ttl := 10 * time.Second
+	if _, err := m.Claim("n1", "x", t0, ttl); err != nil {
+		t.Fatal(err)
+	}
+	steal := t0.Add(ttl) // expiry instant itself is stealable
+	j, err := m.Claim("n2", "x", steal, ttl)
+	if err != nil {
+		t.Fatalf("steal after expiry: %v", err)
+	}
+	if j.Owner != "n2" || j.Attempt != 2 || j.LeaseExpiry != steal.Add(ttl).UnixNano() {
+		t.Fatalf("steal row: %+v", j)
+	}
+}
+
+func TestOwnerMayReclaimOwnRunningJob(t *testing.T) {
+	// A restarted process re-adopts its own running claims without
+	// waiting out the lease.
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	if _, err := m.Claim("n1", "x", t0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Claim("n1", "x", t0.Add(time.Second), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Attempt != 2 || j.Owner != "n1" {
+		t.Fatalf("re-claim row: %+v", j)
+	}
+}
+
+func TestWildcardClaimTakesOldest(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("young", t0.Add(time.Minute))))
+	must(t, m.Put(mkJob("old", t0)))
+	j, err := m.Claim("n1", "", t0.Add(2*time.Minute), time.Minute)
+	if err != nil || j.Hash != "old" {
+		t.Fatalf("wildcard claim = %+v err=%v, want old", j, err)
+	}
+	j, err = m.Claim("n1", "", t0.Add(2*time.Minute), time.Minute)
+	if err != nil || j.Hash != "young" {
+		t.Fatalf("second wildcard claim = %+v err=%v, want young", j, err)
+	}
+	if _, err := m.Claim("n1", "", t0.Add(2*time.Minute), time.Minute); !errors.Is(err, ErrNotClaimable) {
+		t.Fatalf("empty wildcard claim err=%v", err)
+	}
+}
+
+func TestCancelQueuedWithoutClaim(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	must(t, m.Complete("x", "n1", StatusCanceled, "canceled by client", t0.Add(time.Second)))
+	j, _ := m.Get("x")
+	if j.Status != StatusCanceled {
+		t.Fatalf("cancel queued: %+v", j)
+	}
+}
+
+func TestCompleteUnknown(t *testing.T) {
+	m := NewMemory()
+	if err := m.Complete("nope", "n1", StatusDone, "", t0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	m := NewMemory()
+	must(t, m.Put(mkJob("x", t0)))
+	must(t, m.Close())
+	if err := m.Put(mkJob("y", t0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, ok := m.Get("x"); !ok {
+		t.Fatal("reads must survive close")
+	}
+}
+
+func TestMergeRule(t *testing.T) {
+	base := Job{Hash: "h", Submitted: 1}
+	j := func(status string, attempt int, updated int64, owner string) Job {
+		r := base
+		r.Status, r.Attempt, r.Updated, r.Owner = status, attempt, updated, owner
+		return r
+	}
+	cases := []struct {
+		name string
+		a, b Job
+		want Job
+	}{
+		{"done dominates higher attempt", j(StatusDone, 1, 5, "a"), j(StatusRunning, 9, 9, "b"), j(StatusDone, 1, 5, "a")},
+		{"higher attempt wins", j(StatusQueued, 3, 1, "a"), j(StatusRunning, 2, 9, "b"), j(StatusQueued, 3, 1, "a")},
+		{"status rank breaks attempt tie", j(StatusRunning, 2, 1, "a"), j(StatusQueued, 2, 9, "b"), j(StatusRunning, 2, 1, "a")},
+		{"recency breaks status tie", j(StatusRunning, 2, 9, "a"), j(StatusRunning, 2, 1, "b"), j(StatusRunning, 2, 9, "a")},
+		{"owner breaks full tie", j(StatusRunning, 2, 5, "zz"), j(StatusRunning, 2, 5, "aa"), j(StatusRunning, 2, 5, "zz")},
+	}
+	for _, c := range cases {
+		got := mergeJob(c.a, c.b)
+		if !sameRow(got, c.want) {
+			t.Errorf("%s: mergeJob(a,b) = %+v, want %+v", c.name, got, c.want)
+		}
+		// Symmetry: argument order must not matter.
+		got = mergeJob(c.b, c.a)
+		if !sameRow(got, c.want) {
+			t.Errorf("%s (swapped): mergeJob(b,a) = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

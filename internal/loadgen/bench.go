@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 )
 
 // BenchSchema is the BENCH_*.json trajectory schema identifier. A
@@ -39,6 +40,12 @@ type BenchCell struct {
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	DedupRatio    float64 `json:"dedup_ratio"`
 	StoreHitRatio float64 `json:"store_hit_ratio,omitempty"`
+	// FleetForwardRatio and FleetSteals record fleet-mode counters:
+	// -1 when the cell's target exported no fleet_* keys (single
+	// replica, or files written before the fleet existed, which decode
+	// as 0 — a fleet that measured nothing).
+	FleetForwardRatio float64 `json:"fleet_forward_ratio,omitempty"`
+	FleetSteals       float64 `json:"fleet_steals,omitempty"`
 }
 
 // BenchFile is one committed BENCH_*.json document.
@@ -65,26 +72,60 @@ func NewBench(pr string, res *SweepResult) *BenchFile {
 			b.Specs, b.Seed = c.Config.Specs, c.Config.Seed
 		}
 		b.Cells = append(b.Cells, BenchCell{
-			Mode:          c.Config.Mode,
-			Concurrency:   c.Config.Concurrency,
-			RatePerSec:    c.Config.RatePerSec,
-			Skew:          c.Config.Skew,
-			CacheSize:     c.Config.CacheSize,
-			Requests:      c.Requests,
-			Errors:        c.Errors,
-			ElapsedSec:    c.ElapsedSec,
-			ThroughputRPS: c.ThroughputRPS,
-			P50Ms:         c.Latency.P50Ms,
-			P95Ms:         c.Latency.P95Ms,
-			P99Ms:         c.Latency.P99Ms,
-			MaxMs:         c.Latency.MaxMs,
-			MeanMs:        c.Latency.MeanMs,
-			CacheHitRatio: c.CacheHitRatio,
-			DedupRatio:    c.DedupRatio,
-			StoreHitRatio: c.StoreHitRatio,
+			Mode:              c.Config.Mode,
+			Concurrency:       c.Config.Concurrency,
+			RatePerSec:        c.Config.RatePerSec,
+			Skew:              c.Config.Skew,
+			CacheSize:         c.Config.CacheSize,
+			Requests:          c.Requests,
+			Errors:            c.Errors,
+			ElapsedSec:        c.ElapsedSec,
+			ThroughputRPS:     c.ThroughputRPS,
+			P50Ms:             c.Latency.P50Ms,
+			P95Ms:             c.Latency.P95Ms,
+			P99Ms:             c.Latency.P99Ms,
+			MaxMs:             c.Latency.MaxMs,
+			MeanMs:            c.Latency.MeanMs,
+			CacheHitRatio:     c.CacheHitRatio,
+			DedupRatio:        c.DedupRatio,
+			StoreHitRatio:     c.StoreHitRatio,
+			FleetForwardRatio: c.FleetForwardRatio,
+			FleetSteals:       c.FleetSteals,
 		})
 	}
 	return b
+}
+
+// MergeBench concatenates the cells of several trajectory files into
+// one document labeled pr — how a committed trajectory combines the
+// in-process sweep with cells measured against a live fleet. The files
+// must agree on the request mix (specs, seed): cells from different
+// mixes are not comparable rows of one grid. Stamp comes from the
+// first file; Target joins the distinct targets in order.
+func MergeBench(pr string, files ...*BenchFile) (*BenchFile, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("bench: merge: no files")
+	}
+	out := &BenchFile{
+		Schema: BenchSchema, PR: pr, Stamp: files[0].Stamp,
+		Specs: files[0].Specs, Seed: files[0].Seed,
+	}
+	var targets []string
+	for _, f := range files {
+		if f.Specs != out.Specs || f.Seed != out.Seed {
+			return nil, fmt.Errorf("bench: merge: request-mix mismatch (specs %d seed %d vs specs %d seed %d)",
+				f.Specs, f.Seed, out.Specs, out.Seed)
+		}
+		if n := len(targets); n == 0 || targets[n-1] != f.Target {
+			targets = append(targets, f.Target)
+		}
+		out.Cells = append(out.Cells, f.Cells...)
+	}
+	out.Target = strings.Join(targets, " + ")
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Validate checks the document against the schema's structural rules.
@@ -155,11 +196,14 @@ func (c BenchCell) validate() error {
 	}
 	for name, v := range map[string]float64{
 		"cache_hit_ratio": c.CacheHitRatio, "dedup_ratio": c.DedupRatio,
-		"store_hit_ratio": c.StoreHitRatio,
+		"store_hit_ratio": c.StoreHitRatio, "fleet_forward_ratio": c.FleetForwardRatio,
 	} {
 		if v != -1 && (v < 0 || v > 1) {
 			return fmt.Errorf("%s %v outside [0,1] (or -1 for unavailable)", name, v)
 		}
+	}
+	if v := c.FleetSteals; math.IsNaN(v) || math.IsInf(v, 0) || (v != -1 && v < 0) {
+		return fmt.Errorf("fleet_steals %v is not a non-negative count (or -1 for unavailable)", v)
 	}
 	return nil
 }

@@ -67,6 +67,41 @@ func TestBenchValidate(t *testing.T) {
 	}
 }
 
+// TestMergeBench: merging keeps every cell, joins distinct targets,
+// takes provenance from the first file, and refuses to mix request
+// mixes (cells from different mixes are not one grid).
+func TestMergeBench(t *testing.T) {
+	base := goodBench()
+	fleetFile := goodBench()
+	fleetFile.Target = "2-replica fleet"
+	fleetFile.Stamp = "2026-01-02T00:00:00Z"
+	fleetFile.Cells[0].FleetForwardRatio = 0.5
+	fleetFile.Cells[0].FleetSteals = 1
+
+	m, err := MergeBench("pr9", base, fleetFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PR != "pr9" || m.Stamp != base.Stamp || m.Specs != 16 || m.Seed != 1 {
+		t.Fatalf("merged provenance %+v", m)
+	}
+	if m.Target != "engine + 2-replica fleet" {
+		t.Fatalf("merged target %q", m.Target)
+	}
+	if len(m.Cells) != 2 || m.Cells[1].FleetSteals != 1 {
+		t.Fatalf("merged cells %+v", m.Cells)
+	}
+
+	if _, err := MergeBench("pr9"); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	other := goodBench()
+	other.Seed = 2
+	if _, err := MergeBench("pr9", base, other); err == nil {
+		t.Fatal("request-mix mismatch accepted")
+	}
+}
+
 // TestBenchParseStrict checks that the decoder rejects what the
 // validator cannot see: unknown fields, trailing data, and syntax.
 func TestBenchParseStrict(t *testing.T) {

@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	pynamic "repro"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+// fleetPair starts two serve replicas wired into one hash-ring fleet
+// (in-memory job stores — forwarding needs no shared disk).
+func fleetPair(t *testing.T) (*httptest.Server, *httptest.Server) {
+	t.Helper()
+	mk := func(node string) (*serve.Server, *httptest.Server) {
+		eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv := serve.New(eng, serve.Options{NodeID: node})
+		ts := httptest.NewServer(sv.Handler())
+		t.Cleanup(func() { ts.Close(); sv.Close() })
+		return sv, ts
+	}
+	svA, tsA := mk("a")
+	svB, tsB := mk("b")
+	members := []string{tsA.URL, tsB.URL}
+	flA, err := fleet.New(tsA.URL, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flB, err := fleet.New(tsB.URL, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svA.UseFleet(flA)
+	svB.UseFleet(flB)
+	return tsA, tsB
+}
+
+// TestMultiTargetFleetCell drives a two-replica fleet round-robin and
+// checks the fleet columns flip from the -1 sentinel to real values —
+// the presence of fleet_* keys in the summed scrape is the signal.
+func TestMultiTargetFleetCell(t *testing.T) {
+	tsA, tsB := fleetPair(t)
+	mt, err := NewMultiTarget([]string{tsA.URL, tsB.URL}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	if mt.Name() != tsA.URL+","+tsB.URL {
+		t.Fatalf("multi-target name %q", mt.Name())
+	}
+
+	mix, err := DefaultMix(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := RunCell(context.Background(), mt, mix, testCell(12, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCell(t, cell, 12)
+	// Fleet columns are measured, not sentinel: the summed scrape
+	// carries the fleet_* keys both replicas export.
+	if cell.FleetForwardRatio < 0 || cell.FleetForwardRatio > 1 {
+		t.Fatalf("fleet forward ratio %v, want a real [0,1] measurement", cell.FleetForwardRatio)
+	}
+	if cell.FleetSteals < 0 {
+		t.Fatalf("fleet steals %v, want a real count", cell.FleetSteals)
+	}
+	if cell.MetricsDelta["fleet_members"] != 0 {
+		t.Fatalf("fleet_members moved by %v during the cell", cell.MetricsDelta["fleet_members"])
+	}
+	// Every accepted submission is counted exactly once, at the replica
+	// that executed it — forwarding must not double-count.
+	if got := cell.MetricsDelta["specs_submitted"]; got != 12 {
+		t.Fatalf("specs_submitted delta %v across the fleet, want 12", got)
+	}
+}
+
+// TestMultiTargetFailover: a fleet list with a dead replica still
+// completes every request — each Do retries in full on the next
+// replica — and the single-replica sentinel stays -1 against a target
+// with no fleet configured.
+func TestMultiTargetFailover(t *testing.T) {
+	eng, err := pynamic.New(pynamic.WithWorkloadCacheSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := serve.New(eng, serve.Options{})
+	ts := httptest.NewServer(sv.Handler())
+	defer func() { ts.Close(); sv.Close() }()
+
+	mix, err := DefaultMix(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := NewMultiTarget([]string{"http://127.0.0.1:1", ts.URL}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	cell, err := RunCell(context.Background(), mt, mix, testCell(8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Requests != 8 || cell.Errors != 0 {
+		t.Fatalf("failover cell: %d requests %d errors, want 8/0", cell.Requests, cell.Errors)
+	}
+	// The dead replica also kills the metrics scrape (a partial fleet
+	// sum would lie), so every ratio is the unavailable sentinel.
+	if cell.FleetForwardRatio != -1 || cell.FleetSteals != -1 || cell.DedupRatio != -1 {
+		t.Fatalf("ratios %v/%v/%v, want -1 sentinels without a full scrape",
+			cell.FleetForwardRatio, cell.FleetSteals, cell.DedupRatio)
+	}
+
+	// Against the healthy replica alone (no fleet configured on the
+	// server), the fleet keys are absent and the sentinel is exact.
+	single := NewHTTPTarget(ts.URL, time.Millisecond)
+	defer single.Close()
+	cell, err = RunCell(context.Background(), single, mix, testCell(8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.FleetForwardRatio != -1 || cell.FleetSteals != -1 {
+		t.Fatalf("fleet ratios %v/%v from a fleet-less server, want -1",
+			cell.FleetForwardRatio, cell.FleetSteals)
+	}
+}

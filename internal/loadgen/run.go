@@ -131,6 +131,15 @@ type CellResult struct {
 	// (store_hits / (store_hits+store_misses) deltas; -1 when the
 	// target has no store attached or it saw no traffic).
 	StoreHitRatio float64 `json:"store_hit_ratio"`
+	// FleetForwardRatio is the fraction of accepted spec submissions
+	// that reached their executor via hash-ring forwarding
+	// (fleet_forwarded / specs_submitted deltas). FleetSteals is the
+	// raw count of lease takeovers during the cell. Both are -1 when
+	// the target exports no fleet_* keys — the serving layer only
+	// exports them when a fleet is configured, so key *presence* (not
+	// value) is the fleet-mode sentinel.
+	FleetForwardRatio float64 `json:"fleet_forward_ratio"`
+	FleetSteals       float64 `json:"fleet_steals"`
 	// MetricsDelta is the raw counter movement over the cell (after
 	// minus before), for anything the ratios above do not cover.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
@@ -209,33 +218,45 @@ func RunCell(ctx context.Context, t Target, mix Mix, cfg CellConfig) (*CellResul
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(res.Requests) / elapsed
 	}
-	res.CacheHitRatio, res.DedupRatio, res.StoreHitRatio, res.MetricsDelta = counterDeltas(before, after)
+	res.applyCounterDeltas(before, after)
 	return res, runErr
 }
 
-// counterDeltas derives the cell's hit/dedup/store ratios from the
-// counter snapshots that bracket it.
-func counterDeltas(before, after map[string]float64) (hitRatio, dedupRatio, storeRatio float64, delta map[string]float64) {
-	hitRatio, dedupRatio, storeRatio = -1, -1, -1
+// applyCounterDeltas derives the cell's ratio columns from the counter
+// snapshots that bracket it. Every ratio defaults to the -1 "target
+// reported nothing for this dimension" sentinel.
+func (res *CellResult) applyCounterDeltas(before, after map[string]float64) {
+	res.CacheHitRatio, res.DedupRatio, res.StoreHitRatio = -1, -1, -1
+	res.FleetForwardRatio, res.FleetSteals = -1, -1
 	if before == nil || after == nil {
-		return hitRatio, dedupRatio, storeRatio, nil
+		return
 	}
-	delta = make(map[string]float64, len(after))
+	delta := make(map[string]float64, len(after))
 	for k, v := range after {
 		delta[k] = v - before[k]
 	}
 	hits, misses := delta["workload_cache_hits"], delta["workload_cache_misses"]
 	if hits+misses > 0 {
-		hitRatio = hits / (hits + misses)
+		res.CacheHitRatio = hits / (hits + misses)
 	}
 	if submitted := delta["specs_submitted"]; submitted > 0 {
-		dedupRatio = delta["specs_deduped"] / submitted
+		res.DedupRatio = delta["specs_deduped"] / submitted
 	}
 	sh, sm := delta["store_hits"], delta["store_misses"]
 	if sh+sm > 0 {
-		storeRatio = sh / (sh + sm)
+		res.StoreHitRatio = sh / (sh + sm)
 	}
-	return hitRatio, dedupRatio, storeRatio, delta
+	// Fleet columns key on presence, not value: a fleet that forwarded
+	// and stole nothing still measured 0, which is not the same claim
+	// as "no fleet to measure".
+	if _, fleet := after["fleet_forwarded"]; fleet {
+		res.FleetForwardRatio = 0
+		if submitted := delta["specs_submitted"]; submitted > 0 {
+			res.FleetForwardRatio = delta["fleet_forwarded"] / submitted
+		}
+		res.FleetSteals = delta["fleet_steals"]
+	}
+	res.MetricsDelta = delta
 }
 
 // budget hands out request permits when the cell is request-bounded.

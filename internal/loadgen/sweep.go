@@ -26,6 +26,9 @@ type SweepConfig struct {
 	// base URL, or "" for a fresh in-process Engine per cell (the only
 	// mode where the CacheSizes axis is actually applied).
 	TargetURL string `json:"target_url,omitempty"`
+	// TargetURLs drives a fleet of replicas round-robin with failover
+	// (see MultiTarget). When set it wins over TargetURL.
+	TargetURLs []string `json:"target_urls,omitempty"`
 	// CacheDir, when non-empty, attaches the persistent store to every
 	// in-process engine (ignored against a live target, which owns its
 	// own -cache-dir). Because the directory is shared across cells,
@@ -83,8 +86,21 @@ func RunSweep(ctx context.Context, sc SweepConfig, logf func(format string, args
 	res := &SweepResult{Stamp: time.Now().UTC().Format(time.RFC3339)}
 
 	var shared Target
-	if sc.TargetURL != "" {
-		shared = NewHTTPTarget(sc.TargetURL, sc.PollInterval)
+	urls := sc.TargetURLs
+	if len(urls) == 0 && sc.TargetURL != "" {
+		urls = []string{sc.TargetURL}
+	}
+	switch {
+	case len(urls) == 1:
+		shared = NewHTTPTarget(urls[0], sc.PollInterval)
+	case len(urls) > 1:
+		mt, err := NewMultiTarget(urls, sc.PollInterval)
+		if err != nil {
+			return nil, err
+		}
+		shared = mt
+	}
+	if shared != nil {
 		defer shared.Close()
 		res.Target = shared.Name()
 	} else {
@@ -160,42 +176,57 @@ func WriteRun(dir string, res *SweepResult) ([]string, error) {
 	return append(files, cp), nil
 }
 
+// ff formats a float for CSV cells.
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// cellColumns is the single definition of cells.csv: one entry per
+// column, in order. The header row and every data row are both derived
+// from this table, so a new column cannot ship with a mismatched (or
+// forgotten) header.
+var cellColumns = []struct {
+	name  string
+	value func(c CellResult) string
+}{
+	{"mode", func(c CellResult) string { return c.Config.Mode }},
+	{"concurrency", func(c CellResult) string { return strconv.Itoa(c.Config.Concurrency) }},
+	{"rate_per_sec", func(c CellResult) string { return ff(c.Config.RatePerSec) }},
+	{"skew", func(c CellResult) string { return ff(c.Config.Skew) }},
+	{"cache_size", func(c CellResult) string { return strconv.Itoa(c.Config.CacheSize) }},
+	{"specs", func(c CellResult) string { return strconv.Itoa(c.Config.Specs) }},
+	{"seed", func(c CellResult) string { return strconv.FormatUint(c.Config.Seed, 10) }},
+	{"requests", func(c CellResult) string { return strconv.Itoa(c.Requests) }},
+	{"errors", func(c CellResult) string { return strconv.Itoa(c.Errors) }},
+	{"elapsed_sec", func(c CellResult) string { return ff(c.ElapsedSec) }},
+	{"throughput_rps", func(c CellResult) string { return ff(c.ThroughputRPS) }},
+	{"p50_ms", func(c CellResult) string { return ff(c.Latency.P50Ms) }},
+	{"p95_ms", func(c CellResult) string { return ff(c.Latency.P95Ms) }},
+	{"p99_ms", func(c CellResult) string { return ff(c.Latency.P99Ms) }},
+	{"max_ms", func(c CellResult) string { return ff(c.Latency.MaxMs) }},
+	{"mean_ms", func(c CellResult) string { return ff(c.Latency.MeanMs) }},
+	{"cache_hit_ratio", func(c CellResult) string { return ff(c.CacheHitRatio) }},
+	{"dedup_ratio", func(c CellResult) string { return ff(c.DedupRatio) }},
+	{"store_hit_ratio", func(c CellResult) string { return ff(c.StoreHitRatio) }},
+	{"fleet_forward_ratio", func(c CellResult) string { return ff(c.FleetForwardRatio) }},
+	{"fleet_steals", func(c CellResult) string { return ff(c.FleetSteals) }},
+}
+
 func writeCellsCSV(path string, cells []CellResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := csv.NewWriter(f)
-	header := []string{
-		"mode", "concurrency", "rate_per_sec", "skew", "cache_size", "specs", "seed",
-		"requests", "errors", "elapsed_sec", "throughput_rps",
-		"p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms",
-		"cache_hit_ratio", "dedup_ratio", "store_hit_ratio",
+	header := make([]string, len(cellColumns))
+	for i, col := range cellColumns {
+		header[i] = col.name
 	}
 	rows := [][]string{header}
-	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range cells {
-		rows = append(rows, []string{
-			c.Config.Mode,
-			strconv.Itoa(c.Config.Concurrency),
-			ff(c.Config.RatePerSec),
-			ff(c.Config.Skew),
-			strconv.Itoa(c.Config.CacheSize),
-			strconv.Itoa(c.Config.Specs),
-			strconv.FormatUint(c.Config.Seed, 10),
-			strconv.Itoa(c.Requests),
-			strconv.Itoa(c.Errors),
-			ff(c.ElapsedSec),
-			ff(c.ThroughputRPS),
-			ff(c.Latency.P50Ms),
-			ff(c.Latency.P95Ms),
-			ff(c.Latency.P99Ms),
-			ff(c.Latency.MaxMs),
-			ff(c.Latency.MeanMs),
-			ff(c.CacheHitRatio),
-			ff(c.DedupRatio),
-			ff(c.StoreHitRatio),
-		})
+		row := make([]string, len(cellColumns))
+		for i, col := range cellColumns {
+			row[i] = col.value(c)
+		}
+		rows = append(rows, row)
 	}
 	if err := w.WriteAll(rows); err != nil {
 		f.Close()

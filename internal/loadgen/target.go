@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	pynamic "repro"
@@ -242,5 +243,85 @@ func (t *HTTPTarget) Metrics(ctx context.Context) (map[string]float64, error) {
 // Close implements Target.
 func (t *HTTPTarget) Close() error {
 	t.client.CloseIdleConnections()
+	return nil
+}
+
+// MultiTarget drives a fleet of pynamic-serve replicas: each Do is
+// dispatched to the next replica round-robin, and a failed Do is
+// retried in full on each remaining replica before the request counts
+// as an error — so a killed replica costs latency, not correctness,
+// exactly like a fleet-aware client. Metrics sums the replicas'
+// counter snapshots (sums of monotonic counters stay monotonic, so
+// cell deltas work unchanged); a key appears in the sum if any replica
+// exports it, which is how the fleet_* presence sentinel survives
+// aggregation.
+type MultiTarget struct {
+	targets []*HTTPTarget
+	next    atomic.Uint64
+}
+
+// NewMultiTarget points the harness at a fleet of base URLs.
+func NewMultiTarget(bases []string, pollInterval time.Duration) (*MultiTarget, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("loadgen: multi-target needs at least one base URL")
+	}
+	mt := &MultiTarget{}
+	for _, b := range bases {
+		mt.targets = append(mt.targets, NewHTTPTarget(b, pollInterval))
+	}
+	return mt, nil
+}
+
+// Name implements Target: the comma-joined replica list.
+func (t *MultiTarget) Name() string {
+	names := make([]string, len(t.targets))
+	for i, tg := range t.targets {
+		names[i] = tg.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// Do implements Target: round-robin with full-request failover. The
+// whole submit-and-await sequence is retried on the next replica —
+// content-addressed spec keys make the resubmission a dedup or a
+// sibling-visible store row, never duplicate work.
+func (t *MultiTarget) Do(ctx context.Context, e MixEntry) error {
+	start := int(t.next.Add(1)-1) % len(t.targets)
+	var lastErr error
+	for i := 0; i < len(t.targets); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := t.targets[(start+i)%len(t.targets)].Do(ctx, e); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Metrics implements Target: the element-wise sum of every replica's
+// scrape. All replicas must answer — a partial sum would make cell
+// deltas lie about the fleet.
+func (t *MultiTarget) Metrics(ctx context.Context) (map[string]float64, error) {
+	sum := map[string]float64{}
+	for _, tg := range t.targets {
+		m, err := tg.Metrics(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: scrape %s: %w", tg.Name(), err)
+		}
+		for k, v := range m {
+			sum[k] += v
+		}
+	}
+	return sum, nil
+}
+
+// Close implements Target.
+func (t *MultiTarget) Close() error {
+	for _, tg := range t.targets {
+		tg.Close()
+	}
 	return nil
 }

@@ -3,7 +3,15 @@ package serve
 import (
 	"net/http"
 	"sync/atomic"
+
+	"repro/internal/histo"
+	"repro/internal/jobstore"
 )
+
+// reqHistName is the histogram family recording wall-clock latency of
+// every HTTP request this server handles, labeled by route class. It
+// appears in Prometheus text form at GET /metrics.
+const reqHistName = "pynamic_serve_request_seconds"
 
 // counters is the server's lifetime counter set, exposed (together
 // with gauges derived from the record store and the engine's own
@@ -33,6 +41,18 @@ type counters struct {
 	// drainRejected counts submissions refused with 503 while the
 	// server was draining.
 	drainRejected atomic.Int64
+	// storeRecovered counts non-terminal job-store rows this server
+	// adopted during its startup recovery pass — queued or running work
+	// a previous process life (SIGKILL, crash) left behind.
+	storeRecovered atomic.Int64
+	// fleetForwarded counts spec submissions relayed to their ring
+	// owner; fleetForwardFallback counts submissions that fell back to
+	// local execution because the owner was unreachable; fleetSteals
+	// counts claims taken over from another node (lease expiry or
+	// orphaned queue rows). All zero without a fleet.
+	fleetForwarded       atomic.Int64
+	fleetForwardFallback atomic.Int64
+	fleetSteals          atomic.Int64
 }
 
 // countFinish bumps the per-outcome counter for one finished record.
@@ -95,7 +115,25 @@ func (s *Server) Metrics() map[string]float64 {
 	} else {
 		m["draining"] = 0
 	}
+	fl := s.fleet
 	s.mu.Unlock()
+
+	// Job-store counters are always present: even the default in-memory
+	// store backs dedup and recovery semantics.
+	m["jobstore_jobs"] = float64(len(s.store.List()))
+	m["jobstore_recovered"] = float64(s.ctr.storeRecovered.Load())
+	if d, ok := s.store.(*jobstore.Disk); ok {
+		m["jobstore_compactions"] = float64(d.Compactions())
+	}
+	// The fleet_* keys are exported only when a fleet is configured —
+	// their *presence* is the signal the load harness keys on to decide
+	// whether fleet columns are meaningful (-1 sentinel otherwise).
+	if fl != nil {
+		m["fleet_members"] = float64(len(fl.Members()))
+		m["fleet_forwarded"] = float64(s.ctr.fleetForwarded.Load())
+		m["fleet_forward_fallback"] = float64(s.ctr.fleetForwardFallback.Load())
+		m["fleet_steals"] = float64(s.ctr.fleetSteals.Load())
+	}
 
 	es := s.eng.Stats()
 	m["engine_generates"] = float64(es.Generates)
@@ -138,4 +176,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handlePromMetrics serves GET /metrics in Prometheus text exposition
+// format: the request- and engine-phase latency histograms first, then
+// every flat /v1/metrics counter re-exported as a pynamic_-prefixed
+// gauge, so one scrape endpoint covers the whole catalog.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.hist.WritePrometheus(w)
+	histo.WriteGauges(w, "pynamic_", s.Metrics())
 }

@@ -35,6 +35,10 @@
 //	                         per-phase simulated-time counters, workload
 //	                         cache hits/misses (see README.md for the
 //	                         catalog)
+//	GET    /metrics          Prometheus text exposition: per-route
+//	                         request-latency and per-phase engine
+//	                         histograms, plus every /v1/metrics counter
+//	                         re-exported as a pynamic_-prefixed gauge
 //	GET    /healthz          liveness probe
 //
 // Jobs run asynchronously: submission returns 202 with an id, and the
@@ -42,11 +46,24 @@
 // "canceled"). A bounded semaphore caps concurrently simulating jobs;
 // everything else queues.
 //
+// Spec submissions additionally flow through a jobstore.Store: every
+// accepted spec is recorded as a queued row before the 202 leaves the
+// server, workers claim rows under a heartbeat-renewed lease, and
+// completion is written back. With the disk store (-cache-dir) this
+// makes the queue durable — a SIGKILLed replica's rows are re-claimed
+// on restart, or by a live sibling sharing the directory once the
+// lease expires (see internal/jobstore and the steal loop in fleet.go).
+// In fleet mode (-peers) submissions are first routed to the replica
+// that owns the spec hash on the consistent-hash ring, falling back to
+// local execution when the owner is unreachable.
+//
 // Shutdown comes in two strengths: Close cancels every in-flight job
 // immediately, while Drain stops accepting new work (submissions get
 // 503) and waits for everything already admitted to finish —
 // cmd/pynamic-serve drains on SIGTERM so a redeploy never kills a job
-// mid-simulation.
+// mid-simulation. A clean drain also compacts and closes the job
+// store's WAL, so a SIGTERM-stopped replica restarts with nothing to
+// replay.
 package serve
 
 import (
@@ -58,8 +75,12 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	pynamic "repro"
+	"repro/internal/fleet"
+	"repro/internal/histo"
+	"repro/internal/jobstore"
 )
 
 // Job status values.
@@ -180,8 +201,30 @@ type Options struct {
 	// MaxHistory caps how many finished jobs (done/failed/canceled)
 	// are retained for polling (≤0 = 1000). The oldest finished
 	// records are evicted first; queued and running jobs are never
-	// evicted.
+	// evicted. Spec rows additionally live in the job store, so a
+	// pruned spec's status remains queryable.
 	MaxHistory int
+	// NodeID identifies this replica in the shared job store (claims,
+	// leases, WAL file names). Empty = "solo".
+	NodeID string
+	// Store is the job store backing spec submissions. Nil = a fresh
+	// in-memory store (solo serving; nothing survives the process).
+	Store jobstore.Store
+	// LeaseTTL is how long a claimed job may go without a heartbeat
+	// before siblings may steal it (≤0 = 15s).
+	LeaseTTL time.Duration
+	// StealInterval is how often the steal loop scans the store for
+	// expired leases and orphaned queued rows (≤0 = 1s).
+	StealInterval time.Duration
+	// Histograms receives per-request latencies and is rendered at
+	// GET /metrics. Nil = a private registry (the endpoint still
+	// works; pass a shared registry to also see engine phase
+	// histograms recorded via pynamic.WithPhaseObserver).
+	Histograms *histo.Registry
+	// Fleet, when non-nil, enables hash-ring routing of submissions
+	// across replicas. Tests that learn their URLs only after the
+	// listener starts can instead call UseFleet after New.
+	Fleet *fleet.Fleet
 }
 
 // Server routes the v1 API onto one shared Engine.
@@ -191,6 +234,17 @@ type Server struct {
 	stop       context.CancelFunc
 	sem        chan struct{}
 	maxHistory int
+
+	// Fleet-mode state: node identity, the job store every spec flows
+	// through, lease/steal timing, and the latency histograms.
+	node          string
+	store         jobstore.Store
+	leaseTTL      time.Duration
+	stealInterval time.Duration
+	hist          *histo.Registry
+	stealStop     chan struct{}
+	stealDone     chan struct{}
+	shutdownOnce  sync.Once
 
 	// ctr is the /v1/metrics counter set; workers tracks worker
 	// goroutines so Drain can wait them out.
@@ -202,16 +256,21 @@ type Server struct {
 	// so a submission is either fully admitted before Drain's Wait or
 	// refused — never half-admitted. Counter bumps that must stay
 	// consistent with record state (submissions, dedups, finishes)
-	// also commit under mu; Metrics snapshots under it. Lock order is
-	// s.mu before record.mu, never the reverse.
+	// also commit under mu; Metrics snapshots under it. The fleet
+	// pointer is read under it too (UseFleet may arrive after New).
+	// Lock order is s.mu before record.mu, never the reverse.
 	mu       sync.Mutex
 	draining bool
+	fleet    *fleet.Fleet
 	jobs     map[string]*record
 	order    []string
 	nextID   int
 }
 
-// New returns a Server over eng. Close releases its background work.
+// New returns a Server over eng. If the store holds recoverable work
+// (a durable store reopened after a crash), it is adopted before New
+// returns — Recovered reports how much, for the startup log. Close
+// releases the server's background work.
 func New(eng *pynamic.Engine, opts Options) *Server {
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = 2
@@ -219,26 +278,63 @@ func New(eng *pynamic.Engine, opts Options) *Server {
 	if opts.MaxHistory <= 0 {
 		opts.MaxHistory = 1000
 	}
-	base, stop := context.WithCancel(context.Background())
-	return &Server{
-		eng:        eng,
-		base:       base,
-		stop:       stop,
-		sem:        make(chan struct{}, opts.MaxConcurrent),
-		maxHistory: opts.MaxHistory,
-		jobs:       make(map[string]*record),
+	if opts.NodeID == "" {
+		opts.NodeID = "solo"
 	}
+	if opts.Store == nil {
+		opts.Store = jobstore.NewMemory()
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.StealInterval <= 0 {
+		opts.StealInterval = time.Second
+	}
+	if opts.Histograms == nil {
+		opts.Histograms = histo.NewRegistry()
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		eng:           eng,
+		base:          base,
+		stop:          stop,
+		sem:           make(chan struct{}, opts.MaxConcurrent),
+		maxHistory:    opts.MaxHistory,
+		node:          opts.NodeID,
+		store:         opts.Store,
+		leaseTTL:      opts.LeaseTTL,
+		stealInterval: opts.StealInterval,
+		hist:          opts.Histograms,
+		stealStop:     make(chan struct{}),
+		stealDone:     make(chan struct{}),
+		fleet:         opts.Fleet,
+		jobs:          make(map[string]*record),
+	}
+	s.hist.Register(reqHistName,
+		"pynamic-serve request latency by route class, seconds", "route", histo.DefBuckets)
+	s.recoverFromStore()
+	go s.stealLoop()
+	return s
 }
 
-// Close cancels every in-flight job and stops accepting work.
-func (s *Server) Close() { s.stop() }
+// Close cancels every in-flight job and stops accepting work. The
+// steal loop is stopped; the job store is left open so canceled
+// workers can still write their terminal status (the process exit or
+// a later Drain closes it).
+func (s *Server) Close() {
+	s.stop()
+	s.stopSteal()
+}
 
 // Drain switches the server into draining mode — new submissions are
 // refused with 503 — and waits until every already-admitted job and
-// spec has reached a terminal status. It returns nil on a clean drain,
-// or ctx.Err() if ctx expires first (in-flight work keeps running; the
-// caller decides whether to escalate to Close). Drain is idempotent and
-// safe to call concurrently.
+// spec has reached a terminal status. On a clean drain the steal loop
+// is stopped and the job store is compacted and closed, so a SIGTERM-
+// stopped replica never leaves a replay-pending WAL. It returns nil on
+// a clean drain, or ctx.Err() if ctx expires first (in-flight work
+// keeps running with the store open; the caller decides whether to
+// escalate to Close). Drain is idempotent and safe to call
+// concurrently.
 func (s *Server) Drain(ctx context.Context) error {
 	// Flipping the flag under s.mu orders it against admission: once
 	// this section ends, every in-flight submission has either already
@@ -257,13 +353,48 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopSteal()
+		// Every admitted worker has written its terminal status; fold
+		// the WAL into a final snapshot and release the log.
+		_ = s.store.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// Handler returns the HTTP handler for the v1 API.
+// stopSteal shuts the steal loop down exactly once and waits for it.
+func (s *Server) stopSteal() {
+	s.shutdownOnce.Do(func() { close(s.stealStop) })
+	<-s.stealDone
+}
+
+// UseFleet attaches (or replaces) the hash-ring router. It exists
+// apart from Options.Fleet because httptest servers only learn their
+// own URL after the listener starts; production wiring passes
+// Options.Fleet.
+func (s *Server) UseFleet(f *fleet.Fleet) {
+	s.mu.Lock()
+	s.fleet = f
+	s.mu.Unlock()
+}
+
+// fleetRef reads the current fleet router under the lock.
+func (s *Server) fleetRef() *fleet.Fleet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet
+}
+
+// Recovered reports how many non-terminal store rows this server
+// adopted at construction — the number cmd/pynamic-serve logs in its
+// recovery startup line.
+func (s *Server) Recovered() int {
+	return int(s.ctr.storeRecovered.Load())
+}
+
+// Handler returns the HTTP handler for the v1 API, wrapped in the
+// request-latency histogram middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -276,7 +407,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/metrics", s.handlePromMetrics)
+	return s.observeRequests(mux)
+}
+
+// observeRequests records every request's wall latency into the
+// request histogram, labeled by coarse route class.
+func (s *Server) observeRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.hist.Observe(reqHistName, routeClass(r.URL.Path), time.Since(start).Seconds())
+	})
+}
+
+// routeClass buckets request paths into a bounded label set, so the
+// histogram's cardinality cannot grow with job ids.
+func routeClass(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/v1/jobs":
+		return "jobs"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "job"
+	case path == "/v1/specs":
+		return "specs"
+	case strings.HasPrefix(path, "/v1/specs/"):
+		return "spec"
+	case path == "/v1/metrics", path == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
 }
 
 // refuseDraining writes the 503 a draining server answers submissions
@@ -357,6 +520,11 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	// Live-record dedup first: no disk involved, and the whole
 	// decision — status snapshot, counter bumps, reply choice — sits
@@ -375,6 +543,22 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 
 	// Persistent-store dedup: the disk read stays outside the lock.
 	stored := s.eng.LookupSpecResult(exp.Hash)
+
+	// Fleet routing: a spec another replica owns on the hash ring is
+	// forwarded there (once — the marker header stops a second hop),
+	// unless a local answer is already in hand. An unreachable owner
+	// degrades to local execution; lease stealing reconciles any
+	// duplicate later, and content-addressed results make that safe.
+	if fl := s.fleetRef(); stored == nil && fl != nil &&
+		!fl.Owns(exp.Hash) && r.Header.Get(fleet.ForwardedHeader) == "" {
+		owner := fl.Owner(exp.Hash)
+		if res, err := fl.Forward(r.Context(), owner, body); err == nil {
+			s.ctr.fleetForwarded.Add(1)
+			relayResponse(w, res)
+			return
+		}
+		s.ctr.fleetForwardFallback.Add(1)
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -429,8 +613,35 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 	s.workers.Add(1)
 	s.mu.Unlock()
 
+	// The row is durable before the 202 leaves: from here a SIGKILL
+	// cannot lose the submission — restart recovery or a sibling's
+	// steal loop re-claims it. (If the same hash already has a row —
+	// e.g. a sibling replica accepted it first — Put is a no-op and
+	// the worker's Claim resolves who runs it.)
+	if err := s.store.Put(jobstore.Job{Hash: rec.id, Spec: canon, Submitted: time.Now().UnixNano()}); err != nil {
+		s.mu.Lock()
+		rec.mu.Lock()
+		rec.status, rec.err = StatusFailed, "jobstore: "+err.Error()
+		rec.mu.Unlock()
+		s.ctr.countFinish(true, StatusFailed)
+		s.mu.Unlock()
+		s.workers.Done()
+		cancel()
+		writeError(w, http.StatusInternalServerError, "job store rejected submission: "+err.Error())
+		return
+	}
+
 	go s.runSpec(ctx, rec)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.id, "status": StatusQueued})
+}
+
+// relayResponse copies a forwarded owner's verdict to the client.
+func relayResponse(w http.ResponseWriter, res fleet.ForwardResult) {
+	if res.ContentType != "" {
+		w.Header().Set("Content-Type", res.ContentType)
+	}
+	w.WriteHeader(res.StatusCode)
+	w.Write(res.Body)
 }
 
 // replyLiveSpecLocked answers a spec submission from an existing live
@@ -472,46 +683,37 @@ func (s *Server) removeOrderLocked(id string) {
 	}
 }
 
-// runSpec is the per-spec worker: semaphore slot, RunSpecCtx, outcome.
+// runSpec is the per-spec worker: semaphore slot, store claim (or
+// remote await when another replica holds the job), RunSpecCtx,
+// outcome write-back. The execution machinery lives in worker.go.
 func (s *Server) runSpec(ctx context.Context, rec *record) {
 	defer s.workers.Done()
 	defer rec.cancel()
-	finish := func(status, errMsg string, res *pynamic.SpecResult) {
-		// Status transition and outcome counter commit in one s.mu
-		// section (lock order s.mu → rec.mu), so a metrics scrape or a
-		// dedup decision never observes a terminal record whose finish
-		// is uncounted.
-		s.mu.Lock()
-		rec.mu.Lock()
-		rec.status, rec.err, rec.specResult = status, errMsg, res
-		rec.mu.Unlock()
-		s.ctr.countFinish(true, status)
-		s.mu.Unlock()
-		s.pruneHistory()
-	}
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
-		finish(StatusCanceled, "canceled while queued", nil)
+		s.finishSpec(rec, StatusCanceled, "canceled while queued", nil)
 		return
 	}
-	rec.mu.Lock()
-	rec.status = StatusRunning
-	rec.mu.Unlock()
-
-	res, err := s.eng.RunSpecCtx(ctx, rec.spec)
-	switch {
-	case errors.Is(err, pynamic.ErrCanceled):
-		finish(StatusCanceled, err.Error(), nil)
-	case err != nil:
-		finish(StatusFailed, err.Error(), nil)
-	default:
-		finish(StatusDone, "", res)
+	_, err := s.store.Claim(s.node, rec.id, time.Now(), s.leaseTTL)
+	if errors.Is(err, jobstore.ErrNotClaimable) {
+		// Another replica holds the job (or already finished it):
+		// mirror its outcome instead of re-executing.
+		s.awaitRemote(ctx, rec)
+		return
 	}
+	if err != nil && !errors.Is(err, jobstore.ErrNotFound) {
+		s.finishSpec(rec, StatusFailed, "jobstore claim: "+err.Error(), nil)
+		return
+	}
+	s.execClaimed(ctx, rec)
 }
 
-// handleSpec serves /v1/specs/{hash} and /v1/specs/{hash}/result.
+// handleSpec serves /v1/specs/{hash} and /v1/specs/{hash}/result. A
+// hash with no live record falls back to the shared job store (the row
+// may have been submitted to a sibling, or pruned from local history),
+// and then to a proxied lookup on the hash's ring owner.
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/specs/")
 	id, sub, _ := strings.Cut(rest, "/")
@@ -519,7 +721,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	rec := s.jobs[id]
 	s.mu.Unlock()
 	if rec == nil || !rec.isSpec {
-		writeError(w, http.StatusNotFound, "no spec "+id)
+		s.handleSpecFromStore(w, r, id, sub)
 		return
 	}
 	switch {
@@ -534,6 +736,12 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "spec "+id+" is "+st.Status+", not done")
 			return
 		}
+		if st.Result == nil {
+			// Done mirrored from a sibling without a shared cache
+			// directory: the bytes live on the owner, not here.
+			s.serveRemoteResult(w, r, id)
+			return
+		}
 		// The inner canonical payload: for kind "job" these bytes are
 		// identical to /v1/jobs/{id}/result for the equivalent typed
 		// submission (the CI smoke diffs them).
@@ -541,6 +749,73 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "unsupported spec operation")
 	}
+}
+
+// handleSpecFromStore answers spec lookups that have no live local
+// record from the shared job store, keeping a spec's status and result
+// addressable on every replica (and after history pruning or restart).
+func (s *Server) handleSpecFromStore(w http.ResponseWriter, r *http.Request, id, sub string) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		// Unknown here entirely. With a fleet, the ring owner may still
+		// know it (fleets without a shared store directory).
+		if fl := s.fleetRef(); fl != nil && !fl.Owns(id) &&
+			r.Method == http.MethodGet && r.Header.Get(fleet.ForwardedHeader) == "" {
+			if res, err := fl.Fetch(r.Context(), fl.Owner(id), r.URL.Path); err == nil {
+				relayResponse(w, res)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "no spec "+id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		st := SpecStatus{ID: id, Status: j.Status, Error: j.Error}
+		if spec, err := pynamic.ParseSpec(j.Spec); err == nil {
+			st.Spec = spec
+			if exp, xerr := s.eng.ExpandSpec(spec); xerr == nil {
+				st.Kind, st.Knobs = exp.Kind, exp.Grid
+			}
+		}
+		if j.Status == StatusDone {
+			st.Result = s.eng.LookupSpecResult(id)
+		}
+		writeJSON(w, http.StatusOK, st)
+	case sub == "" && r.Method == http.MethodDelete:
+		if j.Status == jobstore.StatusQueued {
+			// Nobody claimed it yet; cancel directly in the store.
+			_ = s.store.Complete(id, s.node, StatusCanceled, "canceled by client", time.Now())
+		}
+		if cur, stillThere := s.store.Get(id); stillThere {
+			j = cur
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": j.Status})
+	case sub == "result" && r.Method == http.MethodGet:
+		if j.Status != StatusDone {
+			writeError(w, http.StatusConflict, "spec "+id+" is "+j.Status+", not done")
+			return
+		}
+		if res := s.eng.LookupSpecResult(id); res != nil {
+			writeJSON(w, http.StatusOK, res.Payload())
+			return
+		}
+		s.serveRemoteResult(w, r, id)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "unsupported spec operation")
+	}
+}
+
+// serveRemoteResult proxies a done spec's result bytes from its ring
+// owner when they are not readable locally.
+func (s *Server) serveRemoteResult(w http.ResponseWriter, r *http.Request, id string) {
+	if fl := s.fleetRef(); fl != nil && !fl.Owns(id) && r.Header.Get(fleet.ForwardedHeader) == "" {
+		if res, err := fl.Fetch(r.Context(), fl.Owner(id), "/v1/specs/"+id+"/result"); err == nil {
+			relayResponse(w, res)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "spec "+id+" is done but its result is not available on this replica")
 }
 
 // submit validates the request, registers the job and launches its
