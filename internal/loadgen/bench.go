@@ -178,13 +178,18 @@ func (c BenchCell) validate() error {
 	if c.Errors < 0 || c.Errors > c.Requests {
 		return fmt.Errorf("errors %d outside [0, %d requests]", c.Errors, c.Requests)
 	}
-	for name, v := range map[string]float64{
-		"elapsed_sec": c.ElapsedSec, "throughput_rps": c.ThroughputRPS,
-		"p50_ms": c.P50Ms, "p95_ms": c.P95Ms, "p99_ms": c.P99Ms,
-		"max_ms": c.MaxMs, "mean_ms": c.MeanMs,
+	// Fixed check order, so the same bad cell always reports the same
+	// field (a map literal here would pick one at random).
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"elapsed_sec", c.ElapsedSec}, {"throughput_rps", c.ThroughputRPS},
+		{"p50_ms", c.P50Ms}, {"p95_ms", c.P95Ms}, {"p99_ms", c.P99Ms},
+		{"max_ms", c.MaxMs}, {"mean_ms", c.MeanMs},
 	} {
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("%s %v is not a non-negative finite number", name, v)
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("%s %v is not a non-negative finite number", f.name, f.v)
 		}
 	}
 	if c.ElapsedSec == 0 {
@@ -194,12 +199,15 @@ func (c BenchCell) validate() error {
 		return fmt.Errorf("latency percentiles not monotonic: p50 %v p95 %v p99 %v max %v",
 			c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs)
 	}
-	for name, v := range map[string]float64{
-		"cache_hit_ratio": c.CacheHitRatio, "dedup_ratio": c.DedupRatio,
-		"store_hit_ratio": c.StoreHitRatio, "fleet_forward_ratio": c.FleetForwardRatio,
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"cache_hit_ratio", c.CacheHitRatio}, {"dedup_ratio", c.DedupRatio},
+		{"store_hit_ratio", c.StoreHitRatio}, {"fleet_forward_ratio", c.FleetForwardRatio},
 	} {
-		if v != -1 && (v < 0 || v > 1) {
-			return fmt.Errorf("%s %v outside [0,1] (or -1 for unavailable)", name, v)
+		if f.v != -1 && (f.v < 0 || f.v > 1) {
+			return fmt.Errorf("%s %v outside [0,1] (or -1 for unavailable)", f.name, f.v)
 		}
 	}
 	if v := c.FleetSteals; math.IsNaN(v) || math.IsInf(v, 0) || (v != -1 && v < 0) {

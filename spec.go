@@ -1033,7 +1033,15 @@ func normalizeMatrix(m *MatrixPlan) (*MatrixPlan, error) {
 		seen[name] = true
 		out.Experiments = append(out.Experiments, name)
 	}
-	for name, grid := range m.Grids {
+	// Validate grids in sorted-name order so the reported error is the
+	// same on every run, not whichever map entry iterates first.
+	gridNames := make([]string, 0, len(m.Grids))
+	for name := range m.Grids {
+		gridNames = append(gridNames, name)
+	}
+	sort.Strings(gridNames)
+	for _, name := range gridNames {
+		grid := m.Grids[name]
 		if !seen[name] {
 			return nil, fieldErr("matrix.grids."+name, "grid for an experiment not in matrix.experiments")
 		}
@@ -1087,13 +1095,19 @@ func canonicalGrid(grid []Params) []Params {
 }
 
 // checkParams enforces the runner's Params contract: JSON-scalar
-// values only.
+// values only. Keys are checked in sorted order so the same bad spec
+// always reports the same parameter.
 func checkParams(p Params) error {
-	for k, v := range p {
-		switch v.(type) {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch p[k].(type) {
 		case string, bool, int, float64, nil:
 		default:
-			return fmt.Errorf("parameter %q has non-scalar value of type %T", k, v)
+			return fmt.Errorf("parameter %q has non-scalar value of type %T", k, p[k])
 		}
 	}
 	return nil
