@@ -1,0 +1,96 @@
+// Command pynamic-lint runs the repo's custom analyzers — the static
+// side of the invariants the test suite checks dynamically. Five
+// checks ship today:
+//
+//	determinism  no wall-clock, global math/rand, or unsorted map
+//	             iteration feeding output in canonical-bytes packages
+//	noalloc      no alloc-inducing constructs in //pynamic:noalloc
+//	             kernel functions
+//	lockcheck    *Locked contracts and //pynamic:guardedby fields
+//	ctxflow      cancellation plumbed end to end, no stray Background
+//	wraperr      exported root-package errors matchable via Op/Stage
+//
+// Usage:
+//
+//	pynamic-lint [-list] [packages...]
+//
+// Package patterns are module-relative ("./...", "./internal/dynld");
+// the default is ./... from the module root. Exit status 1 means
+// diagnostics were reported, 2 means the run itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/wraperr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	noalloc.Analyzer,
+	lockcheck.Analyzer,
+	ctxflow.Analyzer,
+	wraperr.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pynamic-lint [-list] [packages...]\n\npackages default to ./... from the module root\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pynamic-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modRoot, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-creation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the pieces the five
+// pynamic-lint analyzers need — a from-source type-checking package
+// loader, //pynamic: directive parsing, and an analysistest-style
+// fixture harness driven by // want comments. It exists because the
+// build forbids external modules: everything here rests on go/ast,
+// go/build and go/types from the standard library, and the Analyzer
+// surface is kept shape-compatible with x/tools so the analyzers could
+// migrate to the real multichecker without rewrites.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks stay portable.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -checks filters and
+	// //pynamic:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description `pynamic-lint -list` prints.
+	Doc string
+	// Run executes the check against one package and reports findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work: the syntax,
+// type information and directives of a single package, plus the
+// diagnostic sink.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included,
+	// non-test files only.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts about Files.
+	TypesInfo *types.Info
+	// Directives is every //pynamic: directive in the package, in
+	// source order.
+	Directives []Directive
+
+	// byLine indexes Directives by file and line for opt-out lookups.
+	byLine map[string]map[int][]Directive
+	// report appends one diagnostic to the run's sink.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the check that produced it.
+	Analyzer string
+	// Message is the human-readable finding.
+	Message string
+}
+
+// String formats the diagnostic the way pynamic-lint prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer against every package and returns the
+// findings sorted by position. Analyzer errors (not findings) abort
+// the run: a check that cannot run must fail the build, not pass it.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := scanDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				Directives: dirs,
+				byLine:     indexDirectives(dirs),
+				report:     func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// timenow is a toy analyzer exercising the framework end to end:
+// loader, type resolution, directive opt-outs and the want harness.
+var timenow = &Analyzer{
+	Name: "timenow",
+	Doc:  "test analyzer: flags time.Now calls without an allow directive",
+	Run: func(pass *Pass) error {
+		pass.EachFunc(func(file *ast.File, fd *ast.FuncDecl) {
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, name := pass.PkgFunc(call); pkg == "time" && name == "Now" {
+					if !pass.OptedOut(file, fd, call, "nondeterministic") {
+						pass.Reportf(call.Pos(), "time.Now is forbidden here")
+					}
+				}
+				return true
+			})
+		})
+		return nil
+	},
+}
+
+func TestFrameworkFixture(t *testing.T) {
+	RunFixture(t, "testdata", timenow, "framework")
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		name, args string
+		ok         bool
+	}{
+		{"//pynamic:noalloc", "noalloc", "", true},
+		{"//pynamic:allow ctxflow deprecated wrapper", "allow", "ctxflow deprecated wrapper", true},
+		{"//pynamic:guardedby mu", "guardedby", "mu", true},
+		{"// pynamic:noalloc", "", "", false},
+		{"//pynamic:", "", "", false},
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, args, ok := parseDirective(c.text)
+		if name != c.name || args != c.args || ok != c.ok {
+			t.Errorf("parseDirective(%q) = %q, %q, %v; want %q, %q, %v",
+				c.text, name, args, ok, c.name, c.args, c.ok)
+		}
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	got, err := splitQuoted("`a.b` \"c d\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a.b" || got[1] != "c d" {
+		t.Fatalf("splitQuoted = %q", got)
+	}
+	if _, err := splitQuoted("unquoted"); err == nil {
+		t.Fatal("unquoted pattern should error")
+	}
+}

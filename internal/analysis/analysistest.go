@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the given fixture packages from testdataDir/src,
+// runs analyzer a over them, and checks the findings against the
+// fixtures' // want comments — the x/tools analysistest convention:
+//
+//	time.Now() // want `forbidden`
+//
+// Every diagnostic must be expected by a want on its line, every want
+// must be matched by a diagnostic on its line, and want patterns are
+// regular expressions matched against the message. Both "double" and
+// `backquoted` patterns are accepted, several per comment.
+func RunFixture(t testing.TB, testdataDir string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := NewFixtureLoader(testdataDir + "/src")
+	loaded, err := ld.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	diags, err := Run(loaded, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*wantPattern)
+	for _, pkg := range loaded {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg, f, func(file string, line int, w *wantPattern) {
+				k := key{file, line}
+				wants[k] = append(wants[k], w)
+			})
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if w.hits == 0 {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// wantPattern is one compiled want expectation and how many
+// diagnostics satisfied it.
+type wantPattern struct {
+	re   *regexp.Regexp
+	hits int
+}
+
+// collectWants parses every "// want" comment in f and emits a
+// compiled pattern per quoted expression, keyed to the comment's line.
+func collectWants(t testing.TB, pkg *Package, f *ast.File, emit func(string, int, *wantPattern)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			pats, err := splitQuoted(rest)
+			if err != nil {
+				t.Fatalf("%s: bad want comment: %v", pos, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+				}
+				emit(pos.Filename, pos.Line, &wantPattern{re: re})
+			}
+		}
+	}
+}
+
+// splitQuoted parses a sequence of space-separated Go string literals.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit, s = s[1:1+end], s[2+end:]
+		case '"':
+			// Walk to the closing quote, honouring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i == len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			lit, s = q, s[i+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+		out = append(out, lit)
+	}
+}

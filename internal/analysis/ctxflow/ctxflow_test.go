@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestCtxflowFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", Analyzer, "ctxfix")
+}

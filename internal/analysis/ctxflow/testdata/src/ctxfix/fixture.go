@@ -1,0 +1,66 @@
+// Package ctxfix is the ctxflow analyzer fixture: Background/TODO are
+// forbidden outside package main, and ctx-carrying functions must use
+// *Ctx siblings.
+package ctxfix
+
+import "context"
+
+type engine struct{}
+
+func (e *engine) Run(n int) int { return n }
+
+func (e *engine) RunCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+		return n
+	}
+}
+
+func (e *engine) Stop() {}
+
+func generate(n int) int { return n }
+
+func generateCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func mintsBackground() context.Context {
+	return context.Background() // want `context\.Background outside package main`
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want `context\.TODO outside package main`
+}
+
+//pynamic:allow ctxflow deprecated non-ctx entry point
+func deprecatedWrapper(e *engine, n int) int {
+	return e.RunCtx(context.Background(), n)
+}
+
+func allowedInline() context.Context {
+	return context.Background() //pynamic:allow ctxflow server-lifetime root
+}
+
+func dropsCtxMethod(ctx context.Context, e *engine, n int) int {
+	return e.Run(n) // want `call to Run drops this function's ctx`
+}
+
+func dropsCtxFunc(ctx context.Context, n int) int {
+	return generate(n) // want `call to generate drops this function's ctx`
+}
+
+func forwardsCtx(ctx context.Context, e *engine, n int) int {
+	return e.RunCtx(ctx, n)
+}
+
+func noSiblingOK(ctx context.Context, e *engine) {
+	e.Stop()
+}
+
+// no ctx parameter: calling the plain variant is the caller's choice.
+func noCtxParamOK(e *engine, n int) int {
+	return e.Run(n)
+}

@@ -1,0 +1,190 @@
+// Package determinism implements the pynamic-lint analyzer that keeps
+// the canonical-bytes packages deterministic. The paper's
+// cross-configuration comparability requirement — and this repo's
+// byte-identical-at-any-worker-count contract — rests on those
+// packages never reading ambient nondeterminism: no wall clock, no
+// global math/rand stream, and no map-iteration order leaking into
+// output or hashes. Deliberate wall-clock sites (Elapsed stamps, lease
+// TTLs) opt out with //pynamic:nondeterministic.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CanonicalPackages is the set of import paths whose outputs must be
+// byte-identical for a given configuration: the simulation kernel and
+// job engine, the experiment runner, the workload generator, the load
+// harness's schedules, the spec/engine facade at the module root, and
+// the serving/durability layers that replay those bytes.
+var CanonicalPackages = map[string]bool{
+	"repro":                   true,
+	"repro/internal/dynld":    true,
+	"repro/internal/job":      true,
+	"repro/internal/runner":   true,
+	"repro/internal/loadgen":  true,
+	"repro/internal/pygen":    true,
+	"repro/internal/serve":    true,
+	"repro/internal/jobstore": true,
+}
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads (time.Now/Since), the global math/rand " +
+		"stream, and map ranges that feed output or hashing without a sort, " +
+		"inside the packages that produce canonical bytes; deliberate sites " +
+		"opt out with //pynamic:nondeterministic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !CanonicalPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	pass.EachFunc(func(file *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || pass.IsTestFile(file) {
+			return
+		}
+		sorts := containsSortCall(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, file, fd, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, fd, n, sorts)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func checkCall(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, call *ast.CallExpr) {
+	pkg, name := pass.PkgFunc(call)
+	switch {
+	case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		if !pass.OptedOut(file, fd, call, "nondeterministic") {
+			pass.Reportf(call.Pos(),
+				"time.%s in canonical package %s: wall-clock reads break "+
+					"byte-identical results (annotate deliberate measurement "+
+					"sites with //pynamic:nondeterministic)", name, pass.Pkg.Path())
+		}
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && usesGlobalState(name):
+		if !pass.OptedOut(file, fd, call, "nondeterministic") {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in canonical package %s: the process-wide "+
+					"stream is seed-unstable; draw from a seeded repro/internal/xrand.RNG",
+				name, pass.Pkg.Path())
+		}
+	}
+}
+
+// usesGlobalState reports whether the named math/rand package function
+// draws from the process-global source (constructors do not).
+func usesGlobalState(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// checkMapRange flags ranges over maps whose bodies feed
+// order-sensitive sinks (writers, hashes, encoders, appends) when the
+// enclosing function never sorts — iteration order would then leak
+// into canonical bytes.
+func checkMapRange(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, rng *ast.RangeStmt, sorts bool) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if sorts {
+		// The function establishes an order itself (the collect-keys-
+		// then-sort idiom); iteration order cannot reach the output.
+		return
+	}
+	sink := orderSensitiveSink(pass, rng.Body)
+	if sink == "" {
+		return
+	}
+	if pass.OptedOut(file, fd, rng, "nondeterministic") {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map range feeds %s without a sort in canonical package %s: iteration "+
+			"order would leak into output (collect and sort keys first, or "+
+			"annotate //pynamic:nondeterministic)", sink, pass.Pkg.Path())
+}
+
+// orderSensitiveSink scans a map-range body for constructs whose
+// result depends on iteration order: appends, writer/hasher calls,
+// string building, and encoding. Returns a short description of the
+// first sink found, or "".
+func orderSensitiveSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.IsBuiltin(call, "append") {
+			sink = "an append"
+			return false
+		}
+		if pkg, name := pass.PkgFunc(call); pkg == "fmt" {
+			sink = "fmt." + name
+			return false
+		}
+		if m := pass.Method(call); m != nil && orderSensitiveMethod(m.Name()) {
+			sink = "a " + m.Name() + " call"
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+// orderSensitiveMethod reports whether a method name is one of the
+// writer/hasher/encoder calls whose effect is order-dependent.
+func orderSensitiveMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune",
+		"Sum", "Sum32", "Sum64", "Encode", "Marshal", "Fprintf":
+		return true
+	}
+	return false
+}
+
+// containsSortCall reports whether body calls into package sort or a
+// slices.Sort* function anywhere.
+func containsSortCall(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := pass.PkgFunc(call)
+		if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", Analyzer,
+		"repro/internal/pygen", "freepkg")
+}

@@ -1,0 +1,24 @@
+// Package freepkg is not a canonical-bytes package: the determinism
+// analyzer must leave it alone entirely.
+package freepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockOK() time.Time {
+	return time.Now()
+}
+
+func globalRandOK() int {
+	return rand.Intn(10)
+}
+
+func rangeFeedsAppendOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

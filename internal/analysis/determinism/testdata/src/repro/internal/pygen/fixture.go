@@ -1,0 +1,91 @@
+// Package pygen is a determinism fixture standing in for the real
+// canonical-bytes package of the same import path.
+package pygen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in canonical package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in canonical package`
+}
+
+//pynamic:nondeterministic deliberate Elapsed stamp
+func stampOK() time.Time {
+	return time.Now()
+}
+
+func stampLineOK() time.Time {
+	return time.Now() //pynamic:nondeterministic lease TTL
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in canonical package`
+}
+
+func seededRandOK() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func rangeFeedsAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map range feeds an append without a sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func rangeThenSortOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func rangeIntoMapOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func rangeCountsOK(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func rangeFeedsPrint(m map[string]int) {
+	for k := range m { // want `map range feeds fmt.Println without a sort`
+		fmt.Println(k)
+	}
+}
+
+func rangeOptOutOK(m map[string]int) []string {
+	var keys []string
+	//pynamic:nondeterministic order handled by the caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeOK(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //pynamic: comment. The grammar is
+//
+//	//pynamic:<name> [args...]
+//
+// with no space before <name> (matching //go: directive style).
+// Recognized names:
+//
+//	nondeterministic [reason]  — opt a function, statement or file out
+//	                             of the determinism analyzer; the site
+//	                             deliberately reads wall-clock or
+//	                             iterates unordered.
+//	noalloc                    — declare a function part of the
+//	                             zero-alloc kernel; the noalloc
+//	                             analyzer forbids alloc-inducing
+//	                             constructs inside it.
+//	guardedby <field>          — on a struct field: accesses require
+//	                             the sibling mutex <field> to be held.
+//	allow <analyzer> [reason]  — generic per-site opt-out from the
+//	                             named analyzer.
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Position
+	// Name is the directive word after "pynamic:".
+	Name string
+	// Args is everything after the name, space-trimmed ("" when the
+	// directive has no arguments).
+	Args string
+}
+
+// parseDirective parses one comment line, returning ok=false for
+// ordinary comments.
+func parseDirective(text string) (name, args string, ok bool) {
+	const prefix = "//pynamic:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	name, args, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(args), true
+}
+
+// ParseDirective parses one comment line into a Directive (without
+// position), returning ok=false for ordinary comments. Analyzers use
+// it to read directives straight off AST comment groups when the
+// attachment matters (e.g. struct-field annotations).
+func ParseDirective(text string) (Directive, bool) {
+	name, args, ok := parseDirective(text)
+	return Directive{Name: name, Args: args}, ok
+}
+
+// scanDirectives extracts every //pynamic: directive from the files,
+// in source order.
+func scanDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if name, args, ok := parseDirective(c.Text); ok {
+					out = append(out, Directive{
+						Pos:  fset.Position(c.Pos()),
+						Name: name,
+						Args: args,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// indexDirectives builds the file → line → directives index opt-out
+// lookups use.
+func indexDirectives(dirs []Directive) map[string]map[int][]Directive {
+	idx := make(map[string]map[int][]Directive)
+	for _, d := range dirs {
+		lines := idx[d.Pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]Directive)
+			idx[d.Pos.Filename] = lines
+		}
+		lines[d.Pos.Line] = append(lines[d.Pos.Line], d)
+	}
+	return idx
+}
+
+// directiveAt reports whether a directive matching match sits on the
+// given file line.
+func (p *Pass) directiveAt(filename string, line int, match func(Directive) bool) bool {
+	for _, d := range p.byLine[filename][line] {
+		if match(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeHasDirective reports whether a matching directive is attached to
+// node n: on n's first line (trailing comment) or on the line directly
+// above it (leading comment).
+func (p *Pass) nodeHasDirective(n ast.Node, match func(Directive) bool) bool {
+	pos := p.Fset.Position(n.Pos())
+	return p.directiveAt(pos.Filename, pos.Line, match) ||
+		p.directiveAt(pos.Filename, pos.Line-1, match)
+}
+
+// FuncDirective reports whether fn's doc comment carries a directive
+// named name. A nil fn reports false.
+func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if n, _, ok := parseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FileDirective reports whether a matching directive appears before
+// file's package clause, making it file-wide.
+func (p *Pass) FileDirective(file *ast.File, match func(Directive) bool) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if name, args, ok := parseDirective(c.Text); ok && match(Directive{Name: name, Args: args}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// optOutMatcher matches the directives that silence analyzer: the
+// generic "allow <analyzer>" form plus any analyzer-specific aliases
+// (the determinism analyzer also accepts "nondeterministic").
+func optOutMatcher(analyzer string, aliases ...string) func(Directive) bool {
+	return func(d Directive) bool {
+		if d.Name == "allow" {
+			first, _, _ := strings.Cut(d.Args, " ")
+			return first == analyzer
+		}
+		for _, a := range aliases {
+			if d.Name == a {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// OptedOut reports whether the finding at node n inside function fn
+// (nil outside any function) of file is silenced for this pass's
+// analyzer — via an alias or "allow" directive on n's line, the line
+// above n, fn's doc comment, or the file header. aliases lists
+// analyzer-specific directive names that also count (e.g.
+// "nondeterministic" for the determinism analyzer).
+func (p *Pass) OptedOut(file *ast.File, fn *ast.FuncDecl, n ast.Node, aliases ...string) bool {
+	match := optOutMatcher(p.Analyzer.Name, aliases...)
+	if n != nil && p.nodeHasDirective(n, match) {
+		return true
+	}
+	if fn != nil && fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if name, args, ok := parseDirective(c.Text); ok && match(Directive{Name: name, Args: args}) {
+				return true
+			}
+		}
+	}
+	return file != nil && p.FileDirective(file, match)
+}

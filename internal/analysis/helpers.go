@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFunc resolves call to a package-level function (or method
+// expression) and returns its import path and name, or ("", "") when
+// the callee is not a named package-level function — e.g. a builtin,
+// conversion, method value or local closure.
+func (p *Pass) PkgFunc(call *ast.CallExpr) (pkgPath, name string) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if obj.Pkg() != nil && obj.Type().(*types.Signature).Recv() == nil {
+				return obj.Pkg().Path(), obj.Name()
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := p.TypesInfo.Uses[fun].(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path(), obj.Name()
+		}
+	}
+	return "", ""
+}
+
+// Method resolves call to the *types.Func of a method call
+// (value.Method(...)), or nil.
+func (p *Pass) Method(call *ast.CallExpr) *types.Func {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := p.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	fn, _ := selection.Obj().(*types.Func)
+	return fn
+}
+
+// CalleeSig returns the signature of call's callee, or nil for
+// builtins and conversions.
+func (p *Pass) CalleeSig(call *ast.CallExpr) *types.Signature {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// IsBuiltin reports whether call invokes the named builtin
+// ("append", "make", "new", ...).
+func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// IsInterface reports whether t's underlying type is an interface.
+func IsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// IsMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// EachFunc invokes fn for every function declaration in the package,
+// with its enclosing file.
+func (p *Pass) EachFunc(fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// RecvNamed returns the named type of fd's receiver (dereferencing a
+// pointer receiver), or nil for plain functions.
+func (p *Pass) RecvNamed(fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := p.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsTestFile reports whether file was parsed from a _test.go file.
+// The loader does not load test files, but fixtures may name files
+// freely, so the check stays here for safety.
+func (p *Pass) IsTestFile(file *ast.File) bool {
+	name := p.Fset.Position(file.Package).Filename
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}
+
+// unparen strips any parenthesis nesting (ast.Unparen needs go1.22;
+// the module still supports 1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

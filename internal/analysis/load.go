@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package with retained syntax —
+// the unit analyzers run over.
+type Package struct {
+	// Path is the import path ("repro/internal/dynld").
+	Path string
+	// Name is the package name ("dynld").
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions the syntax (shared across the whole load).
+	Fset *token.FileSet
+	// Files is the parsed syntax with comments, non-test files only.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records the checker's facts about Files.
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks packages from source using only the
+// standard library: module-local packages resolve under the module
+// root, everything else under GOROOT/src (with the std vendor
+// directory as fallback). There is no module cache and no network —
+// the repo deliberately has zero external dependencies, so the
+// transitive closure of every import is the standard library.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+
+	modRoot string // module root directory ("" in fixture mode)
+	modPath string // module path from go.mod
+	fixRoot string // fixture source root ("" in module mode)
+
+	buildCtx build.Context
+	// local caches full packages (syntax + Info) for module-local /
+	// fixture paths; std caches types-only dependency packages.
+	local map[string]*Package
+	std   map[string]*types.Package
+	// loading guards against import cycles.
+	loading map[string]bool
+}
+
+// newLoader builds the shared parts of both loader modes.
+func newLoader() *Loader {
+	ctx := build.Default
+	// The simulation is pure Go; disabling cgo keeps the std library
+	// resolvable from source (the cgo-free fallback files are selected)
+	// and makes loads hermetic.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		buildCtx: ctx,
+		local:    make(map[string]*Package),
+		std:      make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+	}
+}
+
+// NewLoader returns a module-mode loader rooted at modRoot, reading
+// the module path from modRoot/go.mod.
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("read go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module line in %s/go.mod", modRoot)
+	}
+	ld := newLoader()
+	ld.modRoot = modRoot
+	ld.modPath = modPath
+	return ld, nil
+}
+
+// NewFixtureLoader returns a loader that resolves import paths under
+// srcRoot first (the analysistest convention: testdata/src/<path>),
+// then the standard library.
+func NewFixtureLoader(srcRoot string) *Loader {
+	ld := newLoader()
+	ld.fixRoot = srcRoot
+	return ld
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the patterns to package paths and returns each loaded
+// package, in sorted path order. Supported patterns: "./..." (whole
+// module), "./dir/..." (subtree), "./dir" and plain import paths.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := ld.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand turns CLI patterns into a sorted, deduplicated list of
+// package paths.
+func (ld *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := ld.walk(ld.rootDir(), add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			dir, err := ld.patternDir(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			if err := ld.walk(dir, add); err != nil {
+				return nil, err
+			}
+		default:
+			dir, err := ld.patternDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			path, err := ld.dirToPath(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// rootDir is the base directory package walks start from.
+func (ld *Loader) rootDir() string {
+	if ld.modRoot != "" {
+		return ld.modRoot
+	}
+	return ld.fixRoot
+}
+
+// patternDir resolves one non-wildcard pattern to a directory.
+func (ld *Loader) patternDir(pat string) (string, error) {
+	if strings.HasPrefix(pat, "./") || pat == "." {
+		return filepath.Join(ld.rootDir(), strings.TrimPrefix(pat, "./")), nil
+	}
+	if ld.modPath != "" && (pat == ld.modPath || strings.HasPrefix(pat, ld.modPath+"/")) {
+		return filepath.Join(ld.modRoot, strings.TrimPrefix(strings.TrimPrefix(pat, ld.modPath), "/")), nil
+	}
+	if ld.fixRoot != "" {
+		return filepath.Join(ld.fixRoot, pat), nil
+	}
+	return "", fmt.Errorf("pattern %q is outside module %s", pat, ld.modPath)
+}
+
+// dirToPath maps a directory back to its import path.
+func (ld *Loader) dirToPath(dir string) (string, error) {
+	root := ld.rootDir()
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("directory %s is outside %s", dir, root)
+	}
+	rel = filepath.ToSlash(rel)
+	if ld.modPath != "" {
+		if rel == "." {
+			return ld.modPath, nil
+		}
+		return ld.modPath + "/" + rel, nil
+	}
+	return rel, nil
+}
+
+// walk visits every package directory under dir, calling add with each
+// import path that contains buildable Go files.
+func (ld *Loader) walk(dir string, add func(string)) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "runs") {
+			return filepath.SkipDir
+		}
+		if _, err := ld.buildCtx.ImportDir(path, 0); err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				return nil
+			}
+			return fmt.Errorf("scan %s: %w", path, err)
+		}
+		p, err := ld.dirToPath(path)
+		if err != nil {
+			return err
+		}
+		add(p)
+		return nil
+	})
+}
+
+// localDir resolves a module-local or fixture import path to its
+// directory, or "" if the path is not local.
+func (ld *Loader) localDir(path string) string {
+	if ld.modPath != "" && (path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/")) {
+		return filepath.Join(ld.modRoot, strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/"))
+	}
+	if ld.fixRoot != "" {
+		dir := filepath.Join(ld.fixRoot, path)
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// stdDir resolves a standard-library import path, preferring
+// GOROOT/src and falling back to the std vendor directory (where the
+// toolchain vendors golang.org/x dependencies of net, crypto, ...).
+func (ld *Loader) stdDir(path string) string {
+	dir := filepath.Join(ld.buildCtx.GOROOT, "src", path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return filepath.Join(ld.buildCtx.GOROOT, "src", "vendor", path)
+}
+
+// loadLocal loads, parses (with comments) and type-checks one
+// module-local or fixture package, retaining syntax and type facts.
+func (ld *Loader) loadLocal(path string) (*Package, error) {
+	if pkg, ok := ld.local[path]; ok {
+		return pkg, nil
+	}
+	dir := ld.localDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("package %s is not module-local", path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer func() { ld.loading[path] = false }()
+
+	bp, err := ld.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scan %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := ld.check(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path:      path,
+		Name:      tpkg.Name(),
+		Dir:       dir,
+		Fset:      ld.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	ld.local[path] = pkg
+	return pkg, nil
+}
+
+// loadStd type-checks a standard-library dependency, keeping only its
+// types.Package.
+func (ld *Loader) loadStd(path string) (*types.Package, error) {
+	if pkg, ok := ld.std[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer func() { ld.loading[path] = false }()
+
+	dir := ld.stdDir(path)
+	bp, err := ld.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil,
+			parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := ld.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	ld.std[path] = pkg
+	return pkg, nil
+}
+
+// check runs the type checker over one package's parsed files.
+func (ld *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []string
+	conf := types.Config{
+		Importer:    (*loaderImporter)(ld),
+		FakeImportC: true,
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	pkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("typecheck %s:\n\t%s", path, strings.Join(errs, "\n\t"))
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.ImporterFrom.
+type loaderImporter Loader
+
+// Import implements types.Importer.
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves one import during type checking: module-local
+// and fixture paths load fully (their syntax may be analyzed later in
+// the same run); everything else is a types-only std load.
+func (im *loaderImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	ld := (*Loader)(im)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.localDir(path) != "" {
+		pkg, err := ld.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.loadStd(path)
+}

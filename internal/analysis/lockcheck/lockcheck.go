@@ -1,0 +1,531 @@
+// Package lockcheck implements the pynamic-lint analyzer that
+// enforces the repo's locking conventions — the exact class of bug
+// behind the PR 7 serve drain race. Three rules:
+//
+//  1. A method named *Locked runs with its receiver's mutex already
+//     held by the caller: it must never Lock/RLock that mutex itself
+//     (instant deadlock with sync.Mutex). Releasing it is legal — the
+//     serve layer deliberately transfers unlock duty into *Locked
+//     helpers that finish a critical section.
+//  2. A call to x.fooLocked(...) requires x's mutex to be held at the
+//     call site, established lexically by an x.<mu>.Lock()/RLock()
+//     that has not been undone, or by the caller itself being a
+//     *Locked method on the same receiver.
+//  3. A struct field annotated //pynamic:guardedby <mu> may only be
+//     read or written while <mu> on the same base value is held.
+//
+// The lock-state tracking is lexical and per-function: Lock adds,
+// Unlock removes, defer Unlock keeps the lock held to the end, an
+// if-branch that unlocks and terminates (early return) does not
+// poison the fall-through path, and closures start with no locks held
+// (they may run later). This is a ratchet against the races we have
+// already shipped, not a proof system; per-site opt-out is
+// //pynamic:allow lockcheck.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "enforces *Locked naming contracts (no self-lock, callers must " +
+		"hold the mutex) and //pynamic:guardedby field annotations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	pass.EachFunc(func(file *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || pass.IsTestFile(file) {
+			return
+		}
+		c := &checker{pass: pass, file: file, fn: fd, guarded: guarded}
+		held := map[string]bool{}
+		if recv := lockedReceiver(fd); recv != "" {
+			// A *Locked method enters with every receiver mutex held.
+			for _, mu := range mutexFields(pass, fd) {
+				held[recv+"."+mu] = true
+			}
+			c.checkNoSelfLock(fd, recv)
+		}
+		c.block(fd.Body, held)
+		// Closures inside the function body run with no inherited lock
+		// state: check each independently.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				c.block(fl.Body, map[string]bool{})
+				return false
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// guardedField records one //pynamic:guardedby annotation.
+type guardedField struct {
+	mutex string // the sibling mutex field name
+}
+
+// collectGuarded finds every struct field annotated
+// //pynamic:guardedby <mu> in the package.
+func collectGuarded(pass *analysis.Pass) map[types.Object]guardedField {
+	out := make(map[types.Object]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuardDirective(pass, field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = guardedField{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldGuardDirective returns the mutex name from a guardedby
+// directive in the field's doc or trailing comment, or "". The AST's
+// own comment attachment is authoritative here — a position heuristic
+// would misattach a trailing directive to the next field down.
+func fieldGuardDirective(pass *analysis.Pass, field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if d, ok := analysis.ParseDirective(cm.Text); ok && d.Name == "guardedby" {
+				mu, _, _ := strings.Cut(d.Args, " ")
+				return mu
+			}
+		}
+	}
+	return ""
+}
+
+// lockedReceiver returns the receiver identifier of a method whose
+// name carries the *Locked contract, or "".
+func lockedReceiver(fd *ast.FuncDecl) string {
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil {
+		return ""
+	}
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// mutexFields lists the mutex-typed field names of fd's receiver
+// struct.
+func mutexFields(pass *analysis.Pass, fd *ast.FuncDecl) []string {
+	named := pass.RecvNamed(fd)
+	if named == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if analysis.IsMutex(st.Field(i).Type()) {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// checkNoSelfLock flags Lock/RLock of the receiver's own mutex inside
+// a *Locked method (rule 1).
+func (c *checker) checkNoSelfLock(fd *ast.FuncDecl, recv string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		base, name, isLock := c.mutexOp(call)
+		if isLock && (name == "Lock" || name == "RLock") && baseRoot(base) == recv {
+			if !c.pass.OptedOut(c.file, c.fn, call) {
+				c.pass.Reportf(call.Pos(),
+					"%s locks %s inside *Locked method %s: the contract says the "+
+						"caller already holds it (deadlock)", name, base, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checker carries the per-function state for rules 2 and 3.
+type checker struct {
+	pass    *analysis.Pass
+	file    *ast.File
+	fn      *ast.FuncDecl
+	guarded map[types.Object]guardedField
+}
+
+// mutexOp decodes call as <base>.<mu>.Lock/Unlock/RLock/RUnlock,
+// returning the rendered mutex path ("s.mu"), the method name and
+// whether it is a mutex operation at all.
+func (c *checker) mutexOp(call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	if !analysis.IsMutex(c.pass.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// baseRoot returns the leading identifier of a rendered selector path
+// ("s.inner.mu" → "s").
+func baseRoot(path string) string {
+	root, _, _ := strings.Cut(path, ".")
+	return root
+}
+
+// block walks stmts lexically, threading the held-lock set through and
+// checking rules 2 and 3 at each site. It returns the lock state at
+// the block's fall-through exit.
+func (c *checker) block(b *ast.BlockStmt, held map[string]bool) map[string]bool {
+	for _, s := range b.List {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// stmt processes one statement, returning the updated lock state.
+func (c *checker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.ExprStmt:
+		return c.exprStmt(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit;
+		// other defers are checked as ordinary calls at their position
+		// (the lock state at defer time approximates exit state well
+		// for the unlock-on-every-path idiom).
+		if path, name, ok := c.mutexOp(s.Call); ok {
+			_ = path
+			_ = name
+			return held
+		}
+		c.checkExpr(s.Call, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		held = c.stmt(s.Init, held)
+		c.checkExpr(s.Cond, held)
+		bodyOut := c.block(s.Body, copySet(held))
+		var states []map[string]bool
+		if !terminates(s.Body) {
+			states = append(states, bodyOut)
+		}
+		if s.Else != nil {
+			elseOut := c.stmt(s.Else, copySet(held))
+			if !stmtTerminates(s.Else) {
+				states = append(states, elseOut)
+			}
+		} else {
+			states = append(states, held)
+		}
+		return mergeStates(states, held)
+	case *ast.BlockStmt:
+		return c.block(s, copySet(held))
+	case *ast.ForStmt:
+		held2 := c.stmt(s.Init, copySet(held))
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held2)
+		}
+		c.stmt(s.Post, copySet(held2))
+		c.block(s.Body, copySet(held2))
+		return held
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.block(s.Body, copySet(held))
+		return held
+	case *ast.SwitchStmt:
+		held = c.stmt(s.Init, held)
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				h := copySet(held)
+				for _, e := range cc.List {
+					c.checkExpr(e, h)
+				}
+				for _, st := range cc.Body {
+					h = c.stmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		held = c.stmt(s.Init, held)
+		c.stmt(s.Assign, held)
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				h := copySet(held)
+				for _, st := range cc.Body {
+					h = c.stmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				h := copySet(held)
+				h = c.stmt(cc.Comm, h)
+				for _, st := range cc.Body {
+					h = c.stmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine runs later: its body (often a closure, handled
+		// separately) cannot rely on the current lock state. Arguments
+		// are evaluated now, though.
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, held)
+		}
+		return held
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held)
+		c.checkExpr(s.Value, held)
+		return held
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held)
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	default:
+		return held
+	}
+}
+
+// exprStmt handles a statement-level expression: mutex operations
+// mutate the held set, everything else is checked.
+func (c *checker) exprStmt(e ast.Expr, held map[string]bool) map[string]bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if path, name, isMu := c.mutexOp(call); isMu {
+			switch name {
+			case "Lock", "RLock":
+				held = copySet(held)
+				held[path] = true
+			case "Unlock", "RUnlock":
+				held = copySet(held)
+				delete(held, path)
+			}
+			return held
+		}
+	}
+	c.checkExpr(e, held)
+	return held
+}
+
+// checkExpr walks an expression checking rules 2 and 3 against the
+// current lock state. FuncLits are skipped (checked independently).
+func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.checkLockedCall(n, held)
+		case *ast.SelectorExpr:
+			c.checkGuardedAccess(n, held)
+		}
+		return true
+	})
+}
+
+// checkLockedCall enforces rule 2: x.fooLocked(...) needs x's mutex.
+func (c *checker) checkLockedCall(call *ast.CallExpr, held map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	if c.pass.Method(call) == nil {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if c.holdsAny(held, base) {
+		return
+	}
+	if c.constructing(sel.X) {
+		return
+	}
+	if c.pass.OptedOut(c.file, c.fn, call) {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to %s.%s without holding %s's mutex: *Locked methods require "+
+			"the caller to hold the lock", base, sel.Sel.Name, base)
+}
+
+// checkGuardedAccess enforces rule 3: reads/writes of guardedby fields
+// need the annotated mutex on the same base.
+func (c *checker) checkGuardedAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	g, ok := c.guarded[selection.Obj()]
+	if !ok {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if held[base+"."+g.mutex] {
+		return
+	}
+	if c.constructing(sel.X) {
+		return
+	}
+	if c.pass.OptedOut(c.file, c.fn, sel) {
+		return
+	}
+	c.pass.Reportf(sel.Pos(),
+		"access to %s.%s without holding %s.%s (field is //pynamic:guardedby %s)",
+		base, sel.Sel.Name, base, g.mutex, g.mutex)
+}
+
+// holdsAny reports whether any mutex rooted at base is held ("s" →
+// "s.mu" held counts).
+func (c *checker) holdsAny(held map[string]bool, base string) bool {
+	for path := range held {
+		if path == base || strings.HasPrefix(path, base+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// constructing reports whether the base expression is a local variable
+// defined inside this function — the not-yet-shared construction
+// window. A constructor building its struct may set guarded fields and
+// call *Locked helpers lock-free: no other goroutine can see the value
+// yet.
+func (c *checker) constructing(base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	if c.fn.Body == nil {
+		return false
+	}
+	// Defined by a := / var inside the function body (parameters and
+	// receivers have positions in the signature, outside the body).
+	return obj.Pos() > c.fn.Body.Lbrace && obj.Pos() < c.fn.Body.Rbrace
+}
+
+// mergeStates unions branch exit states: a lock is considered held
+// after the join if any non-terminating path held it. Permissive by
+// design — the analyzer is a ratchet, and the union avoids poisoning
+// the common unlock-and-early-return shape.
+func mergeStates(states []map[string]bool, fallback map[string]bool) map[string]bool {
+	if len(states) == 0 {
+		return fallback
+	}
+	out := copySet(states[0])
+	for _, s := range states[1:] {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// terminates reports whether a block always exits the enclosing
+// function or loop at its end (return, branch, panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+// stmtTerminates reports whether s unconditionally leaves the
+// fall-through path.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}

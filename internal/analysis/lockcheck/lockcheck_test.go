@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestLockcheckFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", Analyzer, "lockfix")
+}

@@ -1,0 +1,121 @@
+// Package lockfix is the lockcheck analyzer fixture: *Locked methods
+// must not self-lock, their callers must hold the mutex, and
+// guardedby-annotated fields must only be touched under their mutex.
+package lockfix
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+
+	jobs  map[int]string //pynamic:guardedby mu
+	order []int          //pynamic:guardedby mu
+	free  int
+}
+
+// selfLock re-acquires the mutex its name promises is already held.
+func (s *server) selfLockLocked() {
+	s.mu.Lock() // want `Lock locks s\.mu inside \*Locked method selfLockLocked`
+	s.free++
+}
+
+// unlockTransfer releases the caller's lock — the serve-layer idiom —
+// which is legal.
+func (s *server) unlockTransferLocked(id int) {
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// dropLocked mutates guarded state; its name carries the contract, so
+// the accesses inside are fine.
+func (s *server) dropLocked(id int) {
+	delete(s.jobs, id)
+	s.order = s.order[:0]
+}
+
+// nestedLocked may call another *Locked method on the same receiver.
+func (s *server) nestedLocked(id int) {
+	s.dropLocked(id)
+}
+
+func (s *server) callWithoutLock(id int) {
+	s.dropLocked(id) // want `call to s\.dropLocked without holding s's mutex`
+}
+
+func (s *server) callWithLock(id int) {
+	s.mu.Lock()
+	s.dropLocked(id)
+	s.mu.Unlock()
+}
+
+func (s *server) callWithDeferredUnlock(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropLocked(id)
+}
+
+func (s *server) callAfterUnlock(id int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.dropLocked(id) // want `call to s\.dropLocked without holding s's mutex`
+}
+
+func (s *server) guardedWithoutLock() int {
+	return len(s.order) // want `access to s\.order without holding s\.mu`
+}
+
+func (s *server) guardedWithLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// earlyReturn unlocks on the error path and returns; the fall-through
+// path still holds the lock.
+func (s *server) earlyReturn(id int) bool {
+	s.mu.Lock()
+	if id < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.jobs[id] = "live"
+	s.mu.Unlock()
+	return true
+}
+
+// closures run later: lock state does not flow in.
+func (s *server) closureLoses(id int) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.dropLocked(id) // want `call to s\.dropLocked without holding s's mutex`
+	}
+}
+
+func (s *server) closureRelocks(id int) func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.dropLocked(id)
+	}
+}
+
+// newServer builds the value before it is shared: guarded fields may
+// be set and *Locked helpers called lock-free inside the construction
+// window.
+func newServer() *server {
+	s := &server{}
+	s.jobs = make(map[int]string)
+	s.order = make([]int, 0, 8)
+	s.dropLocked(0)
+	return s
+}
+
+func (s *server) allowedSite(id int) {
+	s.dropLocked(id) //pynamic:allow lockcheck single-goroutine startup path
+}
+
+// unguarded fields need no lock.
+func (s *server) unguardedOK() int {
+	return s.free
+}

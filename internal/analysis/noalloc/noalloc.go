@@ -1,0 +1,471 @@
+// Package noalloc implements the pynamic-lint analyzer that guards
+// the zero-alloc kernel statically. Functions annotated
+// //pynamic:noalloc (the dynld/pyvm hot paths and their helpers) must
+// not contain alloc-inducing constructs: closures, fmt calls,
+// interface boxing, un-presized make/append, string building or
+// goroutine launches. It is the compile-time complement of the
+// runtime 0 B/op benchmark gate: the gate proves steady state is
+// clean, this analyzer stops a patch from re-introducing a per-call
+// allocation in the first place. Constructs inside a return statement
+// are exempt — constructing an error to return is the cold path the
+// runtime gate never exercises.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "forbids alloc-inducing constructs (closures, fmt, interface " +
+		"boxing, un-presized make/append, string concatenation, go " +
+		"statements) inside functions annotated //pynamic:noalloc; " +
+		"return statements are exempt as the cold error path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.EachFunc(func(file *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || !pass.FuncDirective(fd, "noalloc") {
+			return
+		}
+		w := &walker{pass: pass, file: file, fn: fd}
+		w.stmts(fd.Body.List, false)
+	})
+	return nil
+}
+
+// walker traverses one noalloc function, tracking whether the current
+// position is inside a return statement (the cold-path exemption).
+type walker struct {
+	pass *analysis.Pass
+	file *ast.File
+	fn   *ast.FuncDecl
+}
+
+// flag reports one alloc-inducing construct unless an allow directive
+// silences it.
+func (w *walker) flag(n ast.Node, format string, args ...any) {
+	if w.pass.OptedOut(w.file, nil, n) {
+		return
+	}
+	w.pass.Reportf(n.Pos(), "%s in //pynamic:noalloc function %s",
+		formatMsg(format, args...), w.fn.Name.Name)
+}
+
+// formatMsg renders the finding text.
+func formatMsg(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+func (w *walker) stmts(list []ast.Stmt, inReturn bool) {
+	for _, s := range list {
+		w.stmt(s, inReturn)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, inReturn bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ReturnStmt:
+		// Cold-path exemption: error construction on the way out is
+		// allowed; the hot path never executes it.
+		for _, e := range s.Results {
+			w.expr(e, true)
+		}
+	case *ast.GoStmt:
+		w.flag(s, "go statement (allocates a goroutine)")
+	case *ast.ExprStmt:
+		w.expr(s.X, inReturn)
+	case *ast.AssignStmt:
+		w.assign(s, inReturn)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, inReturn)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, inReturn)
+		w.expr(s.Cond, inReturn)
+		w.stmt(s.Body, inReturn)
+		w.stmt(s.Else, inReturn)
+	case *ast.ForStmt:
+		w.stmt(s.Init, inReturn)
+		if s.Cond != nil {
+			w.expr(s.Cond, inReturn)
+		}
+		w.stmt(s.Post, inReturn)
+		w.stmt(s.Body, inReturn)
+	case *ast.RangeStmt:
+		w.expr(s.X, inReturn)
+		w.stmt(s.Body, inReturn)
+	case *ast.BlockStmt:
+		w.stmts(s.List, inReturn)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, inReturn)
+		if s.Tag != nil {
+			w.expr(s.Tag, inReturn)
+		}
+		w.stmt(s.Body, inReturn)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, inReturn)
+		w.stmt(s.Assign, inReturn)
+		w.stmt(s.Body, inReturn)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, inReturn)
+		}
+		w.stmts(s.Body, inReturn)
+	case *ast.SelectStmt:
+		w.stmt(s.Body, inReturn)
+	case *ast.CommClause:
+		w.stmt(s.Comm, inReturn)
+		w.stmts(s.Body, inReturn)
+	case *ast.DeferStmt:
+		// Open-coded defers do not allocate; check the call's args.
+		w.call(s.Call, inReturn)
+	case *ast.SendStmt:
+		w.expr(s.Chan, inReturn)
+		w.expr(s.Value, inReturn)
+	case *ast.IncDecStmt:
+		w.expr(s.X, inReturn)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, inReturn)
+	}
+}
+
+// assign checks the RHS expressions and flags interface boxing into
+// existing interface-typed destinations.
+func (w *walker) assign(s *ast.AssignStmt, inReturn bool) {
+	for _, e := range s.Rhs {
+		w.expr(e, inReturn)
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		lt := w.pass.TypeOf(lhs)
+		rt := w.pass.TypeOf(s.Rhs[i])
+		if w.boxes(lt, rt) && !inReturn {
+			w.flag(s.Rhs[i], "interface boxing (assigning %s into %s)", rt, lt)
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type rt into a
+// destination of type lt converts a concrete value to an interface —
+// an allocation for anything bigger than a pointer word.
+func (w *walker) boxes(lt, rt types.Type) bool {
+	if lt == nil || rt == nil {
+		return false
+	}
+	if !analysis.IsInterface(lt) || analysis.IsInterface(rt) {
+		return false
+	}
+	if b, ok := rt.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func (w *walker) expr(e ast.Expr, inReturn bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		w.flag(e, "closure literal (captures allocate)")
+		// Do not descend: one finding per closure is enough.
+	case *ast.CallExpr:
+		w.call(e, inReturn)
+	case *ast.CompositeLit:
+		w.composite(e, inReturn, false)
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op.String() == "&" {
+			w.composite(cl, inReturn, true)
+			return
+		}
+		w.expr(e.X, inReturn)
+	case *ast.BinaryExpr:
+		if e.Op.String() == "+" && !inReturn {
+			if t := w.pass.TypeOf(e); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.flag(e, "string concatenation")
+				}
+			}
+		}
+		w.expr(e.X, inReturn)
+		w.expr(e.Y, inReturn)
+	case *ast.ParenExpr:
+		w.expr(e.X, inReturn)
+	case *ast.SelectorExpr:
+		w.expr(e.X, inReturn)
+	case *ast.IndexExpr:
+		w.expr(e.X, inReturn)
+		w.expr(e.Index, inReturn)
+	case *ast.SliceExpr:
+		w.expr(e.X, inReturn)
+	case *ast.StarExpr:
+		w.expr(e.X, inReturn)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, inReturn)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, inReturn)
+	}
+}
+
+// composite flags heap-bound composite literals: any &T{...} and any
+// slice/map literal. Plain struct values stay on the stack and pass.
+func (w *walker) composite(cl *ast.CompositeLit, inReturn, addressed bool) {
+	if !inReturn {
+		t := w.pass.TypeOf(cl)
+		switch {
+		case addressed:
+			w.flag(cl, "pointer-to-composite literal (escapes to the heap)")
+		case t != nil && isSliceOrMap(t):
+			w.flag(cl, "%s literal", kindWord(t))
+		}
+	}
+	for _, el := range cl.Elts {
+		w.expr(el, inReturn)
+	}
+}
+
+func isSliceOrMap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func kindWord(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// call dispatches the per-call checks: fmt, make/new/append, string
+// conversions, and interface boxing of arguments.
+func (w *walker) call(call *ast.CallExpr, inReturn bool) {
+	for _, a := range call.Args {
+		w.expr(a, inReturn)
+	}
+	if pkg, name := w.pass.PkgFunc(call); pkg == "fmt" {
+		// A returned fmt.Errorf is the cold error path — the same
+		// exemption returned error constructions get.
+		if !inReturn {
+			w.flag(call, "fmt.%s call (formats allocate)", name)
+		}
+		return
+	}
+	switch {
+	case w.pass.IsBuiltin(call, "make"):
+		w.checkMake(call, inReturn)
+	case w.pass.IsBuiltin(call, "new"):
+		if !inReturn {
+			w.flag(call, "new() (heap allocation)")
+		}
+	case w.pass.IsBuiltin(call, "append"):
+		w.checkAppend(call, inReturn)
+	default:
+		w.checkConversion(call, inReturn)
+		w.checkArgBoxing(call, inReturn)
+	}
+}
+
+// checkMake tolerates presized makes (explicit capacity or map size
+// hint): those are deliberate one-time growth the arena/batch setup
+// performs. Everything else is flagged.
+func (w *walker) checkMake(call *ast.CallExpr, inReturn bool) {
+	if inReturn || len(call.Args) == 0 {
+		return
+	}
+	t := w.pass.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		if len(call.Args) < 3 {
+			w.flag(call, "un-presized make (no capacity argument)")
+		}
+	case *types.Map:
+		if len(call.Args) < 2 {
+			w.flag(call, "un-presized make (no size hint)")
+		}
+	case *types.Chan:
+		w.flag(call, "channel make")
+	}
+}
+
+// checkAppend allows appends into retained buffers — a struct field
+// (ip.frames), an element of one, or a local created with explicit
+// capacity or returned by an arena call — and flags the rest as
+// un-presized growth.
+func (w *walker) checkAppend(call *ast.CallExpr, inReturn bool) {
+	if inReturn || len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	for {
+		switch d := dst.(type) {
+		case *ast.SliceExpr:
+			dst = d.X
+			continue
+		case *ast.IndexExpr:
+			dst = d.X
+			continue
+		case *ast.ParenExpr:
+			dst = d.X
+			continue
+		}
+		break
+	}
+	switch d := dst.(type) {
+	case *ast.SelectorExpr:
+		// Retained buffer on a struct: growth is amortized across
+		// calls, exactly the pyvm frame-stack pattern.
+		return
+	case *ast.Ident:
+		if w.localHasCapacity(d) {
+			return
+		}
+		w.flag(call, "append to un-presized slice %q", d.Name)
+	default:
+		_ = d
+		w.flag(call, "append to un-presized slice")
+	}
+}
+
+// localHasCapacity reports whether ident is a local created in this
+// function by a capacity-carrying make or by a (non-make) call — the
+// arena.Make pattern.
+func (w *walker) localHasCapacity(id *ast.Ident) bool {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	ok := false
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			def := w.pass.TypesInfo.Defs[lid]
+			use := w.pass.TypesInfo.Uses[lid]
+			if def != obj && use != obj {
+				continue
+			}
+			rhs, isCall := as.Rhs[i].(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			if w.pass.IsBuiltin(rhs, "make") {
+				if len(rhs.Args) >= 3 {
+					ok = true
+				}
+			} else if !w.isAnyBuiltin(rhs) && w.pass.CalleeSig(rhs) != nil {
+				// A call (arena.Make, append chains, ...) produced the
+				// slice; trust it to be sized.
+				ok = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, which
+// always copy.
+func (w *walker) checkConversion(call *ast.CallExpr, inReturn bool) {
+	if inReturn || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	to := tv.Type
+	from := w.pass.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if isStringBytesPair(to, from) || isStringBytesPair(from, to) {
+		w.flag(call, "%s(%s) conversion (copies)", to, from)
+	}
+}
+
+// isStringBytesPair reports a string → []byte/[]rune shape (or the
+// reverse, when called with swapped arguments).
+func isStringBytesPair(a, b types.Type) bool {
+	ab, aIsBasic := a.Underlying().(*types.Basic)
+	if !aIsBasic || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, bIsSlice := b.Underlying().(*types.Slice)
+	if !bIsSlice {
+		return false
+	}
+	el, elIsBasic := sl.Elem().Underlying().(*types.Basic)
+	return elIsBasic && (el.Kind() == types.Byte || el.Kind() == types.Rune ||
+		el.Kind() == types.Uint8 || el.Kind() == types.Int32)
+}
+
+// checkArgBoxing flags concrete values passed to interface-typed
+// parameters (including variadic ...any), each of which boxes.
+func (w *walker) checkArgBoxing(call *ast.CallExpr, inReturn bool) {
+	if inReturn {
+		return
+	}
+	sig := w.pass.CalleeSig(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if w.boxes(pt, w.pass.TypeOf(arg)) {
+			w.flag(arg, "interface boxing (passing %s as %s)", w.pass.TypeOf(arg), pt)
+		}
+	}
+}
+
+// isAnyBuiltin reports whether call invokes any builtin function
+// (append/make/copy/...), which never vouches for capacity.
+func (w *walker) isAnyBuiltin(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		_, isB := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+		return isB
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestNoallocFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", Analyzer, "noallocfix")
+}

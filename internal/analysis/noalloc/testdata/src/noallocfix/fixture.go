@@ -1,0 +1,145 @@
+// Package noallocfix is the noalloc analyzer fixture: annotated
+// functions must reject alloc-inducing constructs, unannotated ones
+// are ignored, and the return-statement cold-path exemption holds.
+package noallocfix
+
+import "fmt"
+
+type sink struct {
+	frames []int
+	memo   map[int]int
+}
+
+type badErr struct{ code int }
+
+func (e *badErr) Error() string { return "bad" }
+
+//pynamic:noalloc
+func closure(s *sink) func() {
+	f := func() {} // want `closure literal`
+	return f
+}
+
+//pynamic:noalloc
+func fmtCall(n int) {
+	fmt.Println(n) // want `fmt.Println call`
+}
+
+//pynamic:noalloc
+func goroutine(ch chan int) {
+	go drain(ch) // want `go statement`
+}
+
+func drain(ch chan int) {}
+
+//pynamic:noalloc
+func unpresizedMake(n int) {
+	_ = make([]int, n)    // want `un-presized make \(no capacity argument\)`
+	_ = make(map[int]int) // want `un-presized make \(no size hint\)`
+}
+
+//pynamic:noalloc
+func presizedMakeOK(n int) {
+	a := make([]int, 0, n)
+	m := make(map[int]int, n)
+	_, _ = a, m
+}
+
+//pynamic:noalloc
+func appendToLocal(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to un-presized slice "out"`
+	}
+	return out
+}
+
+//pynamic:noalloc
+func appendToPresizedOK(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//pynamic:noalloc
+func appendToFieldOK(s *sink, v int) {
+	s.frames = append(s.frames, v)
+	s.frames = append(s.frames[:0], v)
+}
+
+//pynamic:noalloc
+func stringConcat(a, b string) int {
+	c := a + b // want `string concatenation`
+	return len(c)
+}
+
+//pynamic:noalloc
+func stringConversion(b []byte) int {
+	s := string(b) // want `string\(\[\]byte\) conversion`
+	return len(s)
+}
+
+//pynamic:noalloc
+func pointerLiteral() *badErr {
+	e := &badErr{code: 1} // want `pointer-to-composite literal`
+	return e
+}
+
+//pynamic:noalloc
+func coldReturnOK(fail bool) error {
+	if fail {
+		return &badErr{code: 2}
+	}
+	return nil
+}
+
+//pynamic:noalloc
+func coldReturnErrorfOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	return nil
+}
+
+//pynamic:noalloc
+func boxing(v int) {
+	var x interface{}
+	x = v // want `interface boxing \(assigning int into interface\{\}\)`
+	_ = x
+}
+
+//pynamic:noalloc
+func boxingArg(v int) {
+	take(v) // want `interface boxing \(passing int as interface\{\}\)`
+}
+
+func take(x interface{}) {}
+
+//pynamic:noalloc
+func interfacePassThroughOK(x interface{}) {
+	take(x)
+}
+
+//pynamic:noalloc
+func allowedSite(s *sink, n int) {
+	s.memo = make(map[int]int) //pynamic:allow noalloc one-time lazy init
+	_ = n
+}
+
+func unannotatedOK() []int {
+	var out []int
+	for i := 0; i < 4; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//pynamic:noalloc
+func valueStructOK() (int, bool) {
+	p := pair{a: 1, b: 2}
+	return p.a, true
+}
+
+type pair struct{ a, b int }

@@ -1,0 +1,30 @@
+// Package framework is the self-test fixture for the analysis
+// framework: a toy analyzer flags time.Now and the directives must
+// silence it.
+package framework
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time.Now is forbidden here`
+}
+
+//pynamic:nondeterministic deliberate wall-clock read
+func allowedByFuncDirective() time.Time {
+	return time.Now()
+}
+
+func allowedByLineDirective() time.Time {
+	//pynamic:allow timenow measuring elapsed wall time
+	return time.Now()
+}
+
+func allowedByTrailingDirective() time.Time {
+	return time.Now() //pynamic:allow timenow
+}
+
+func badTwice() (time.Time, time.Time) {
+	a := time.Now() // want `time.Now is forbidden here`
+	b := time.Now() // want `time.Now is forbidden here`
+	return a, b
+}

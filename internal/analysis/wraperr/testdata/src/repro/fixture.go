@@ -1,0 +1,72 @@
+// Package pynamic (fixture) exercises the wraperr analyzer: exported
+// functions in the root package must not return unclassifiable errors.
+package pynamic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig stands in for the real sentinel.
+var ErrBadConfig = errors.New("pynamic: bad config")
+
+type wrapped struct {
+	op  string
+	err error
+}
+
+func (w *wrapped) Error() string { return w.op + ": " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
+func wrapErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &wrapped{op: op, err: err}
+}
+
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want `exported Validate returns a bare errors\.New`
+	}
+	return nil
+}
+
+func Describe(n int) error {
+	if n > 10 {
+		return fmt.Errorf("too big: %d", n) // want `exported Describe returns a bare fmt\.Errorf without %w`
+	}
+	return nil
+}
+
+func WrappedOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("n must be >= 0, got %d: %w", n, ErrBadConfig)
+	}
+	return nil
+}
+
+func StructuredOK(n int) error {
+	return wrapErr("Structured", Validate(n))
+}
+
+func PassThroughOK(n int) error {
+	if err := Validate(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+//pynamic:allow wraperr interop shim kept bug-for-bug compatible
+func LegacyAllowed() error {
+	return errors.New("legacy text")
+}
+
+// unexported helpers may build plain causes; the exported caller wraps.
+func cause(n int) error {
+	return fmt.Errorf("bad n %d", n)
+}
+
+func Outer(n int) error {
+	return wrapErr("Outer", cause(n))
+}

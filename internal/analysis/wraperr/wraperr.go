@@ -1,0 +1,121 @@
+// Package wraperr implements the pynamic-lint analyzer that keeps the
+// public error contract honest. Every error crossing the Engine
+// boundary is documented to be matchable: errors.As recovers the
+// *pynamic.Error carrying Op/Stage, and errors.Is reaches the
+// internal/api sentinels. An exported root-package function returning
+// a bare errors.New or a fmt.Errorf with no %w verb breaks both — the
+// caller gets a string and nothing to match on. The fix is wrapErr,
+// badConfig, or chaining a sentinel with %w.
+package wraperr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// RootPackage is the import path of the public facade whose exported
+// functions carry the Op/Stage error contract.
+const RootPackage = "repro"
+
+// Analyzer is the wraperr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc: "exported root-package functions must not return bare errors.New " +
+		"or %w-less fmt.Errorf: wrap with wrapErr or chain a sentinel so " +
+		"errors.Is/As work across the public boundary",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != RootPackage {
+		return nil
+	}
+	pass.EachFunc(func(file *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || pass.IsTestFile(file) {
+			return
+		}
+		if !ast.IsExported(fd.Name.Name) {
+			return
+		}
+		if !returnsError(pass, fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				checkResult(pass, file, fd, res)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// returnsError reports whether fd's results include an error.
+func returnsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if t := pass.TypeOf(field.Type); t != nil && isError(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkResult flags a returned bare errors.New or %w-less fmt.Errorf.
+func checkResult(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, res ast.Expr) {
+	call, ok := res.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	pkg, name := pass.PkgFunc(call)
+	var reason string
+	switch {
+	case pkg == "errors" && name == "New":
+		reason = "errors.New"
+	case pkg == "fmt" && name == "Errorf" && !errorfWraps(call):
+		reason = "fmt.Errorf without %w"
+	default:
+		return
+	}
+	if pass.OptedOut(file, fd, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"exported %s returns a bare %s: callers cannot errors.Is/As across "+
+			"the public boundary — wrap with wrapErr(op, stage, err) or chain "+
+			"a sentinel with %%w", fd.Name.Name, reason)
+}
+
+// errorfWraps reports whether the fmt.Errorf call's format literal
+// contains a %w verb. A non-literal format is given the benefit of the
+// doubt.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

@@ -1,0 +1,11 @@
+package wraperr
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestWraperrFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", Analyzer, "repro")
+}
