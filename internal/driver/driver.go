@@ -145,6 +145,8 @@ func (m *Metrics) TotalSec() float64 {
 }
 
 // Run executes the driver — a 1-rank job — and returns its metrics.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Run(cfg Config) (*Metrics, error) {
 	return RunCtx(context.Background(), cfg)
 }

@@ -468,6 +468,8 @@ func (ld *Loader) mapObject(img *elfimg.Image, prelinked bool) (*LinkEntry, erro
 // avgChain is the expected hash-chain length across loaded objects.
 // Memoized per link-map generation: the inputs only change when an
 // object is mapped, and probeScope calls this once per lookup.
+//
+//pynamic:noalloc
 func (ld *Loader) avgChain() float64 {
 	if ld.chainGen == ld.scopeGen+1 {
 		return ld.chainVal
@@ -491,6 +493,8 @@ func (ld *Loader) avgChain() float64 {
 // traffic and performs no writes, so it is safe for the parallel
 // relocation resolvers to call concurrently between batch mapping and
 // batch apply.
+//
+//pynamic:noalloc
 func (ld *Loader) defSite(id elfimg.SymID) (DefSite, bool) {
 	if sh := ld.opts.Shared; sh != nil {
 		oi, si, ok := sh.lookup(id)
@@ -523,6 +527,8 @@ func (ld *Loader) defSite(id elfimg.SymID) (DefSite, bool) {
 // aggregate hash/symtab/strtab zones (statistically identical to
 // per-object probes and O(1) per lookup); the defining object's chain
 // walk and name compare are issued against its real addresses.
+//
+//pynamic:noalloc
 func (ld *Loader) lookup(from *LinkEntry, id elfimg.SymID) (DefSite, error) {
 	def, ok := ld.defSite(id)
 	if err := ld.lookupTraffic(from, id, def, ok); err != nil {
@@ -536,6 +542,8 @@ func (ld *Loader) lookup(from *LinkEntry, id elfimg.SymID) (DefSite, error) {
 // now by lookup, or earlier by a parallel relocation resolve pass. It
 // is the single source of lookup traffic, so batched and unbatched
 // resolution are byte-identical by construction.
+//
+//pynamic:noalloc
 func (ld *Loader) lookupTraffic(from *LinkEntry, id elfimg.SymID, def DefSite, ok bool) error {
 	ld.stats.Lookups++
 	if !ok {
@@ -578,6 +586,8 @@ func (ld *Loader) lookupTraffic(from *LinkEntry, id elfimg.SymID, def DefSite, o
 // average-length chain of symbol entries, and rejects each candidate
 // after a short string compare. extraLines adds per-probe strtab lines
 // (0 = the common fast reject on the first bytes).
+//
+//pynamic:noalloc
 func (ld *Loader) probeScope(n int, extraLines uint64) {
 	if n <= 0 {
 		return
@@ -687,6 +697,8 @@ const minParallelRelocs = 256
 // fixed, results are byte-identical at any worker count — and to the
 // NoFastPath baseline, which relocates object-by-object with
 // interleaved resolve-and-apply.
+//
+//pynamic:noalloc
 func (ld *Loader) relocateAll(fresh []*LinkEntry, eager bool) error {
 	if ld.opts.NoFastPath {
 		for _, le := range fresh {
@@ -803,6 +815,8 @@ func (ld *Loader) resolveBatch(fresh []*LinkEntry, ent, rel []int32, defs []DefS
 
 // resolveRange resolves the [lo, hi) slice of a relocation batch. Reads
 // only immutable loader state and writes only its own defs/oks slots.
+//
+//pynamic:noalloc
 func (ld *Loader) resolveRange(fresh []*LinkEntry, ent, rel []int32, defs []DefSite, oks []bool, lo, hi int) {
 	for k := lo; k < hi; k++ {
 		le := fresh[ent[k]]
@@ -812,11 +826,15 @@ func (ld *Loader) resolveRange(fresh []*LinkEntry, ent, rel []int32, defs []DefS
 
 // gotSlotOff returns the GOT offset of relocation slot i (past the
 // three reserved header entries).
+//
+//pynamic:noalloc
 func gotSlotOff(i int) uint64 { return 3*8 + uint64(i)*8 }
 
 // memoizeReloc records the final binding of relocation slot i. A slot
 // binds at most once (the GOT then holds the resolved address), so the
 // memo needs no invalidation.
+//
+//pynamic:noalloc
 func (le *LinkEntry) memoizeReloc(i int, def DefSite) {
 	if le.relocDef != nil {
 		le.relocDef[i] = def

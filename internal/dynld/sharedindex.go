@@ -60,6 +60,8 @@ func (si *SharedIndex) Objects() int { return len(si.objOf) }
 
 // lookup resolves id to (dense object index, symbol index). Read-only
 // and safe for concurrent use.
+//
+//pynamic:noalloc
 func (si *SharedIndex) lookup(id elfimg.SymID) (obj, sym int32, ok bool) {
 	k := uint64(id) + 1
 	i := symMix(id) & si.mask
@@ -84,6 +86,8 @@ func (si *SharedIndex) objIndex(soname string) (int32, bool) {
 // insert registers id → (object oi, symbol symIdx) unless a definer is
 // already recorded: the SysV first-definer rule. The table is presized
 // by NewIndexBuilder and never grows.
+//
+//pynamic:noalloc
 func (si *SharedIndex) insert(id elfimg.SymID, oi, symIdx int32) {
 	k := uint64(id) + 1
 	i := symMix(id) & si.mask

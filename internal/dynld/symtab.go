@@ -50,6 +50,8 @@ func symMix(id elfimg.SymID) uint64 { return uint64(id) * 0x9e3779b97f4a7c15 }
 
 // insert registers id → (scopePos, symIdx) unless id is already
 // present: the SysV first-definer rule.
+//
+//pynamic:noalloc
 func (t *defTable) insert(id elfimg.SymID, scopePos, symIdx int32) {
 	if t.used >= t.max {
 		t.grow()
@@ -74,6 +76,8 @@ func (t *defTable) insert(id elfimg.SymID, scopePos, symIdx int32) {
 // get returns id's definer, if registered. Read-only: safe for
 // concurrent use by the parallel relocation resolvers once the batch's
 // objects are mapped.
+//
+//pynamic:noalloc
 func (t *defTable) get(id elfimg.SymID) (scopePos, symIdx int32, ok bool) {
 	k := uint64(id) + 1
 	i := symMix(id) & t.mask

@@ -82,6 +82,8 @@ type TableIResult struct {
 
 // RunTableI executes the driver in all three build configurations over
 // one generated workload (E1; the same runs provide E2).
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func RunTableI(opts Options) (*TableIResult, error) {
 	return RunTableICtx(context.Background(), opts, nil)
 }
@@ -283,6 +285,8 @@ type TableIIIResult struct {
 
 // RunTableIII generates the full LLNL-model workload (always full
 // scale: size accounting is cheap) and aggregates its section sizes.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func RunTableIII(seed uint64) (*TableIIIResult, error) {
 	return RunTableIIICtx(context.Background(), seed, nil)
 }
@@ -367,6 +371,8 @@ type TableIVResult struct {
 
 // RunTableIV attaches the simulated debugger to the real-app model and
 // the Pynamic model at 32 tasks, cold then warm (E4).
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func RunTableIV(opts Options) (*TableIVResult, error) {
 	return RunTableIVCtx(context.Background(), opts, nil)
 }

@@ -213,6 +213,8 @@ func pickNodes(seed uint64, nodes int, frac float64, salt uint64) []int {
 }
 
 // Run executes the job and returns its result.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Run(cfg Config) (*Result, error) {
 	return RunCtx(context.Background(), cfg)
 }

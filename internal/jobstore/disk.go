@@ -425,7 +425,7 @@ func (d *Disk) Put(j Job) error {
 	if err := d.refreshLocked(); err != nil {
 		return err
 	}
-	row, changed := d.t.put(j, time.Now())
+	row, changed := d.t.put(j, time.Now()) //pynamic:nondeterministic UpdatedAt lease clock: conflict resolution, not canonical bytes
 	if !changed {
 		return nil
 	}

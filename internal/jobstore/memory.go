@@ -25,7 +25,7 @@ func (m *Memory) Put(j Job) error {
 	if m.closed {
 		return ErrClosed
 	}
-	m.t.put(j, time.Now())
+	m.t.put(j, time.Now()) //pynamic:nondeterministic UpdatedAt lease clock: conflict resolution, not canonical bytes
 	return nil
 }
 

@@ -166,6 +166,8 @@ func (r *recorder) add(latencyMs float64, failed bool) {
 // RunCell measures one cell against t. The context bounds the whole
 // cell; a cancellation mid-cell returns the partial measurement with
 // ctx's error.
+//
+//pynamic:nondeterministic measurement harness: latency is wall-clock by definition
 func RunCell(ctx context.Context, t Target, mix Mix, cfg CellConfig) (*CellResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -287,6 +289,8 @@ func newBudget(cfg CellConfig) *budget {
 
 // runClosed drives cfg.Concurrency workers, each issuing its next
 // request as soon as the previous one completes.
+//
+//pynamic:nondeterministic measurement loop: per-request latency stamps
 func runClosed(ctx context.Context, t Target, mix Mix, cfg CellConfig, sched *scheduler, rec *recorder) error {
 	bud := newBudget(cfg)
 	var wg sync.WaitGroup
@@ -314,6 +318,8 @@ func runClosed(ctx context.Context, t Target, mix Mix, cfg CellConfig, sched *sc
 // completions, bounded only by a 10×concurrency outstanding-request
 // cap (arrivals past the cap are counted as errors — the harness
 // refusing to model an infinite client population on a finite host).
+//
+//pynamic:nondeterministic measurement loop: per-request latency stamps
 func runOpen(ctx context.Context, t Target, mix Mix, cfg CellConfig, sched *scheduler, rec *recorder) error {
 	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
 	if interval <= 0 {

@@ -83,7 +83,7 @@ func RunSweep(ctx context.Context, sc SweepConfig, logf func(format string, args
 		return nil, err
 	}
 	concs, skews, caches := sc.axes()
-	res := &SweepResult{Stamp: time.Now().UTC().Format(time.RFC3339)}
+	res := &SweepResult{Stamp: time.Now().UTC().Format(time.RFC3339)} //pynamic:nondeterministic run stamp is provenance, not canonical bytes
 
 	var shared Target
 	urls := sc.TargetURLs

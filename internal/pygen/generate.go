@@ -67,6 +67,8 @@ func (g *generator) addFunc(b *elfimg.Builder, r *xrand.RNG) int {
 }
 
 // Generate builds the full workload for cfg.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Generate(cfg Config) (*Workload, error) {
 	return GenerateCtx(context.Background(), cfg)
 }

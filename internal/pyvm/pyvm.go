@@ -218,6 +218,8 @@ func (ip *Interp) VisitEntry(m *Module) error {
 // callee's depth check — so simulated traffic and error strings are
 // unchanged; only the host-side cost moves from O(depth) Go stack
 // frames per chain to appends into a retained slice.
+//
+//pynamic:noalloc
 func (ip *Interp) callEntry(le *dynld.LinkEntry, fi int) error {
 	f := le.Image.Funcs[fi]
 	ip.execBody(le, f, 0)
@@ -271,6 +273,8 @@ func (ip *Interp) callEntry(le *dynld.LinkEntry, fi int) error {
 // segment (every generated function reads a module-level global, so
 // visiting a module drags its .data through the cache once — the
 // Vanilla row's small-but-nonzero visit misses in Table II).
+//
+//pynamic:noalloc
 func (ip *Interp) execBody(le *dynld.LinkEntry, f elfimg.Func, depth int) {
 	ip.stats.Calls++
 	ip.mem.Instructions(instrCallFrame + uint64(f.NInstr))

@@ -367,6 +367,8 @@ type job struct {
 // RunMatrix executes the matrix through the worker pool. Cell order in
 // the result is grid order × repeat order, independent of scheduling,
 // so aggregated output is byte-identical for any worker count.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 	return RunMatrixCtx(context.Background(), reg, spec)
 }
@@ -378,7 +380,7 @@ func RunMatrix(reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
 // completed cells, aggregates for fully-completed grid points, and
 // Canceled set — together with an error wrapping api.ErrCanceled.
 func RunMatrixCtx(ctx context.Context, reg *Registry, spec MatrixSpec) (*MatrixResult, error) {
-	start := time.Now()
+	start := time.Now() //pynamic:nondeterministic Elapsed stamp: provenance, excluded from canonical bytes
 	names := spec.Experiments
 	if len(names) == 0 {
 		names = reg.Names()
@@ -563,7 +565,7 @@ func RunMatrixCtx(ctx context.Context, reg *Registry, spec MatrixSpec) (*MatrixR
 		}
 		res.Experiments = append(res.Experiments, er)
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //pynamic:nondeterministic Elapsed stamp: provenance, excluded from canonical bytes
 
 	// Cell events were produced inside the pool, so they are delivered
 	// here, at the barrier, in canonical cell order.

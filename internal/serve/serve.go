@@ -260,11 +260,11 @@ type Server struct {
 	// pointer is read under it too (UseFleet may arrive after New).
 	// Lock order is s.mu before record.mu, never the reverse.
 	mu       sync.Mutex
-	draining bool
-	fleet    *fleet.Fleet
-	jobs     map[string]*record
-	order    []string
-	nextID   int
+	draining bool               //pynamic:guardedby mu
+	fleet    *fleet.Fleet       //pynamic:guardedby mu
+	jobs     map[string]*record //pynamic:guardedby mu
+	order    []string           //pynamic:guardedby mu
+	nextID   int                //pynamic:guardedby mu
 }
 
 // New returns a Server over eng. If the store holds recoverable work
@@ -293,7 +293,7 @@ func New(eng *pynamic.Engine, opts Options) *Server {
 	if opts.Histograms == nil {
 		opts.Histograms = histo.NewRegistry()
 	}
-	base, stop := context.WithCancel(context.Background())
+	base, stop := context.WithCancel(context.Background()) //pynamic:allow ctxflow server-lifetime root; Shutdown cancels it
 	s := &Server{
 		eng:           eng,
 		base:          base,
@@ -413,6 +413,8 @@ func (s *Server) Handler() http.Handler {
 
 // observeRequests records every request's wall latency into the
 // request histogram, labeled by coarse route class.
+//
+//pynamic:nondeterministic request-latency histogram is telemetry, not canonical bytes
 func (s *Server) observeRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -618,7 +620,7 @@ func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request) {
 	// steal loop re-claims it. (If the same hash already has a row —
 	// e.g. a sibling replica accepted it first — Put is a no-op and
 	// the worker's Claim resolves who runs it.)
-	if err := s.store.Put(jobstore.Job{Hash: rec.id, Spec: canon, Submitted: time.Now().UnixNano()}); err != nil {
+	if err := s.store.Put(jobstore.Job{Hash: rec.id, Spec: canon, Submitted: time.Now().UnixNano()}); err != nil { //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 		s.mu.Lock()
 		rec.mu.Lock()
 		rec.status, rec.err = StatusFailed, "jobstore: "+err.Error()
@@ -696,7 +698,7 @@ func (s *Server) runSpec(ctx context.Context, rec *record) {
 		s.finishSpec(rec, StatusCanceled, "canceled while queued", nil)
 		return
 	}
-	_, err := s.store.Claim(s.node, rec.id, time.Now(), s.leaseTTL)
+	_, err := s.store.Claim(s.node, rec.id, time.Now(), s.leaseTTL) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 	if errors.Is(err, jobstore.ErrNotClaimable) {
 		// Another replica holds the job (or already finished it):
 		// mirror its outcome instead of re-executing.
@@ -785,7 +787,7 @@ func (s *Server) handleSpecFromStore(w http.ResponseWriter, r *http.Request, id,
 	case sub == "" && r.Method == http.MethodDelete:
 		if j.Status == jobstore.StatusQueued {
 			// Nobody claimed it yet; cancel directly in the store.
-			_ = s.store.Complete(id, s.node, StatusCanceled, "canceled by client", time.Now())
+			_ = s.store.Complete(id, s.node, StatusCanceled, "canceled by client", time.Now()) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 		}
 		if cur, stillThere := s.store.Get(id); stillThere {
 			j = cur

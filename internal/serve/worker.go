@@ -30,7 +30,7 @@ func (s *Server) finishSpec(rec *record, status, errMsg string, res *pynamic.Spe
 	s.pruneHistory()
 	// Late completion races (the job was stolen and finished elsewhere)
 	// surface as ErrNotOwner or a done-absorbing no-op; both are fine.
-	_ = s.store.Complete(rec.id, s.node, status, errMsg, time.Now())
+	_ = s.store.Complete(rec.id, s.node, status, errMsg, time.Now()) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 }
 
 // execClaimed runs a spec this server holds the store claim for:
@@ -55,7 +55,7 @@ func (s *Server) execClaimed(ctx context.Context, rec *record) {
 				// A heartbeat rejection means the lease expired and the
 				// job was stolen; keep running anyway — done-dominance
 				// and content-addressed results make the race harmless.
-				_ = s.store.Heartbeat(rec.id, s.node, time.Now(), s.leaseTTL)
+				_ = s.store.Heartbeat(rec.id, s.node, time.Now(), s.leaseTTL) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 			}
 		}
 	}()
@@ -103,7 +103,7 @@ func (s *Server) awaitRemote(ctx context.Context, rec *record) {
 			s.finishSpec(rec, j.Status, j.Error, res)
 			return
 		}
-		if _, err := s.store.Claim(s.node, rec.id, time.Now(), s.leaseTTL); err == nil {
+		if _, err := s.store.Claim(s.node, rec.id, time.Now(), s.leaseTTL); err == nil { //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 			// The owner died mid-job: its lease lapsed and the claim is
 			// ours now. Counted as a steal — this is the takeover path.
 			s.ctr.fleetSteals.Add(1)
@@ -164,7 +164,7 @@ func (s *Server) stealOnce() { s.adoptClaimable(false) }
 func (s *Server) recoverFromStore() { s.adoptClaimable(true) }
 
 func (s *Server) adoptClaimable(recovering bool) {
-	now := time.Now()
+	now := time.Now() //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 	for _, j := range s.store.List() {
 		if j.Terminal() || !s.claimEligible(j, now) {
 			continue
@@ -199,12 +199,12 @@ func (s *Server) adoptClaimable(recovering bool) {
 		if perr != nil {
 			// A row whose spec bytes no longer parse can never run; fail
 			// it so it stops circulating.
-			_ = s.store.Complete(j.Hash, s.node, StatusFailed, "recovered spec unparseable: "+perr.Error(), time.Now())
+			_ = s.store.Complete(j.Hash, s.node, StatusFailed, "recovered spec unparseable: "+perr.Error(), time.Now()) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 			continue
 		}
 		exp, xerr := s.eng.ExpandSpec(spec)
 		if xerr != nil {
-			_ = s.store.Complete(j.Hash, s.node, StatusFailed, "recovered spec invalid: "+xerr.Error(), time.Now())
+			_ = s.store.Complete(j.Hash, s.node, StatusFailed, "recovered spec invalid: "+xerr.Error(), time.Now()) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 			continue
 		}
 
@@ -265,7 +265,7 @@ func (s *Server) runAdopted(ctx context.Context, rec *record) {
 			case <-hbStop:
 				return
 			case <-t.C:
-				_ = s.store.Heartbeat(rec.id, s.node, time.Now(), s.leaseTTL)
+				_ = s.store.Heartbeat(rec.id, s.node, time.Now(), s.leaseTTL) //pynamic:nondeterministic lease/heartbeat clock: liveness, not canonical bytes
 			}
 		}
 	}()

@@ -152,6 +152,8 @@ func (p Phases) Total() float64 { return p.Phase1 + p.Phase2 }
 // phase times. Calling it twice against the same Config.FS gives the
 // cold then warm rows of Table IV, because the first attach leaves
 // every DSO in the nodes' disk buffer caches.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Attach(cfg Config) (Phases, error) {
 	return AttachCtx(context.Background(), cfg)
 }

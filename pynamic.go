@@ -97,6 +97,8 @@ type Workload = pygen.Workload
 // Deprecated: use New and (*Engine).GenerateCtx, which add
 // cancellation and workload caching. This wrapper runs on the
 // package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Generate(cfg Config) (*Workload, error) {
 	return Default().GenerateCtx(context.Background(), cfg)
 }
@@ -153,6 +155,8 @@ type Metrics = driver.Metrics
 // Deprecated: use New and (*Engine).RunCtx, which add cancellation,
 // event streaming and engine default policies. This wrapper runs on
 // the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func Run(cfg RunConfig) (*Metrics, error) {
 	return Default().RunCtx(context.Background(), cfg)
 }
@@ -179,6 +183,8 @@ type RankDist = job.Dist
 // Deprecated: use New and (*Engine).RunJobCtx, which add cancellation,
 // event streaming and engine default policies. This wrapper runs on
 // the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func RunJob(cfg JobConfig) (*JobResult, error) {
 	return Default().RunJobCtx(context.Background(), cfg)
 }
@@ -201,6 +207,8 @@ type ToolStartupPhases = toolsim.Phases
 //
 // Deprecated: use New and (*Engine).ToolAttachCtx. This wrapper runs
 // on the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func ToolAttach(cfg ToolStartupConfig) (ToolStartupPhases, error) {
 	return Default().ToolAttachCtx(context.Background(), cfg)
 }
@@ -212,6 +220,8 @@ type ExperimentOptions = experiments.Options
 //
 // Deprecated: use New and (*Engine).TableICtx. This wrapper runs on
 // the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func TableI(opts ExperimentOptions) (*TableIResult, error) {
 	return Default().TableICtx(context.Background(), opts)
 }
@@ -220,6 +230,8 @@ func TableI(opts ExperimentOptions) (*TableIResult, error) {
 //
 // Deprecated: use New and (*Engine).TableIIICtx. This wrapper runs on
 // the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func TableIII(seed uint64) (*TableIIIResult, error) {
 	return Default().TableIIICtx(context.Background(), seed)
 }
@@ -228,6 +240,8 @@ func TableIII(seed uint64) (*TableIIIResult, error) {
 //
 // Deprecated: use New and (*Engine).TableIVCtx. This wrapper runs on
 // the package-default Engine and produces byte-identical results.
+//
+//pynamic:allow ctxflow non-ctx convenience wrapper; the Ctx variant is the plumbed path
 func TableIV(opts ExperimentOptions) (*TableIVResult, error) {
 	return Default().TableIVCtx(context.Background(), opts)
 }
