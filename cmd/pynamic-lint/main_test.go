@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the module
+// tree — the same invocation make lint performs — and fails on any
+// diagnostic. The fixture tests prove each analyzer fires; this test
+// proves the tree itself honors the invariants (and that every
+// deliberate exception carries its annotation).
+func TestRepoIsLintClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from module root")
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+}
